@@ -1,0 +1,108 @@
+// Command experiments regenerates the paper-reproduction tables indexed in
+// DESIGN.md §4 / EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run T12
+//	experiments -run all -scale full -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gossip/internal/exp"
+)
+
+// writeTSVFile writes one experiment's table as <dir>/<id>.tsv.
+func writeTSVFile(dir, id string, tb *exp.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	f, err := os.Create(filepath.Join(dir, id+".tsv"))
+	if err != nil {
+		return fmt.Errorf("create tsv: %w", err)
+	}
+	defer f.Close()
+	return tb.TSV(f)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id     = fs.String("run", "all", "experiment ID or 'all'")
+		scale  = fs.String("scale", "quick", "quick or full")
+		seed   = fs.Uint64("seed", 1, "deterministic seed")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		format = fs.String("format", "table", "output format: table or tsv")
+		verify = fs.Bool("verify", false, "assert each experiment's expected shape (exit nonzero on violation)")
+		outDir = fs.String("out", "", "also write one <ID>.tsv per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.IDs() {
+			fmt.Fprintln(out, e)
+		}
+		return nil
+	}
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.ScaleQuick
+	case "full":
+		sc = exp.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q (quick|full)", *scale)
+	}
+	ids := []string{*id}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	if *format != "table" && *format != "tsv" {
+		return fmt.Errorf("unknown format %q (table|tsv)", *format)
+	}
+	for _, e := range ids {
+		start := time.Now()
+		tb, err := exp.Run(e, sc, *seed)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e, err)
+		}
+		if *verify {
+			if err := exp.VerifyShape(e, tb); err != nil {
+				return err
+			}
+		}
+		if *outDir != "" {
+			if err := writeTSVFile(*outDir, e, tb); err != nil {
+				return err
+			}
+		}
+		if *format == "tsv" {
+			fmt.Fprintf(out, "# %s\n", tb.Title)
+			if err := tb.TSV(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			continue
+		}
+		if err := tb.Fprint(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[%s finished in %v]\n\n", e, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

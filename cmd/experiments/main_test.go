@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, id := range []string{"L4", "T12", "T19", "FAULT", "MSG"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("-list output missing %s:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "L4", "-scale", "quick"}, &sb); err != nil {
+		t.Fatalf("run L4: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "E-L4") || !strings.Contains(out, "finished in") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "NOPE"}, &sb); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-scale", "medium"}, &sb); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestTSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-run", "L4", "-format", "tsv"}, &sb); err != nil {
+		t.Fatalf("run tsv: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# E-L4") || !strings.Contains(out, "\t") {
+		t.Errorf("tsv output malformed:\n%s", out)
+	}
+	if err := run([]string{"-run", "L4", "-format", "xml"}, &sb); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-run", "F1", "-out", dir}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(dir + "/F1.tsv")
+	if err != nil {
+		t.Fatalf("read tsv: %v", err)
+	}
+	if !strings.Contains(string(raw), "\t") {
+		t.Errorf("tsv file malformed:\n%s", raw)
+	}
+}

@@ -1,0 +1,295 @@
+// Command gossipsim runs one dissemination protocol on one graph family and
+// prints the resulting metrics.
+//
+// Usage:
+//
+//	gossipsim -graph ringcliques -k 8 -s 8 -latency 4 -proto pushpull -seed 1
+//	gossipsim -graph clique -n 64 -proto generaleid
+//	gossipsim -graph t7 -n 64 -phi 0.1 -latency 4 -proto pushpull
+//
+// Graphs: clique, star, path, cycle, grid, gnp, ringcliques, dumbbell,
+// t6, t7, ring8 (the Theorem 8 layered ring).
+// Protocols: pushpull, pushonly, flood, dtg, rr, eid, generaleid, tseq,
+// pathdiscovery, discovereid, unified.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gossip"
+	"gossip/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	var (
+		graphName = fs.String("graph", "ringcliques", "graph family")
+		proto     = fs.String("proto", "pushpull", "protocol to run")
+		n         = fs.Int("n", 64, "node count (clique/star/path/cycle/gnp/t6/t7/ring8)")
+		k         = fs.Int("k", 4, "cliques in ring / grid rows")
+		s         = fs.Int("s", 8, "clique size / grid cols")
+		latency   = fs.Int("latency", 1, "edge or bridge latency (family dependent)")
+		p         = fs.Float64("p", 0.1, "GNP edge probability")
+		phi       = fs.Float64("phi", 0.1, "Theorem 7 fast-edge probability")
+		alpha     = fs.Float64("alpha", 0.25, "Theorem 8 conductance parameter α")
+		delta     = fs.Int("delta", 16, "Theorem 6 max degree Δ")
+		source    = fs.Int("source", 0, "broadcast source node")
+		seed      = fs.Uint64("seed", 1, "deterministic run seed")
+		maxRounds = fs.Int("maxrounds", 0, "round budget (0 = default)")
+		d         = fs.Int("d", 0, "diameter parameter for eid/tseq/rr/dtg (0 = computed)")
+		analyze   = fs.Bool("analyze", false, "also print φ*/ℓ* analysis")
+		tracePath = fs.String("trace", "", "write the engine event trace to this file")
+		svgPath   = fs.String("svg", "", "write an SVG timeline of the run to this file")
+		trials    = fs.Int("trials", 1, "repeat the run with seeds seed..seed+trials-1 and report statistics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := buildGraph(*graphName, *n, *k, *s, *latency, *p, *phi, *alpha, *delta, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph=%s nodes=%d edges=%d Δ=%d ℓmax=%d\n",
+		*graphName, g.N(), g.M(), g.MaxDegree(), g.MaxLatency())
+
+	diam := *d
+	if diam <= 0 {
+		diam = g.WeightedDiameterApprox()
+	}
+	fmt.Fprintf(out, "weighted diameter ≈ %d\n", diam)
+	if *analyze {
+		wc, err := gossip.WeightedConductance(g, *seed)
+		if err != nil {
+			return fmt.Errorf("conductance: %w", err)
+		}
+		fmt.Fprintf(out, "φ* = %.5f at ℓ* = %d (exact=%v)\n", wc.PhiStar, wc.EllStar, wc.Exact)
+		for _, l := range wc.Ladder {
+			fmt.Fprintf(out, "  φ_%d = %.5f (φ/ℓ = %.5f)\n", l.Ell, l.Phi, l.Ratio)
+		}
+	}
+
+	opts := gossip.Options{Seed: *seed, MaxRounds: *maxRounds}
+	if *trials > 1 {
+		return runTrials(out, *proto, g, *source, diam, opts, *trials)
+	}
+	var rec gossip.Recorder
+	var traceW *bufio.Writer
+	if *tracePath != "" || *svgPath != "" {
+		record := rec.Tracer()
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("create trace file: %w", err)
+			}
+			defer f.Close()
+			traceW = bufio.NewWriter(f)
+			defer traceW.Flush()
+		}
+		opts.Trace = func(ev gossip.TraceEvent) {
+			if *svgPath != "" {
+				record(ev)
+			}
+			if traceW != nil {
+				fmt.Fprintln(traceW, ev.String())
+			}
+		}
+	}
+	if err := runProtocol(out, *proto, g, *source, diam, opts); err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(out, "wrote trace to %s\n", *tracePath)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			return fmt.Errorf("create svg file: %w", err)
+		}
+		defer f.Close()
+		title := fmt.Sprintf("%s on %s (n=%d)", *proto, *graphName, g.N())
+		if err := viz.Timeline(f, g.N(), rec.Events, viz.TimelineOptions{Title: title}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote timeline to %s\n", *svgPath)
+	}
+	return nil
+}
+
+func buildGraph(name string, n, k, s, latency int, p, phi, alpha float64, delta int, seed uint64) (*gossip.Graph, error) {
+	switch name {
+	case "clique":
+		return gossip.Clique(n, latency), nil
+	case "star":
+		return gossip.Star(n, latency), nil
+	case "path":
+		return gossip.Path(n, latency), nil
+	case "cycle":
+		return gossip.Cycle(n, latency), nil
+	case "grid":
+		return gossip.Grid(k, s, latency), nil
+	case "gnp":
+		return gossip.GNP(n, p, latency, true, seed), nil
+	case "ringcliques":
+		return gossip.RingOfCliques(k, s, latency), nil
+	case "dumbbell":
+		return gossip.Dumbbell(s, latency), nil
+	case "t6":
+		h, err := gossip.NewTheoremSixNetwork(n, delta, seed)
+		if err != nil {
+			return nil, err
+		}
+		return h.G, nil
+	case "t7":
+		tn, err := gossip.NewTheoremSevenNetwork(n, phi, latency, seed)
+		if err != nil {
+			return nil, err
+		}
+		return tn.G, nil
+	case "ring8":
+		rn, err := gossip.NewRingNetwork(n, alpha, latency, seed)
+		if err != nil {
+			return nil, err
+		}
+		return rn.G, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+}
+
+// runTrials repeats the protocol across consecutive seeds and prints
+// round-count statistics.
+func runTrials(out io.Writer, proto string, g *gossip.Graph, source, diam int, opts gossip.Options, trials int) error {
+	var rounds []float64
+	var msgs, bytes float64
+	for i := 0; i < trials; i++ {
+		o := opts
+		o.Seed = opts.Seed + uint64(i)
+		var sink strings.Builder
+		m, err := runProtocolMetrics(&sink, proto, g, source, diam, o)
+		if err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+		rounds = append(rounds, float64(m.Rounds))
+		msgs += float64(m.Messages()) / float64(trials)
+		bytes += float64(m.Bytes) / float64(trials)
+	}
+	mean, minV, maxV := 0.0, rounds[0], rounds[0]
+	for _, r := range rounds {
+		mean += r / float64(trials)
+		if r < minV {
+			minV = r
+		}
+		if r > maxV {
+			maxV = r
+		}
+	}
+	variance := 0.0
+	for _, r := range rounds {
+		variance += (r - mean) * (r - mean) / float64(trials)
+	}
+	fmt.Fprintf(out, "trials=%d rounds: mean=%.1f min=%.0f max=%.0f std=%.1f\n",
+		trials, mean, minV, maxV, sqrt(variance))
+	fmt.Fprintf(out, "mean messages=%.0f mean bytes=%.0f\n", msgs, bytes)
+	return nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	r := x
+	for i := 0; i < 40; i++ {
+		r = (r + x/r) / 2
+	}
+	return r
+}
+
+// runProtocolMetrics runs one protocol and returns its metrics.
+func runProtocolMetrics(out io.Writer, proto string, g *gossip.Graph, source, diam int, opts gossip.Options) (gossip.Metrics, error) {
+	var captured gossip.Metrics
+	err := runProtocolWith(out, proto, g, source, diam, opts, &captured)
+	return captured, err
+}
+
+func runProtocol(out io.Writer, proto string, g *gossip.Graph, source, diam int, opts gossip.Options) error {
+	var sink gossip.Metrics
+	return runProtocolWith(out, proto, g, source, diam, opts, &sink)
+}
+
+func runProtocolWith(out io.Writer, proto string, g *gossip.Graph, source, diam int, opts gossip.Options, captured *gossip.Metrics) error {
+	printMetrics := func(m gossip.Metrics, completed bool) {
+		*captured = m
+		fmt.Fprintf(out, "completed=%v rounds=%d messages=%d bytes=%d activations=%d\n",
+			completed, m.Rounds, m.Messages(), m.Bytes, m.EdgeActivations)
+	}
+	switch proto {
+	case "pushpull":
+		res, err := gossip.RunPushPull(g, source, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "pushonly":
+		res, err := gossip.RunPushOnly(g, source, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "flood":
+		res, err := gossip.RunFlood(g, source, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "dtg":
+		res, err := gossip.RunLocalBroadcast(g, diam, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "rr":
+		res, err := gossip.RunRRBroadcast(g, diam, 0, opts)
+		printMetrics(res.Metrics, res.Completed)
+		fmt.Fprintf(out, "spanner: edges=%d Δout=%d stretch=%.2f completed@=%d\n",
+			res.SpannerSize, res.MaxOutDegree, res.Stretch, res.RoundsToComplete)
+		return err
+	case "eid":
+		res, err := gossip.RunEID(g, diam, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "generaleid":
+		res, err := gossip.RunGeneralEID(g, opts)
+		printMetrics(res.Metrics, res.Completed)
+		fmt.Fprintf(out, "final estimate=%d\n", res.FinalEstimate)
+		return err
+	case "tseq":
+		res, err := gossip.RunTSequence(g, diam, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "pathdiscovery":
+		res, err := gossip.RunPathDiscovery(g, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "discovereid":
+		res, err := gossip.RunDiscoverEID(g, opts)
+		printMetrics(res.Metrics, res.Completed)
+		return err
+	case "unified":
+		res, err := gossip.RunUnified(g, source, true, opts)
+		if err != nil {
+			return err
+		}
+		captured.Rounds = res.Rounds
+		fmt.Fprintf(out, "winner=%s interleaved-rounds=%d (push-pull=%d, spanner=%d)\n",
+			res.Winner, res.Rounds, res.PushPull.Metrics.Rounds, res.Spanner.Metrics.Rounds)
+		return nil
+	default:
+		return errors.New("unknown protocol " + proto)
+	}
+}

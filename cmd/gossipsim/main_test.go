@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunProtocols(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "pushpull-default",
+			args: []string{"-graph", "ringcliques", "-k", "3", "-s", "4", "-latency", "2", "-proto", "pushpull"},
+			want: []string{"graph=ringcliques", "completed=true"},
+		},
+		{
+			name: "flood-grid",
+			args: []string{"-graph", "grid", "-k", "3", "-s", "3", "-proto", "flood"},
+			want: []string{"completed=true"},
+		},
+		{
+			name: "rr-with-spanner-stats",
+			args: []string{"-graph", "clique", "-n", "12", "-proto", "rr"},
+			want: []string{"completed=true", "spanner:"},
+		},
+		{
+			name: "generaleid",
+			args: []string{"-graph", "clique", "-n", "10", "-proto", "generaleid"},
+			want: []string{"completed=true", "final estimate="},
+		},
+		{
+			name: "unified",
+			args: []string{"-graph", "clique", "-n", "10", "-proto", "unified"},
+			want: []string{"winner="},
+		},
+		{
+			name: "analyze",
+			args: []string{"-graph", "dumbbell", "-s", "5", "-latency", "4", "-proto", "pushpull", "-analyze"},
+			want: []string{"φ* =", "φ_4"},
+		},
+		{
+			name: "t6-gadget",
+			args: []string{"-graph", "t6", "-n", "24", "-delta", "8", "-proto", "pushpull"},
+			want: []string{"graph=t6", "completed=true"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tt.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", tt.args, err)
+			}
+			for _, w := range tt.want {
+				if !strings.Contains(sb.String(), w) {
+					t.Errorf("output missing %q:\n%s", w, sb.String())
+				}
+			}
+		})
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.txt"
+	var sb strings.Builder
+	err := run([]string{"-graph", "path", "-n", "4", "-latency", "3", "-proto", "flood", "-trace", path}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	out := string(raw)
+	for _, want := range []string{"initiate", "request", "response"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown graph", args: []string{"-graph", "nope"}},
+		{name: "unknown proto", args: []string{"-graph", "clique", "-n", "6", "-proto", "nope"}},
+		{name: "bad flag", args: []string{"-not-a-flag"}},
+		{name: "bad t7 phi", args: []string{"-graph", "t7", "-n", "8", "-phi", "0.9"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tt.args, &sb); err == nil {
+				t.Errorf("run(%v) should fail", tt.args)
+			}
+		})
+	}
+}
+
+func TestBuildGraphFamilies(t *testing.T) {
+	for _, name := range []string{"clique", "star", "path", "cycle", "grid", "gnp", "ringcliques", "dumbbell", "t6", "t7", "ring8"} {
+		t.Run(name, func(t *testing.T) {
+			g, err := buildGraph(name, 24, 3, 4, 2, 0.2, 0.2, 0.25, 8, 1)
+			if err != nil {
+				t.Fatalf("buildGraph(%s): %v", name, err)
+			}
+			if g.N() == 0 || !g.Connected() {
+				t.Errorf("buildGraph(%s): n=%d connected=%v", name, g.N(), g.Connected())
+			}
+		})
+	}
+}
+
+func TestTrialsFlag(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-graph", "clique", "-n", "12", "-proto", "pushpull", "-trials", "5"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"trials=5", "mean=", "std=", "mean messages="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trials output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSVGFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/run.svg"
+	var sb strings.Builder
+	err := run([]string{"-graph", "dumbbell", "-s", "4", "-latency", "6", "-proto", "pushpull", "-svg", path}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read svg: %v", err)
+	}
+	out := string(raw)
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "<rect") {
+		t.Errorf("svg malformed:\n%.200s", out)
+	}
+}

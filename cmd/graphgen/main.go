@@ -1,0 +1,162 @@
+// Command graphgen generates and analyzes the latency-weighted graph
+// families of the repository: node/edge statistics, weighted diameter, and
+// the weighted-conductance ladder (φ_ℓ, φ*, ℓ* of Definition 2). It can
+// export the graph as JSON or Graphviz DOT.
+//
+// Usage:
+//
+//	graphgen -graph dumbbell -s 8 -latency 16
+//	graphgen -graph ring8 -n 64 -alpha 0.25 -latency 8 -dot ring.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gossip"
+	"gossip/internal/graphio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	var (
+		graphName = fs.String("graph", "ringcliques", "graph family (see gossipsim)")
+		n         = fs.Int("n", 64, "node count")
+		k         = fs.Int("k", 4, "cliques in ring / grid rows")
+		s         = fs.Int("s", 8, "clique size / grid cols")
+		latency   = fs.Int("latency", 1, "edge or bridge latency")
+		p         = fs.Float64("p", 0.1, "GNP edge probability")
+		phi       = fs.Float64("phi", 0.1, "Theorem 7 fast-edge probability")
+		alpha     = fs.Float64("alpha", 0.25, "Theorem 8 parameter α")
+		delta     = fs.Int("delta", 16, "Theorem 6 Δ")
+		seed      = fs.Uint64("seed", 1, "seed")
+		jsonPath  = fs.String("json", "", "write graph JSON to this file")
+		edgePath  = fs.String("edgelist", "", "write plain edge-list text to this file")
+		dotPath   = fs.String("dot", "", "write Graphviz DOT to this file")
+		loadPath  = fs.String("load", "", "load the graph from a file (.json or edge-list text) instead of generating")
+		noPhi     = fs.Bool("nophi", false, "skip the conductance ladder (slow on large graphs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		g   *gossip.Graph
+		err error
+	)
+	if *loadPath != "" {
+		g, err = loadGraph(*loadPath)
+		*graphName = *loadPath
+	} else {
+		g, err = buildGraph(*graphName, *n, *k, *s, *latency, *p, *phi, *alpha, *delta, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "graph %s: n=%d m=%d Δ=%d ℓmax=%d connected=%v\n",
+		*graphName, g.N(), g.M(), g.MaxDegree(), g.MaxLatency(), g.Connected())
+	if g.N() <= 512 {
+		fmt.Fprintf(out, "weighted diameter D=%d hop diameter=%d\n", g.WeightedDiameter(), g.HopDiameter())
+	} else {
+		fmt.Fprintf(out, "weighted diameter D≈%d (2-approx)\n", g.WeightedDiameterApprox())
+	}
+	if !*noPhi {
+		wc, err := gossip.WeightedConductance(g, *seed)
+		if err != nil {
+			return fmt.Errorf("conductance: %w", err)
+		}
+		fmt.Fprintf(out, "φ* = %.6f at ℓ* = %d (exact=%v)\n", wc.PhiStar, wc.EllStar, wc.Exact)
+		for _, l := range wc.Ladder {
+			fmt.Fprintf(out, "  φ_%-6d = %.6f   φ_ℓ/ℓ = %.6f\n", l.Ell, l.Phi, l.Ratio)
+		}
+	}
+	for _, exp := range []struct {
+		path  string
+		write func(io.Writer, *gossip.Graph) error
+	}{
+		{path: *jsonPath, write: graphio.EncodeJSON},
+		{path: *edgePath, write: graphio.WriteEdgeList},
+		{path: *dotPath, write: graphio.WriteDOT},
+	} {
+		if exp.path == "" {
+			continue
+		}
+		if err := writeFile(exp.path, g, exp.write); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", exp.path)
+	}
+	return nil
+}
+
+func writeFile(path string, g *gossip.Graph, write func(io.Writer, *gossip.Graph) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	return write(f, g)
+}
+
+func loadGraph(path string) (*gossip.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return graphio.DecodeJSON(f)
+	}
+	return graphio.ReadEdgeList(f)
+}
+
+// buildGraph mirrors gossipsim's family selector.
+func buildGraph(name string, n, k, s, latency int, p, phi, alpha float64, delta int, seed uint64) (*gossip.Graph, error) {
+	switch name {
+	case "clique":
+		return gossip.Clique(n, latency), nil
+	case "star":
+		return gossip.Star(n, latency), nil
+	case "path":
+		return gossip.Path(n, latency), nil
+	case "cycle":
+		return gossip.Cycle(n, latency), nil
+	case "grid":
+		return gossip.Grid(k, s, latency), nil
+	case "gnp":
+		return gossip.GNP(n, p, latency, true, seed), nil
+	case "ringcliques":
+		return gossip.RingOfCliques(k, s, latency), nil
+	case "dumbbell":
+		return gossip.Dumbbell(s, latency), nil
+	case "t6":
+		h, err := gossip.NewTheoremSixNetwork(n, delta, seed)
+		if err != nil {
+			return nil, err
+		}
+		return h.G, nil
+	case "t7":
+		tn, err := gossip.NewTheoremSevenNetwork(n, phi, latency, seed)
+		if err != nil {
+			return nil, err
+		}
+		return tn.G, nil
+	case "ring8":
+		rn, err := gossip.NewRingNetwork(n, alpha, latency, seed)
+		if err != nil {
+			return nil, err
+		}
+		return rn.G, nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+}

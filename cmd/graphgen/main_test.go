@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gossip/internal/graphio"
+)
+
+func TestRunAnalysis(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-graph", "dumbbell", "-s", "5", "-latency", "4"}, &sb)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph dumbbell", "connected=true", "weighted diameter", "φ* =", "φ_1", "φ_4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunNoPhi(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "clique", "-n", "8", "-nophi"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(sb.String(), "φ*") {
+		t.Error("-nophi should skip the conductance ladder")
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.json")
+	var sb strings.Builder
+	if err := run([]string{"-graph", "path", "-n", "4", "-latency", "3", "-json", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read export: %v", err)
+	}
+	var jg graphio.JSONGraph
+	if err := json.Unmarshal(raw, &jg); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if jg.N != 4 || len(jg.Edges) != 3 {
+		t.Errorf("exported n=%d edges=%d, want 4/3", jg.N, len(jg.Edges))
+	}
+	if jg.Edges[0].Latency != 3 {
+		t.Errorf("latency = %d, want 3", jg.Edges[0].Latency)
+	}
+}
+
+func TestDOTExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dot")
+	var sb strings.Builder
+	if err := run([]string{"-graph", "cycle", "-n", "5", "-latency", "2", "-dot", path}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read export: %v", err)
+	}
+	out := string(raw)
+	if !strings.HasPrefix(out, "graph G {") || !strings.Contains(out, "0 -- 1 [label=2];") {
+		t.Errorf("DOT output malformed:\n%s", out)
+	}
+	if strings.Count(out, "--") != 5 {
+		t.Errorf("DOT edge count = %d, want 5", strings.Count(out, "--"))
+	}
+}
+
+func TestRunBadFamily(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "nope"}, &sb); err == nil {
+		t.Error("unknown family should fail")
+	}
+}
+
+func TestExportThenLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, ext := range []string{"json", "txt"} {
+		t.Run(ext, func(t *testing.T) {
+			path := filepath.Join(dir, "g."+ext)
+			flag := "-json"
+			if ext == "txt" {
+				flag = "-edgelist"
+			}
+			var sb strings.Builder
+			if err := run([]string{"-graph", "ringcliques", "-k", "3", "-s", "4", "-latency", "2", flag, path}, &sb); err != nil {
+				t.Fatalf("export: %v", err)
+			}
+			var sb2 strings.Builder
+			if err := run([]string{"-load", path}, &sb2); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if !strings.Contains(sb2.String(), "n=12 m=21") {
+				t.Errorf("loaded graph stats wrong:\n%s", sb2.String())
+			}
+		})
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-load", "/nonexistent/file.json"}, &sb); err == nil {
+		t.Error("missing file should fail")
+	}
+}

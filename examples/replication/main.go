@@ -1,0 +1,97 @@
+// Replication: geo-replicated database anti-entropy — the workload the
+// paper's introduction motivates. Four datacenters hold replicas connected
+// by a fast LAN (latency 1); datacenters are joined by slow WAN links
+// (latency 20). Every replica starts with its own set of fresh writes and
+// must reconcile with everyone (all-to-all dissemination).
+//
+// The example contrasts the latency-oblivious strategy (push-pull, robust
+// and simple) with the latency-aware spanner algorithm (General EID) and
+// relates both to the graph's weighted conductance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gossip"
+)
+
+const (
+	datacenters = 4
+	replicas    = 6 // per datacenter
+	lanLatency  = 1
+	wanLatency  = 20
+)
+
+func main() {
+	g := buildTopology()
+	fmt.Printf("topology: %d replicas in %d datacenters, %d links\n", g.N(), datacenters, g.M())
+	fmt.Printf("weighted diameter (worst reconciliation distance): %d\n", g.WeightedDiameter())
+
+	wc, err := gossip.WeightedConductance(g, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("φ* = %.4f at ℓ* = %d → push-pull needs Θ((ℓ*/φ*)·log n) ≈ %.0f rounds\n",
+		wc.PhiStar, wc.EllStar, float64(wc.EllStar)/wc.PhiStar)
+
+	// Strategy 1: push-pull anti-entropy. One-to-all here; running it from
+	// the "worst" replica bounds per-write propagation delay.
+	pp, err := gossip.RunPushPull(g, 0, gossip.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npush-pull: a write at replica 0 reaches all replicas in %d rounds\n", pp.Metrics.Rounds)
+	slowest := 0
+	for _, r := range pp.InformedAt {
+		if r > slowest {
+			slowest = r
+		}
+	}
+	fmt.Printf("  slowest replica converged at round %d\n", slowest)
+
+	// Strategy 2: latency-aware reconciliation (General EID): replicas know
+	// link latencies, build a low out-degree spanner, and exchange all
+	// writes all-to-all with verified termination.
+	eid, err := gossip.RunGeneralEID(g, gossip.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngeneral EID: full all-to-all reconciliation in %d rounds (estimate doubled up to %d)\n",
+		eid.Metrics.Rounds, eid.FinalEstimate)
+	fmt.Printf("  every replica terminated in the same round: %v\n", sameRound(eid.TerminatedAt))
+	fmt.Printf("  bytes on the wire: push-pull=%d, EID=%d\n", pp.Metrics.Bytes, eid.Metrics.Bytes)
+	fmt.Println("\ntake-away: push-pull wins on single-write latency and robustness;")
+	fmt.Println("the spanner algorithm reconciles *everything* with a termination proof.")
+}
+
+// buildTopology wires datacenters×replicas nodes: LAN cliques per
+// datacenter, WAN ring between datacenters (plus one chord for resilience).
+func buildTopology() *gossip.Graph {
+	g := gossip.NewGraph(datacenters * replicas)
+	for dc := 0; dc < datacenters; dc++ {
+		base := dc * replicas
+		for i := 0; i < replicas; i++ {
+			for j := i + 1; j < replicas; j++ {
+				g.MustAddEdge(base+i, base+j, lanLatency)
+			}
+		}
+	}
+	for dc := 0; dc < datacenters; dc++ {
+		next := (dc + 1) % datacenters
+		// Gateway replicas 0 of each datacenter carry the WAN links.
+		g.MustAddEdge(dc*replicas, next*replicas, wanLatency)
+	}
+	// A chord between opposite datacenters halves the WAN diameter.
+	g.MustAddEdge(0, datacenters/2*replicas+1, wanLatency)
+	return g
+}
+
+func sameRound(rounds []int) bool {
+	for _, r := range rounds {
+		if r != rounds[0] {
+			return false
+		}
+	}
+	return true
+}

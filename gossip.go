@@ -1,0 +1,271 @@
+// Package gossip is a library for information dissemination in networks
+// whose edges have latencies, reproducing "Gossiping with Latencies"
+// (Gilbert, Robinson, Sourav; PODC 2017 / arXiv:1611.06343).
+//
+// The package exposes three layers:
+//
+//   - Graphs: latency-weighted graphs, standard generators, and the paper's
+//     lower-bound gadget constructions (Figures 1–2).
+//   - Analysis: weighted conductance φ*, critical latency ℓ* (Definition 2),
+//     and the φ_ℓ ladder.
+//   - Protocols: one-call runners for every algorithm in the paper —
+//     push-pull (Theorem 12), flooding, ℓ-DTG local broadcast (Appendix C),
+//     RR Broadcast over an oriented Baswana–Sen spanner (Lemmas 13–16), EID
+//     and General EID (Section 5), the T(k) schedule and Path Discovery
+//     (Appendix E), latency discovery (Section 4.2), and the unified
+//     algorithm (Theorem 20).
+//
+// Quick start:
+//
+//	g := gossip.RingOfCliques(8, 8, 4) // 8 cliques of 8, bridges of latency 4
+//	res, err := gossip.RunPushPull(g, 0, gossip.Options{Seed: 1})
+//	if err != nil { ... }
+//	fmt.Println("broadcast completed in", res.Metrics.Rounds, "rounds")
+//
+// All runs are deterministic for a fixed Options.Seed.
+package gossip
+
+import (
+	"gossip/internal/core"
+	"gossip/internal/cut"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Graph is a connected, undirected graph with integer edge latencies — the
+// network model of the paper (Section 1).
+type Graph = graph.Graph
+
+// Edge is an undirected latency-weighted edge.
+type Edge = graph.Edge
+
+// NodeID identifies a node (0..N-1).
+type NodeID = graph.NodeID
+
+// NewGraph returns an empty graph on n nodes; add edges with AddEdge.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Generators for standard topologies (uniform latency unless noted).
+var (
+	// Clique returns the complete graph K_n.
+	Clique = graph.Clique
+	// Star returns a star with center 0.
+	Star = graph.Star
+	// Path returns the path 0-1-...-(n-1).
+	Path = graph.Path
+	// Cycle returns the n-cycle.
+	Cycle = graph.Cycle
+	// Grid returns the rows×cols grid.
+	Grid = graph.Grid
+	// GNP returns an Erdős–Rényi graph, optionally forced connected.
+	GNP = graph.GNP
+	// RingOfCliques returns k cliques of size s joined in a ring by bridges
+	// of the given latency — a family with conductance known by design.
+	RingOfCliques = graph.RingOfCliques
+	// Dumbbell returns two cliques joined by one bridge edge.
+	Dumbbell = graph.Dumbbell
+	// Torus returns the rows×cols torus.
+	Torus = graph.Torus
+	// Hypercube returns the 2^dim-node hypercube.
+	Hypercube = graph.Hypercube
+	// CompleteBinaryTree returns the n-node complete binary tree.
+	CompleteBinaryTree = graph.CompleteBinaryTree
+	// RandomRegular returns a connected random near-d-regular graph.
+	RandomRegular = graph.RandomRegular
+	// Caterpillar returns a spine path with pendant leaves per spine node.
+	Caterpillar = graph.Caterpillar
+	// RandomLatencies re-draws a graph's latencies uniformly from [lo, hi].
+	RandomLatencies = graph.RandomLatencies
+)
+
+// Lower-bound constructions of Section 3 (see internal/graph for details).
+var (
+	// NewGadget builds the guessing-game gadget G(P) or G_sym(P) (Figure 1).
+	NewGadget = graph.NewGadget
+	// NewTheoremSixNetwork builds the Ω(Δ) network H of Theorem 6.
+	NewTheoremSixNetwork = graph.NewTheoremSixNetwork
+	// NewTheoremSevenNetwork builds the Ω(1/φ+ℓ) network of Theorem 7.
+	NewTheoremSevenNetwork = graph.NewTheoremSevenNetwork
+	// NewRingNetwork builds the layered ring of Theorem 8 (Figure 2).
+	NewRingNetwork = graph.NewRingNetwork
+)
+
+// Options configures a protocol run. The zero value is usable.
+type Options struct {
+	// Seed makes the run reproducible; runs with equal seeds are identical.
+	Seed uint64
+	// MaxRounds bounds the simulation (0 = a generous default).
+	MaxRounds int
+	// NHint is the polynomial upper bound on the network size known to the
+	// nodes (Section 5.1); 0 means the exact size.
+	NHint int
+	// FullRTTDelivery switches the engine to the no-pipelining delivery
+	// ablation (request and response both arrive ℓ rounds after initiation).
+	FullRTTDelivery bool
+	// Crashes schedules fail-stop node failures: Crashes[v] = r crashes
+	// node v at round r. Broadcast runners complete when all *surviving*
+	// nodes are informed.
+	Crashes map[NodeID]int
+	// MaxResponsesPerRound bounds how many requests a node answers per round
+	// (0 = unlimited) — the bounded in-degree model the paper's conclusion
+	// raises. Excess requests queue FIFO.
+	MaxResponsesPerRound int
+	// Trace, when non-nil, receives every engine event (initiations,
+	// deliveries, crashes). See Recorder for a collecting implementation.
+	Trace Tracer
+}
+
+// Tracer receives engine events during a run.
+type Tracer = sim.Tracer
+
+// TraceEvent is one observable engine event.
+type TraceEvent = sim.TraceEvent
+
+// Recorder collects trace events for inspection.
+type Recorder = sim.Recorder
+
+func (o Options) simConfig() sim.Config {
+	return sim.Config{
+		Seed:                 o.Seed,
+		MaxRounds:            o.MaxRounds,
+		NHint:                o.NHint,
+		FullRTTDelivery:      o.FullRTTDelivery,
+		Crashes:              o.Crashes,
+		MaxResponsesPerRound: o.MaxResponsesPerRound,
+		Trace:                o.Trace,
+	}
+}
+
+// Metrics aggregates the cost of a run: rounds, messages, bytes, edge
+// activations.
+type Metrics = sim.Metrics
+
+// BroadcastResult reports a single-source broadcast.
+type BroadcastResult = core.BroadcastResult
+
+// AllToAllResult reports an all-to-all dissemination run.
+type AllToAllResult = core.AllToAllResult
+
+// LocalBroadcastResult reports an ℓ-DTG local broadcast run.
+type LocalBroadcastResult = core.LocalBroadcastResult
+
+// RRBroadcastResult reports a standalone RR Broadcast run.
+type RRBroadcastResult = core.RRBroadcastResult
+
+// UnifiedResult reports the unified algorithm of Theorem 20.
+type UnifiedResult = core.UnifiedResult
+
+// RunPushPull broadcasts from source with the classical push-pull random
+// phone call protocol. Latencies need not be known; completion takes
+// O((ℓ*/φ*)·log n) rounds whp (Theorem 12).
+func RunPushPull(g *Graph, source NodeID, opts Options) (BroadcastResult, error) {
+	return core.PushPull(g, source, core.ModePushPull, opts.simConfig())
+}
+
+// RunPushOnly broadcasts with the pull direction disabled (the footnote-2
+// baseline that needs Ω(nD) on a star).
+func RunPushOnly(g *Graph, source NodeID, opts Options) (BroadcastResult, error) {
+	return core.PushPull(g, source, core.ModePushOnly, opts.simConfig())
+}
+
+// RunFlood broadcasts from source by deterministic flooding: each informed
+// node contacts each neighbor once.
+func RunFlood(g *Graph, source NodeID, opts Options) (BroadcastResult, error) {
+	return core.Flood(g, source, opts.simConfig())
+}
+
+// RunLocalBroadcast solves ℓ-local broadcast with the deterministic ℓ-DTG
+// protocol of Appendix C in O(ℓ·log² n) rounds: every node learns the
+// rumors of all neighbors connected by edges of latency <= ell.
+func RunLocalBroadcast(g *Graph, ell int, opts Options) (LocalBroadcastResult, error) {
+	return core.LocalBroadcastDTG(g, ell, opts.simConfig())
+}
+
+// RunPushPullAllToAll runs the all-to-all random phone call protocol
+// (anti-entropy): every node ends with every surviving node's rumor; no
+// latency knowledge or schedules needed, so it is robust to crashes.
+func RunPushPullAllToAll(g *Graph, opts Options) (AllToAllResult, error) {
+	return core.PushPullAllToAll(g, opts.simConfig())
+}
+
+// RunLocalBroadcastRandom solves ℓ-local broadcast with the randomized
+// strategy (each round, exchange with a random not-yet-heard ℓ-neighbor) —
+// the ablation counterpart of the deterministic ℓ-DTG.
+func RunLocalBroadcastRandom(g *Graph, ell int, opts Options) (LocalBroadcastResult, error) {
+	return core.LocalBroadcastRandom(g, ell, opts.simConfig())
+}
+
+// RunRRBroadcast builds an oriented spanner of the latency-<=k subgraph and
+// runs RR Broadcast (Algorithm 2) for the Lemma 15 schedule. With k >= D it
+// solves all-to-all dissemination in O(D·log² n) rounds (Corollary 16).
+// spannerK overrides the Baswana–Sen parameter (0 = ⌈log₂ n⌉).
+func RunRRBroadcast(g *Graph, k, spannerK int, opts Options) (RRBroadcastResult, error) {
+	return core.RRBroadcast(g, k, spannerK, opts.simConfig())
+}
+
+// RunEID solves all-to-all dissemination with known latencies and known
+// weighted diameter D in O(D·log³ n) rounds (Lemma 17).
+func RunEID(g *Graph, d int, opts Options) (AllToAllResult, error) {
+	return core.EID(g, d, opts.simConfig())
+}
+
+// RunGeneralEID solves all-to-all dissemination with known latencies and
+// unknown diameter via guess-and-double with termination detection
+// (Algorithm 4, Theorem 19); all nodes terminate in the same round
+// (Lemma 18).
+func RunGeneralEID(g *Graph, opts Options) (AllToAllResult, error) {
+	return core.GeneralEID(g, opts.simConfig())
+}
+
+// RunTSequence solves all-to-all dissemination by executing the recursive
+// T(k) schedule of Appendix E for the smallest power of two k >= d.
+func RunTSequence(g *Graph, d int, opts Options) (AllToAllResult, error) {
+	return core.TSequence(g, d, opts.simConfig())
+}
+
+// RunPathDiscovery solves all-to-all dissemination with unknown diameter
+// using the Path Discovery algorithm (Appendix E, Algorithm 6) in
+// O(D·log² n·log D) rounds.
+func RunPathDiscovery(g *Graph, opts Options) (AllToAllResult, error) {
+	return core.PathDiscovery(g, opts.simConfig())
+}
+
+// RunDiscoverEID solves all-to-all dissemination when latencies are NOT
+// known: nodes probe to discover adjacent latencies (Section 4.2) and run
+// EID over the discovered subgraph, doubling the budget until the
+// termination check passes. O((D+Δ)·log³ n) rounds.
+func RunDiscoverEID(g *Graph, opts Options) (AllToAllResult, error) {
+	return core.DiscoverEID(g, opts.simConfig())
+}
+
+// TreeBroadcastResult reports a shortest-path-tree broadcast run.
+type TreeBroadcastResult = core.TreeBroadcastResult
+
+// RunTreeBroadcast solves all-to-all dissemination over the shortest-path
+// tree rooted at root — the naive baseline whose unbounded fan-out motivates
+// the spanner's O(log n) orientation (see the ABL-TREE experiment).
+func RunTreeBroadcast(g *Graph, root NodeID, opts Options) (TreeBroadcastResult, error) {
+	return core.TreeBroadcast(g, root, opts.simConfig())
+}
+
+// RunUnified runs the combined algorithm of Theorem 20: push-pull
+// interleaved with the spanner-based algorithm (General EID when latencies
+// are known, the discovery variant otherwise); completion is twice the
+// faster component's solo time.
+func RunUnified(g *Graph, source NodeID, knownLatencies bool, opts Options) (UnifiedResult, error) {
+	return core.Unified(g, source, knownLatencies, opts.simConfig())
+}
+
+// Conductance reports the weighted conductance analysis of a graph.
+type Conductance = cut.Result
+
+// WeightedConductance computes φ*(G) and the critical latency ℓ*
+// (Definition 2), exactly for n <= 24 and heuristically above.
+func WeightedConductance(g *Graph, seed uint64) (Conductance, error) {
+	return cut.WeightedConductance(g, seed)
+}
+
+// PhiCut returns the weight-ℓ conductance of a specific cut (Definition 1).
+func PhiCut(g *Graph, set []NodeID, ell int) (float64, error) {
+	return cut.PhiCut(g, set, ell)
+}

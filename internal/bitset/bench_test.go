@@ -1,0 +1,54 @@
+package bitset
+
+import "testing"
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 4096)
+	}
+}
+
+func BenchmarkUnionWith(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		y.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.UnionWith(y)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 2 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Count()
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	s := New(4096)
+	s.Fill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 7 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		s.ForEach(func(j int) bool { total += j; return true })
+	}
+}

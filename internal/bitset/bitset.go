@@ -1,0 +1,227 @@
+// Package bitset provides a dense, fixed-capacity bitset used to represent
+// rumor sets in gossip protocols. A rumor set over n nodes is a Set of
+// capacity n where bit i means "this node knows node i's rumor".
+//
+// The zero value of Set is an empty set of capacity 0; use New to allocate a
+// set with a given capacity. All indices passed to Set methods must be in
+// [0, capacity); out-of-range indices panic, as they indicate a programming
+// error rather than a runtime condition.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bitset with a fixed capacity chosen at allocation time.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set able to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// NewWith returns a set of capacity n with the given bits set.
+func NewWith(n int, idxs ...int) *Set {
+	s := New(n)
+	for _, i := range idxs {
+		s.Add(i)
+	}
+	return s
+}
+
+// Cap reports the capacity (number of addressable bits).
+func (s *Set) Cap() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add sets bit i.
+func (s *Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether every bit in [0, Cap()) is set.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every bit of other into s. It reports whether s changed.
+// The two sets must have the same capacity.
+func (s *Set) UnionWith(other *Set) bool {
+	s.sameCap(other)
+	changed := false
+	for i, w := range other.words {
+		nw := s.words[i] | w
+		if nw != s.words[i] {
+			changed = true
+			s.words[i] = nw
+		}
+	}
+	return changed
+}
+
+// IntersectWith keeps only bits present in both sets.
+func (s *Set) IntersectWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// DifferenceWith clears every bit of s that is set in other.
+func (s *Set) DifferenceWith(other *Set) {
+	s.sameCap(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Equal reports whether both sets have identical capacity and contents.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every bit of s is also set in other.
+func (s *Set) Subset(other *Set) bool {
+	s.sameCap(other)
+	for i, w := range s.words {
+		if w&^other.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	cp := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(cp.words, s.words)
+	return cp
+}
+
+// Clear removes all bits.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all bits in [0, Cap()).
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim clears bits at positions >= n in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(s.n) % wordBits)) - 1
+	}
+}
+
+// ForEach calls fn for every set bit in increasing order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// SizeBytes returns the payload size of the set in bytes, used for message
+// accounting in the simulator.
+func (s *Set) SizeBytes() int { return len(s.words) * 8 }
+
+// String renders the set as {i, j, ...}.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (s *Set) sameCap(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d != %d", s.n, other.n))
+	}
+}

@@ -1,0 +1,220 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 {
+		t.Fatalf("Cap = %d, want 130", s.Cap())
+	}
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	for _, i := range []int{0, 64, 129} {
+		if !s.Contains(i) {
+			t.Errorf("missing bit %d", i)
+		}
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("bit 64 not removed")
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, []int{0, 129}) {
+		t.Errorf("Slice = %v, want [0 129]", got)
+	}
+}
+
+func TestFillTrimAndFull(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if !s.Full() {
+			t.Errorf("n=%d: Fill did not produce a full set (count=%d)", n, s.Count())
+		}
+		if s.Count() != n {
+			t.Errorf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewWith(10, 1, 3, 5)
+	b := NewWith(10, 3, 5, 7)
+	u := a.Clone()
+	if changed := u.UnionWith(b); !changed {
+		t.Error("union should have changed the set")
+	}
+	if got := u.Slice(); !reflect.DeepEqual(got, []int{1, 3, 5, 7}) {
+		t.Errorf("union = %v", got)
+	}
+	if changed := u.UnionWith(b); changed {
+		t.Error("second union should be a no-op")
+	}
+	i := a.Clone()
+	i.IntersectWith(b)
+	if got := i.Slice(); !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Errorf("intersection = %v", got)
+	}
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if got := d.Slice(); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("difference = %v", got)
+	}
+	if !i.Subset(a) || !i.Subset(b) {
+		t.Error("intersection must be a subset of both operands")
+	}
+	if a.Subset(b) {
+		t.Error("a is not a subset of b")
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := NewWith(66, 0, 65)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Add(1)
+	if a.Equal(b) {
+		t.Fatal("mutation of clone affected equality")
+	}
+	if a.Equal(New(65)) {
+		t.Fatal("different capacities compare equal")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := NewWith(20, 2, 4, 6, 8)
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if !reflect.DeepEqual(seen, []int{2, 4}) {
+		t.Errorf("early stop visited %v", seen)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(8)
+	for _, fn := range []func(){
+		func() { s.Add(8) },
+		func() { s.Add(-1) },
+		func() { s.Contains(8) },
+		func() { s.Remove(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// randomSet builds a set of capacity n from a random value source.
+func randomSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		ab := a.Clone()
+		ab.UnionWith(b)
+		ba := b.Clone()
+		ba.UnionWith(a)
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionIdempotentAndMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		a, b := randomSet(r, n), randomSet(r, n)
+		u := a.Clone()
+		u.UnionWith(b)
+		// Monotone: a ⊆ a∪b and b ⊆ a∪b.
+		if !a.Subset(u) || !b.Subset(u) {
+			return false
+		}
+		// Idempotent.
+		v := u.Clone()
+		v.UnionWith(b)
+		return v.Equal(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountMatchesSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		s := randomSet(r, n)
+		return s.Count() == len(s.Slice())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// complement(a ∪ b) == complement(a) ∩ complement(b), using Fill/Difference.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(150)
+		a, b := randomSet(r, n), randomSet(r, n)
+		union := a.Clone()
+		union.UnionWith(b)
+		lhs := New(n)
+		lhs.Fill()
+		lhs.DifferenceWith(union)
+		ca := New(n)
+		ca.Fill()
+		ca.DifferenceWith(a)
+		cb := New(n)
+		cb.Fill()
+		cb.DifferenceWith(b)
+		ca.IntersectWith(cb)
+		return lhs.Equal(ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := NewWith(10, 1, 9).String(); got != "{1, 9}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package check provides executable model invariants used by tests: no
+// protocol run may violate them regardless of algorithm or topology. They
+// encode the physics of the gossip model — information cannot outrun edge
+// latencies — and basic sanity of the reported metrics.
+package check
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Causality verifies the speed-of-light bound of the model: with split
+// delivery a rumor traverses an edge of latency ℓ in no less than ⌈ℓ/2⌉
+// rounds (the one-way request leg), so a node at weighted distance d from
+// the source cannot be informed before round ⌈d/2⌉. informedAt[v] < 0 means
+// "never informed" and is skipped.
+func Causality(g *graph.Graph, source graph.NodeID, informedAt []int) error {
+	if len(informedAt) != g.N() {
+		return fmt.Errorf("check: informedAt has %d entries for %d nodes", len(informedAt), g.N())
+	}
+	dist := g.Distances(source)
+	for v, r := range informedAt {
+		if r < 0 || v == source {
+			continue
+		}
+		if lo := (dist[v] + 1) / 2; r < lo {
+			return fmt.Errorf("check: node %d informed at round %d, below the causal bound ⌈d/2⌉=%d (d=%d)",
+				v, r, lo, dist[v])
+		}
+	}
+	if informedAt[source] != 0 {
+		return fmt.Errorf("check: source informed at %d, want 0", informedAt[source])
+	}
+	return nil
+}
+
+// Coverage verifies that every node in required is informed
+// (informedAt >= 0).
+func Coverage(informedAt []int, required func(v graph.NodeID) bool) error {
+	for v, r := range informedAt {
+		if required != nil && !required(v) {
+			continue
+		}
+		if r < 0 {
+			return fmt.Errorf("check: node %d never informed", v)
+		}
+	}
+	return nil
+}
+
+// Metrics verifies internal consistency of run metrics: responses never
+// exceed requests (every response answers a request), activations equal
+// requests, and rounds/bytes are non-negative.
+func Metrics(m sim.Metrics) error {
+	switch {
+	case m.Rounds < 0 || m.Bytes < 0:
+		return fmt.Errorf("check: negative metrics %+v", m)
+	case m.Responses > m.Requests:
+		return fmt.Errorf("check: %d responses exceed %d requests", m.Responses, m.Requests)
+	case m.EdgeActivations != m.Requests:
+		return fmt.Errorf("check: %d activations != %d requests", m.EdgeActivations, m.Requests)
+	}
+	return nil
+}
+
+// TraceConsistency verifies an event trace against the delivery model:
+// every request delivery happens exactly ⌈ℓ/2⌉ rounds after its initiation
+// and every response exactly ℓ rounds after, per edge, in order. It assumes
+// at most one in-flight exchange per (edge, initiation round), which holds
+// because a node initiates at most once per round.
+func TraceConsistency(events []sim.TraceEvent, fullRTT bool) error {
+	type key struct {
+		edge     int
+		from, to graph.NodeID
+	}
+	initiations := make(map[key][]int)
+	for _, ev := range events {
+		switch ev.Kind {
+		case sim.TraceInitiate:
+			k := key{edge: ev.EdgeID, from: ev.From, to: ev.To}
+			initiations[k] = append(initiations[k], ev.Round)
+		case sim.TraceRequest:
+			k := key{edge: ev.EdgeID, from: ev.From, to: ev.To}
+			q := initiations[k]
+			if len(q) == 0 {
+				return fmt.Errorf("check: request %v without initiation", ev)
+			}
+			initiations[k] = q[1:]
+			want := q[0] + (ev.Latency+1)/2
+			if fullRTT {
+				want = q[0] + ev.Latency
+			}
+			// Congestion (bounded in-degree) may delay delivery beyond the
+			// nominal time but never before it.
+			if ev.Round < want {
+				return fmt.Errorf("check: request %v delivered at %d, before nominal %d", ev, ev.Round, want)
+			}
+		}
+	}
+	return nil
+}

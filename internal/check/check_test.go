@@ -1,0 +1,117 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestCausalityAccepts(t *testing.T) {
+	g := graph.Path(3, 4) // distances from 0: 0, 4, 8
+	if err := Causality(g, 0, []int{0, 2, 4}); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+	// Never-informed entries are skipped.
+	if err := Causality(g, 0, []int{0, -1, 4}); err != nil {
+		t.Errorf("timeline with uninformed node rejected: %v", err)
+	}
+}
+
+func TestCausalityRejectsFasterThanLight(t *testing.T) {
+	g := graph.Path(3, 4)
+	err := Causality(g, 0, []int{0, 1, 4}) // node 1 at round 1 < ⌈4/2⌉
+	if err == nil || !strings.Contains(err.Error(), "causal bound") {
+		t.Errorf("superluminal rumor accepted: %v", err)
+	}
+	if err := Causality(g, 0, []int{3, 2, 4}); err == nil {
+		t.Error("nonzero source time accepted")
+	}
+	if err := Causality(g, 0, []int{0, 2}); err == nil {
+		t.Error("wrong-length timeline accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if err := Coverage([]int{0, 3, 5}, nil); err != nil {
+		t.Errorf("full coverage rejected: %v", err)
+	}
+	if err := Coverage([]int{0, -1, 5}, nil); err == nil {
+		t.Error("missing node accepted")
+	}
+	// Nodes excluded by the filter may be uninformed.
+	if err := Coverage([]int{0, -1, 5}, func(v graph.NodeID) bool { return v != 1 }); err != nil {
+		t.Errorf("filtered coverage rejected: %v", err)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	ok := sim.Metrics{Rounds: 5, Requests: 10, Responses: 10, EdgeActivations: 10}
+	if err := Metrics(ok); err != nil {
+		t.Errorf("valid metrics rejected: %v", err)
+	}
+	bad := ok
+	bad.Responses = 11
+	if err := Metrics(bad); err == nil {
+		t.Error("responses > requests accepted")
+	}
+	bad = ok
+	bad.EdgeActivations = 9
+	if err := Metrics(bad); err == nil {
+		t.Error("activations != requests accepted")
+	}
+}
+
+func TestTraceConsistency(t *testing.T) {
+	good := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 1, From: 0, To: 1, EdgeID: 0, Latency: 5},
+		{Kind: sim.TraceRequest, Round: 4, From: 0, To: 1, EdgeID: 0, Latency: 5},
+	}
+	if err := TraceConsistency(good, false); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	early := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 1, From: 0, To: 1, EdgeID: 0, Latency: 5},
+		{Kind: sim.TraceRequest, Round: 2, From: 0, To: 1, EdgeID: 0, Latency: 5},
+	}
+	if err := TraceConsistency(early, false); err == nil {
+		t.Error("early delivery accepted")
+	}
+	orphan := []sim.TraceEvent{
+		{Kind: sim.TraceRequest, Round: 2, From: 0, To: 1, EdgeID: 0, Latency: 5},
+	}
+	if err := TraceConsistency(orphan, false); err == nil {
+		t.Error("request without initiation accepted")
+	}
+	// Full-RTT: delivery at initiation + ℓ.
+	full := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 1, From: 0, To: 1, EdgeID: 0, Latency: 5},
+		{Kind: sim.TraceRequest, Round: 6, From: 0, To: 1, EdgeID: 0, Latency: 5},
+	}
+	if err := TraceConsistency(full, true); err != nil {
+		t.Errorf("full-RTT trace rejected: %v", err)
+	}
+}
+
+// TestLiveTraceFromEngine validates a real engine trace end to end.
+func TestLiveTraceFromEngine(t *testing.T) {
+	g := graph.RingOfCliques(3, 4, 3)
+	var rec sim.Recorder
+	nw := sim.NewNetwork(g, sim.Config{Seed: 1, MaxRounds: 200, Trace: rec.Tracer()})
+	for u := 0; u < g.N(); u++ {
+		u := u
+		nw.SetHandler(u, sim.NewProc(func(p *sim.Proc) {
+			for i := 0; i < 10; i++ {
+				p.Send(p.Rand().Intn(p.Degree()), nil)
+			}
+			p.WaitRounds(10)
+		}))
+	}
+	if _, err := nw.Run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := TraceConsistency(rec.Events, false); err != nil {
+		t.Errorf("live trace violates the delivery model: %v", err)
+	}
+}

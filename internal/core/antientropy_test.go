@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestPushPullAllToAll(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique16", g: graph.Clique(16, 1)},
+		{name: "ringcliques", g: graph.RingOfCliques(4, 6, 3)},
+		{name: "grid", g: graph.Grid(4, 4, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := PushPullAllToAll(tt.g, sim.Config{Seed: 5})
+			if err != nil {
+				t.Fatalf("PushPullAllToAll: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("anti-entropy did not converge")
+			}
+		})
+	}
+}
+
+func TestPushPullAllToAllSurvivesCrashes(t *testing.T) {
+	const k, s = 4, 6
+	g := graph.RingOfCliques(k, s, 3)
+	crashes := interiorCrashes(k, s, 4, 5)
+	res, err := PushPullAllToAll(g, sim.Config{Seed: 7, Crashes: crashes})
+	if err != nil {
+		t.Fatalf("PushPullAllToAll under crashes: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("anti-entropy must converge among survivors")
+	}
+}
+
+func TestPushPullAllToAllMessageSizes(t *testing.T) {
+	// All-to-all payloads are n-bit sets: bytes per message ≈ ⌈n/64⌉·8.
+	g := graph.Clique(100, 1)
+	res, err := PushPullAllToAll(g, sim.Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("PushPullAllToAll: %v", err)
+	}
+	perMsg := float64(res.Metrics.Bytes) / float64(res.Metrics.Messages())
+	if perMsg != 16 { // 100 bits -> 2 words -> 16 bytes
+		t.Errorf("bytes/message = %g, want 16", perMsg)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"gossip/internal/sim"
+
+	"gossip/internal/graph"
+)
+
+// probePayload is the empty request used to measure an edge's latency: the
+// initiator learns the latency when the response returns (Section 4.2).
+type probePayload struct{}
+
+var _ sim.Sizer = probePayload{}
+
+// SizeBytes implements sim.Sizer.
+func (probePayload) SizeBytes() int { return 1 }
+
+// discState records latencies learned from completed exchanges.
+type discState struct {
+	lat map[int]int // edge index -> learned latency
+}
+
+func newDiscState() *discState { return &discState{lat: make(map[int]int, 8)} }
+
+// latFunc exposes the discovered latencies; unprobed (or too-slow) edges
+// report unknownLatency and are never selected by ℓ-filters.
+func (d *discState) latFunc() latFunc {
+	return func(idx int) int {
+		if l, ok := d.lat[idx]; ok {
+			return l
+		}
+		return unknownLatency
+	}
+}
+
+// runProbe performs one discovery window with budget b: the node probes up
+// to b not-yet-known neighbors, one per round, then waits so the whole
+// window occupies exactly 2b rounds. An edge of latency <= b probed in this
+// window completes within it, so its latency lands in the state via the
+// response handler. This is the latency-discovery step of Section 4.2,
+// guess-and-doubled by the caller.
+func runProbe(p *sim.Proc, d *discState, b int) {
+	start := p.Round()
+	sent := 0
+	for _, e := range p.Neighbors() {
+		if sent >= b || p.Round()-start >= b {
+			break
+		}
+		if _, known := d.lat[e.Index]; known {
+			continue
+		}
+		p.Send(e.Index, probePayload{})
+		sent++
+		p.Yield()
+	}
+	if rem := 2*b - (p.Round() - start); rem > 0 {
+		p.WaitRounds(rem)
+	}
+}
+
+// DiscoverEID solves all-to-all information dissemination when nodes do NOT
+// know the latencies of their adjacent edges (Section 4.2): guess-and-double
+// a budget b, discover latencies <= b by probing, run EID(b) over the
+// discovered subgraph, and use the termination check to detect success.
+// Completes in O((D + Δ)·log³ n) rounds.
+func DiscoverEID(g *graph.Graph, cfg sim.Config) (AllToAllResult, error) {
+	cfg.KnownLatencies = false
+	nw := sim.NewNetwork(g, cfg)
+	states := make([]*eidState, g.N())
+	for u := 0; u < g.N(); u++ {
+		st := &eidState{
+			rumors:       newRumorKnowledge(g.N(), u),
+			terminatedAt: -1,
+		}
+		states[u] = st
+		dst := newDiscState()
+		containers := st.containers
+		proc := sim.NewProc(func(p *sim.Proc) {
+			nHat := nw.NHint()
+			lat := dst.latFunc()
+			b := 1
+			for phase := 0; ; phase++ {
+				runProbe(p, dst, b)
+				out := runEID(p, st, lat, b, nHat, cfg.Seed)
+				if runTerminationCheck(p, st, lat, b, nHat, out, phase) {
+					st.terminatedAt = p.Round()
+					st.finalEstimate = b
+					return
+				}
+				b *= 2
+				if phase >= maxDoubling {
+					st.gaveUp = true
+					return
+				}
+			}
+		})
+		proc.HandleRequests(knowledgeResponder(containers))
+		respond := knowledgeResponses(containers)
+		proc.HandleResponses(func(p *sim.Proc, resp sim.Response) {
+			// Every completed exchange reveals its edge's latency.
+			dst.lat[resp.EdgeIndex] = resp.Latency
+			respond(p, resp)
+		})
+		nw.SetHandler(u, proc)
+	}
+	res, err := nw.Run(nil)
+	out := collectAllToAll(res.Metrics, states)
+	for _, st := range states {
+		if st.finalEstimate > out.FinalEstimate {
+			out.FinalEstimate = st.finalEstimate
+		}
+		if st.gaveUp {
+			out.Completed = false
+			err = fmt.Errorf("discover-EID on %v: doubling safety valve tripped", g)
+		}
+	}
+	if err != nil {
+		return out, fmt.Errorf("discover-EID: %w", err)
+	}
+	return out, nil
+}

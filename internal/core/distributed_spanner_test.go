@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+	"gossip/internal/spanner"
+)
+
+// TestDistributedSpannerMatchesCentralized is the protocol-level consistency
+// property of Theorem 14: every node, after gathering its neighborhood via
+// d-DTG and computing the spanner locally with the shared seed, must arrive
+// at exactly the out-edges the centralized construction assigns it. This is
+// what makes the oriented spanner a *global* structure no node ever sees in
+// full.
+func TestDistributedSpannerMatchesCentralized(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique-14", g: graph.Clique(14, 1)},
+		{name: "ring-3x5-L2", g: graph.RingOfCliques(3, 5, 2)},
+		{name: "grid-4x4-L2", g: graph.Grid(4, 4, 2)},
+		{name: "mixed", g: graph.RandomLatencies(graph.GNP(14, 0.4, 1, true, 6), 1, 3, 6)},
+	}
+	for _, tt := range graphs {
+		t.Run(tt.name, func(t *testing.T) {
+			g := tt.g
+			d := g.WeightedDiameter()
+			seed := uint64(23)
+			cfg := sim.Config{Seed: seed, KnownLatencies: true}
+			nw := sim.NewNetwork(g, cfg)
+			outSets := make([]map[graph.NodeID]bool, g.N())
+			states := attachEIDProcs(nw, g, func(p *sim.Proc, st *eidState, lat latFunc) {
+				sp, _ := gatherAndBuildSpanner(p, st, lat, d, nw.NHint(), seed)
+				set := make(map[graph.NodeID]bool, len(sp.Out[p.ID()]))
+				for _, oe := range sp.Out[p.ID()] {
+					set[oe.To] = true
+				}
+				outSets[p.ID()] = set
+			})
+			_ = states
+			if _, err := nw.Run(nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			central, err := spanner.Build(g.Subgraph(d), spannerK(g.N()), g.N(), seed)
+			if err != nil {
+				t.Fatalf("central build: %v", err)
+			}
+			for v := 0; v < g.N(); v++ {
+				want := make(map[graph.NodeID]bool, len(central.Out[v]))
+				for _, oe := range central.Out[v] {
+					want[oe.To] = true
+				}
+				if fmt.Sprint(sortedKeys(want)) != fmt.Sprint(sortedKeys(outSets[v])) {
+					t.Errorf("node %d: distributed out-edges %v != centralized %v",
+						v, sortedKeys(outSets[v]), sortedKeys(want))
+				}
+			}
+		})
+	}
+}
+
+func sortedKeys(m map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

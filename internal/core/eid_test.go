@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestEIDKnownDiameterSmall(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique16", g: graph.Clique(16, 1)},
+		{name: "path12-lat2", g: graph.Path(12, 2)},
+		{name: "ringcliques", g: graph.RingOfCliques(3, 5, 3)},
+		{name: "grid4x4", g: graph.Grid(4, 4, 1)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := tt.g.WeightedDiameter()
+			res, err := EID(tt.g, d, sim.Config{Seed: 11})
+			if err != nil {
+				t.Fatalf("EID: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("EID did not achieve all-to-all dissemination")
+			}
+		})
+	}
+}
+
+func TestGeneralEIDUnknownDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique12", g: graph.Clique(12, 1)},
+		{name: "path10-lat3", g: graph.Path(10, 3)},
+		{name: "dumbbell", g: graph.Dumbbell(6, 4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := GeneralEID(tt.g, sim.Config{Seed: 13})
+			if err != nil {
+				t.Fatalf("GeneralEID: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("General EID did not achieve all-to-all dissemination")
+			}
+			// Lemma 18: all nodes terminate in the same round.
+			first := res.TerminatedAt[0]
+			if first < 0 {
+				t.Fatal("node 0 did not record termination")
+			}
+			for v, r := range res.TerminatedAt {
+				if r != first {
+					t.Errorf("node %d terminated at %d, node 0 at %d (Lemma 18 violated)", v, r, first)
+				}
+			}
+			// The final estimate must be within a doubling of the diameter.
+			d := tt.g.WeightedDiameter()
+			if res.FinalEstimate < d && res.Completed {
+				t.Logf("final estimate %d < D=%d but run completed (estimate covered the graph earlier)", res.FinalEstimate, d)
+			}
+			if res.FinalEstimate >= 4*d && d > 0 {
+				t.Errorf("final estimate %d >= 4·D=%d; doubling overshot", res.FinalEstimate, 4*d)
+			}
+		})
+	}
+}
+
+// TestEIDWithPolynomialHint exercises Section 5.1's assumption: nodes know
+// only a polynomial upper bound n̂ on n. The spanner parameter, sampling
+// probability and all budgets derive from n̂; the algorithms must still
+// complete (Lemma 13 covers n <= n̂ <= n^c).
+func TestEIDWithPolynomialHint(t *testing.T) {
+	g := graph.RingOfCliques(3, 5, 2)
+	n := g.N()
+	d := g.WeightedDiameter()
+	for _, hint := range []int{n, 2 * n, n * n} {
+		t.Run(fmt.Sprintf("nhat=%d", hint), func(t *testing.T) {
+			res, err := EID(g, d, sim.Config{Seed: 3, NHint: hint})
+			if err != nil {
+				t.Fatalf("EID: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("EID incomplete with polynomial hint")
+			}
+			gen, err := GeneralEID(g, sim.Config{Seed: 3, NHint: hint})
+			if err != nil {
+				t.Fatalf("GeneralEID: %v", err)
+			}
+			if !gen.Completed {
+				t.Fatal("General EID incomplete with polynomial hint")
+			}
+			for _, r := range gen.TerminatedAt {
+				if r != gen.TerminatedAt[0] {
+					t.Fatal("same-round termination violated with polynomial hint")
+				}
+			}
+		})
+	}
+}

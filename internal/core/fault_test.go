@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// interiorCrashes crashes count interior (non-bridge-endpoint) nodes of a
+// RingOfCliques(k, s, ·) graph at the given round, so the survivor subgraph
+// stays connected.
+func interiorCrashes(k, s, count, round int) map[graph.NodeID]int {
+	crashes := make(map[graph.NodeID]int, count)
+	for c := 0; c < k && len(crashes) < count; c++ {
+		// Node c*s is a bridge target, c*s+s-1 a bridge source; pick c*s+1.
+		if s >= 3 {
+			crashes[c*s+1] = round
+		}
+	}
+	return crashes
+}
+
+func TestPushPullSurvivesCrashes(t *testing.T) {
+	const k, s = 4, 6
+	g := graph.RingOfCliques(k, s, 3)
+	crashes := interiorCrashes(k, s, 4, 3)
+	res, err := PushPull(g, 0, ModePushPull, sim.Config{Seed: 5, Crashes: crashes})
+	if err != nil {
+		t.Fatalf("PushPull under crashes: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("push-pull must inform all survivors despite crashes")
+	}
+	// Crashed nodes may legitimately remain uninformed.
+	for u := range crashes {
+		if res.InformedAt[u] >= 0 && res.InformedAt[u] >= 3 {
+			t.Logf("node %d informed at %d before crash (ok)", u, res.InformedAt[u])
+		}
+	}
+}
+
+func TestFloodSurvivesCrashes(t *testing.T) {
+	const k, s = 3, 5
+	g := graph.RingOfCliques(k, s, 2)
+	crashes := interiorCrashes(k, s, 3, 2)
+	res, err := Flood(g, 0, sim.Config{Seed: 7, Crashes: crashes})
+	if err != nil {
+		t.Fatalf("Flood under crashes: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("flood must inform all survivors despite crashes")
+	}
+}
+
+func TestCrashedSourceStallsBroadcast(t *testing.T) {
+	// If the source itself crashes at round 1 before exchanging anything,
+	// the rumor can never spread: the run must not report completion.
+	g := graph.Clique(8, 4) // latency 4: no exchange completes before round 4
+	res, err := PushPull(g, 0, ModePushPull,
+		sim.Config{Seed: 9, Crashes: map[graph.NodeID]int{0: 1}, MaxRounds: 2000})
+	if err == nil && res.Completed {
+		t.Fatal("broadcast cannot complete when the only informed node crashed immediately")
+	}
+	if err != nil && !errors.Is(err, sim.ErrMaxRounds) && !errors.Is(err, sim.ErrStalled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestSpannerAlgorithmsNotCrashTolerant demonstrates the conclusion's
+// observation: the spanner-based machinery has no failure handling — under
+// a crash RR Broadcast's fixed schedule ends without full dissemination.
+func TestSpannerAlgorithmsNotCrashTolerant(t *testing.T) {
+	const k, s = 4, 6
+	g := graph.RingOfCliques(k, s, 3)
+	d := g.WeightedDiameter()
+	// Crash a bridge endpoint: the spanner routes through it.
+	res, err := RRBroadcast(g, d, 0, sim.Config{Seed: 11, Crashes: map[graph.NodeID]int{s - 1: 2}})
+	if err != nil {
+		t.Fatalf("RRBroadcast under crash: %v", err)
+	}
+	if res.Completed {
+		// Possible if the crashed node was not load-bearing for this seed's
+		// spanner; note it rather than fail, but verify the common case with
+		// more crashes below.
+		t.Log("single crash survived (redundant spanner edge); escalating")
+	}
+	many := make(map[graph.NodeID]int)
+	for c := 0; c < k; c++ {
+		many[c*s+s-1] = 2 // all ring bridge sources
+	}
+	res2, err := RRBroadcast(g, d, 0, sim.Config{Seed: 11, Crashes: many})
+	if err != nil {
+		t.Fatalf("RRBroadcast under crashes: %v", err)
+	}
+	if res2.Completed {
+		t.Error("RR broadcast completed despite all bridge sources crashing — fault model broken")
+	}
+}
+
+func TestCrashedNodeStopsResponding(t *testing.T) {
+	g := graph.Path(2, 6)
+	nw := sim.NewNetwork(g, sim.Config{Seed: 1, MaxRounds: 50, Crashes: map[graph.NodeID]int{1: 2}})
+	got := 0
+	p0 := sim.NewProc(func(p *sim.Proc) {
+		// Initiated at round 1; request arrives at node 1 at round 1+3=4,
+		// after its crash at round 2: no response must ever return.
+		p.Send(0, bitPayload{informed: true})
+		p.WaitRounds(30)
+	})
+	p0.HandleResponses(func(p *sim.Proc, resp sim.Response) { got++ })
+	nw.SetHandler(0, p0)
+	nw.SetHandler(1, sim.NewProc(func(p *sim.Proc) { p.WaitRounds(40) }))
+	if _, err := nw.Run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 0 {
+		t.Errorf("received %d responses from a crashed node", got)
+	}
+	if !nw.Crashed(1) {
+		t.Error("node 1 should be marked crashed")
+	}
+}

@@ -1,0 +1,49 @@
+// Package core implements every dissemination algorithm of the paper on top
+// of the internal/sim engine:
+//
+//   - the classical push-pull random phone call protocol (Section 4.1) and a
+//     flooding / push-only baseline;
+//   - ℓ-DTG deterministic local broadcast (Appendix C);
+//   - RR Broadcast over an oriented spanner (Algorithm 2);
+//   - the distributed spanner construction and EID (Algorithms 3–4,
+//     Section 5) with termination detection (Algorithm 1, Lemma 18);
+//   - the T(k) schedule and Path Discovery (Appendix E, Algorithm 6);
+//   - latency discovery for unknown latencies (Section 4.2);
+//   - the unified algorithm of Theorem 20.
+package core
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/sim"
+)
+
+// rumorPayload carries a rumor set. The set is cloned at initiation time, so
+// a payload is an immutable snapshot, as the engine requires.
+type rumorPayload struct {
+	set *bitset.Set
+}
+
+var _ sim.Sizer = rumorPayload{}
+
+func snapshotRumors(s *bitset.Set) rumorPayload {
+	return rumorPayload{set: s.Clone()}
+}
+
+// SizeBytes implements sim.Sizer for message accounting.
+func (p rumorPayload) SizeBytes() int {
+	if p.set == nil {
+		return 1
+	}
+	return p.set.SizeBytes()
+}
+
+// bitPayload carries a single rumor's presence — the message of a
+// single-source broadcast. One byte on the wire.
+type bitPayload struct {
+	informed bool
+}
+
+var _ sim.Sizer = bitPayload{}
+
+// SizeBytes implements sim.Sizer.
+func (p bitPayload) SizeBytes() int { return 1 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"gossip/internal/sim"
+)
+
+// runRR executes the RR Broadcast loop of Algorithm 2 for exactly the given
+// number of rounds: each round the node propagates its knowledge snapshot
+// along its next out-edge (edges with latency <= ell only), cycling
+// round-robin; nodes without usable out-edges idle but keep responding via
+// their request handler. By Lemma 15, k·Δ_out + k rounds suffice for any two
+// nodes within distance k of each other (in the graph the out-edges span) to
+// exchange knowledge.
+//
+// Every node runs for the same fixed number of rounds, keeping multi-phase
+// protocols aligned; a trailing wait of ell rounds lets in-flight exchanges
+// land.
+func runRR(p *sim.Proc, k knowledge, out []int, lat latFunc, ell, rounds int) {
+	usable := make([]int, 0, len(out))
+	for _, idx := range out {
+		if lat(idx) <= ell {
+			usable = append(usable, idx)
+		}
+	}
+	if len(usable) == 0 {
+		p.WaitRounds(rounds + ell)
+		return
+	}
+	start := p.Round()
+	for i := 0; p.Round()-start < rounds; i++ {
+		p.Send(usable[i%len(usable)], k.Snapshot())
+		// Send paces itself to one initiation per round, but guarantee
+		// progress even if a future refactor makes it reentrant.
+		if p.Round()-start >= rounds {
+			break
+		}
+		p.Yield()
+	}
+	if rem := rounds + ell - (p.Round() - start); rem > 0 {
+		p.WaitRounds(rem)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestRRBroadcastCorollary16(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique24", g: graph.Clique(24, 1)},
+		{name: "ringcliques", g: graph.RingOfCliques(4, 6, 3)},
+		{name: "grid5x5", g: graph.Grid(5, 5, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := tt.g.WeightedDiameter()
+			res, err := RRBroadcast(tt.g, d, 0, sim.Config{Seed: 17})
+			if err != nil {
+				t.Fatalf("RRBroadcast: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("RR broadcast with k=D must complete all-to-all dissemination")
+			}
+			// Lemma 15: completion within kRR·Δout + kRR rounds.
+			ks := spannerK(tt.g.N())
+			kRR := (2*ks - 1) * d
+			bound := kRR*res.MaxOutDegree + kRR
+			if res.RoundsToComplete > bound+d {
+				t.Errorf("completed at round %d, Lemma 15 bound %d", res.RoundsToComplete, bound)
+			}
+			// Theorem 14 orientation: out-degree O(log n).
+			if lim := 6 * int(math.Ceil(math.Log2(float64(tt.g.N())))); res.MaxOutDegree > lim {
+				t.Errorf("max out-degree %d, want O(log n) <= %d", res.MaxOutDegree, lim)
+			}
+		})
+	}
+}
+
+func TestRRBroadcastValidation(t *testing.T) {
+	if _, err := RRBroadcast(graph.Clique(4, 1), 0, 0, sim.Config{}); err == nil {
+		t.Error("k=0 should fail")
+	}
+}

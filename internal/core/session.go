@@ -1,0 +1,95 @@
+package core
+
+import (
+	"gossip/internal/bitset"
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// sessionPayload wraps an inner knowledge payload with the per-invocation
+// "heard" set of a DTG local broadcast: the nodes whose start-of-invocation
+// knowledge is provably contained in the carried inner payload. This is
+// Haeupler's per-invocation rumor token — it is what lets a node detect
+// that it received a neighbor's contribution *indirectly* and skip the
+// direct contact, which is where the O(log² n) bound comes from.
+type sessionPayload struct {
+	epoch int // invocation start round; all aligned nodes share it
+	heard *bitset.Set
+	inner sim.Payload
+}
+
+var _ sim.Sizer = sessionPayload{}
+
+// SizeBytes implements sim.Sizer.
+func (p sessionPayload) SizeBytes() int {
+	sz := 8
+	if p.heard != nil {
+		sz += p.heard.SizeBytes()
+	}
+	if s, ok := p.inner.(sim.Sizer); ok {
+		sz += s.SizeBytes()
+	} else if p.inner != nil {
+		sz++
+	}
+	return sz
+}
+
+// dtgSession is the per-invocation view of a DTG local broadcast over an
+// inner knowledge container. Has/Snapshot/Merge operate on the invocation's
+// heard set while the inner knowledge accumulates across invocations.
+type dtgSession struct {
+	epoch int
+	heard *bitset.Set
+	inner knowledge
+}
+
+var _ knowledge = (*dtgSession)(nil)
+
+func newDTGSession(epoch int, self graph.NodeID, capacity int, inner knowledge) *dtgSession {
+	s := &dtgSession{epoch: epoch, heard: bitset.New(capacity), inner: inner}
+	s.heard.Add(self)
+	return s
+}
+
+func (s *dtgSession) Has(id graph.NodeID) bool { return s.heard.Contains(id) }
+
+func (s *dtgSession) Snapshot() sim.Payload {
+	return sessionPayload{epoch: s.epoch, heard: s.heard.Clone(), inner: s.inner.Snapshot()}
+}
+
+func (s *dtgSession) Merge(p sim.Payload) bool {
+	if sp, ok := p.(sessionPayload); ok {
+		if sp.inner != nil {
+			if !s.inner.Merge(sp.inner) {
+				// The wrapped payload belongs to another container; let the
+				// dispatcher keep looking.
+				return false
+			}
+		}
+		if sp.epoch == s.epoch && sp.heard != nil && sp.heard.Cap() == s.heard.Cap() {
+			s.heard.UnionWith(sp.heard)
+		}
+		return true
+	}
+	// Bare inner payloads (from nodes outside a DTG invocation) still feed
+	// the inner knowledge.
+	return s.inner.Merge(p)
+}
+
+func (s *dtgSession) NoteDirect(id graph.NodeID) {
+	if id < s.heard.Cap() {
+		s.heard.Add(id)
+	}
+	s.inner.NoteDirect(id)
+}
+
+func (s *dtgSession) Direct(id graph.NodeID) bool { return s.inner.Direct(id) }
+
+// unwrapSession extracts the inner payload of a sessionPayload, or returns
+// the payload unchanged.
+func unwrapSession(p sim.Payload) sim.Payload {
+	if sp, ok := p.(sessionPayload); ok {
+		return sp.inner
+	}
+	return p
+}

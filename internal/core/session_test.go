@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSessionHeardTracking(t *testing.T) {
+	inner := newRumorKnowledge(8, 0)
+	s := newDTGSession(5, 0, 8, inner)
+	if !s.Has(0) || s.Has(1) {
+		t.Fatal("initial heard set wrong")
+	}
+	s.NoteDirect(1)
+	if !s.Has(1) {
+		t.Error("direct exchange must mark heard")
+	}
+	if !inner.Direct(1) {
+		t.Error("NoteDirect must propagate to inner knowledge")
+	}
+}
+
+func TestSessionMergeSameEpoch(t *testing.T) {
+	a := newDTGSession(5, 0, 8, newRumorKnowledge(8, 0))
+	b := newDTGSession(5, 1, 8, newRumorKnowledge(8, 1))
+	b.NoteDirect(3)
+	if !a.Merge(b.Snapshot()) {
+		t.Fatal("session payload not recognized")
+	}
+	// Heard set transfers: a now heard 1 (b's self) and 3.
+	if !a.Has(1) || !a.Has(3) {
+		t.Error("same-epoch heard set not merged")
+	}
+	// Inner rumors transfer too.
+	if !a.inner.Has(1) {
+		t.Error("inner payload not merged")
+	}
+}
+
+func TestSessionMergeDifferentEpochKeepsInner(t *testing.T) {
+	a := newDTGSession(5, 0, 8, newRumorKnowledge(8, 0))
+	b := newDTGSession(9, 1, 8, newRumorKnowledge(8, 1))
+	b.NoteDirect(3)
+	if !a.Merge(b.Snapshot()) {
+		t.Fatal("cross-epoch session payload must still be consumed")
+	}
+	if a.Has(1) || a.Has(3) {
+		t.Error("cross-epoch heard set leaked")
+	}
+	if !a.inner.Has(1) {
+		t.Error("inner payload from another epoch must still merge")
+	}
+}
+
+func TestSessionMergeBareInnerPayload(t *testing.T) {
+	a := newDTGSession(5, 0, 8, newRumorKnowledge(8, 0))
+	other := newRumorKnowledge(8, 4)
+	if !a.Merge(other.Snapshot()) {
+		t.Fatal("bare rumor payload should delegate to inner")
+	}
+	if !a.inner.Has(4) {
+		t.Error("bare payload not folded into inner knowledge")
+	}
+	if a.Has(4) {
+		t.Error("bare payload must not mark heard")
+	}
+}
+
+func TestSessionMergeForeignInnerRejected(t *testing.T) {
+	// A session wrapping a *status* container must reject rumor payloads so
+	// the dispatcher can route them to the rumor container instead.
+	st := newStatusKnowledge(1, 0, nodeStatus{})
+	s := newDTGSession(5, 0, 8, st)
+	rumor := newRumorKnowledge(8, 2)
+	if s.Merge(rumor.Snapshot()) {
+		t.Error("session over status container consumed a rumor payload")
+	}
+	wrapped := sessionPayload{epoch: 5, heard: nil, inner: rumor.Snapshot()}
+	if s.Merge(wrapped) {
+		t.Error("session consumed a wrapped payload whose inner type mismatches")
+	}
+}
+
+func TestDispatchMergeUnwrapsStaleSessions(t *testing.T) {
+	st := &eidState{rumors: newRumorKnowledge(8, 0)}
+	// No active session: a session-wrapped rumor payload must still reach
+	// the rumor container via the unwrap fallback.
+	sender := newDTGSession(9, 3, 8, newRumorKnowledge(8, 3))
+	k := dispatchMerge(st.containers(), sender.Snapshot())
+	if k == nil {
+		t.Fatal("session payload dropped with no active session")
+	}
+	if !st.rumors.Has(3) {
+		t.Error("unwrapped inner payload not merged into rumor container")
+	}
+}
+
+func TestDispatchMergeNil(t *testing.T) {
+	st := &eidState{rumors: newRumorKnowledge(4, 0)}
+	if k := dispatchMerge(st.containers(), nil); k != nil {
+		t.Error("nil payload must not match any container")
+	}
+}
+
+func TestSessionPayloadSize(t *testing.T) {
+	inner := newRumorKnowledge(64, 0)
+	s := newDTGSession(1, 0, 64, inner)
+	sp, ok := s.Snapshot().(sessionPayload)
+	if !ok {
+		t.Fatal("snapshot type")
+	}
+	// 8 (epoch) + 8 (64-bit heard set) + 8 (64-bit rumor set).
+	if sp.SizeBytes() != 24 {
+		t.Errorf("session payload size = %d, want 24", sp.SizeBytes())
+	}
+}

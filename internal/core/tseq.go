@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// runT executes the recursive schedule of Appendix E:
+//
+//	T(1) = 1-DTG
+//	T(k) = T(k/2) · k-DTG · T(k/2)
+//
+// Every ℓ-DTG element runs for its fixed budget, so all nodes follow the
+// schedule in lockstep. k must be a power of two. After T(k), any two nodes
+// within weighted distance k have exchanged rumors (Lemma 24); executing
+// T(D) solves all-to-all dissemination in O(D log² n log D) rounds
+// (Lemma 25).
+func runT(p *sim.Proc, st *eidState, lat latFunc, k, nHat int) {
+	if k <= 1 {
+		runDTG(p, st, st.rumors, lat, 1, dtgBudget(1, nHat))
+		return
+	}
+	runT(p, st, lat, k/2, nHat)
+	runDTG(p, st, st.rumors, lat, k, dtgBudget(k, nHat))
+	runT(p, st, lat, k/2, nHat)
+}
+
+// tRounds returns the total round budget of T(k): the recurrence
+// T(k) = 2·T(k/2) + budget(k).
+func tRounds(k, nHat int) int {
+	if k <= 1 {
+		return dtgBudget(1, nHat)
+	}
+	return 2*tRounds(k/2, nHat) + dtgBudget(k, nHat)
+}
+
+// runTerminationCheckT is the Path Discovery variant of Algorithm 1: the
+// status broadcast uses the T(k) schedule instead of RR Broadcast, so no
+// spanner (and no bound on n beyond the hint used for budgets) is needed.
+func runTerminationCheckT(p *sim.Proc, st *eidState, lat latFunc, k, nHat, phase int) bool {
+	complete := runDTG(p, st, st.rumors, lat, k, dtgBudget(k, nHat))
+	flag := !complete
+	for _, e := range p.Neighbors() {
+		if !st.rumors.Has(e.To) {
+			flag = true
+			break
+		}
+	}
+	digest := st.rumors.digest()
+
+	st.status = newStatusKnowledge(2*phase, p.ID(), nodeStatus{Digest: digest, Flag: flag})
+	runTStatus(p, st, lat, k, nHat)
+	failed := st.statusConflicts(digest)
+
+	st.status = newStatusKnowledge(2*phase+1, p.ID(), nodeStatus{Digest: digest, Failed: failed})
+	runTStatus(p, st, lat, k, nHat)
+	failed = failed || st.statusConflicts(digest)
+	st.status = nil
+	return !failed
+}
+
+// runTStatus runs the T(k) schedule spreading the node's status table
+// (instead of rumor sets): the same DTG mechanics on a different container.
+func runTStatus(p *sim.Proc, st *eidState, lat latFunc, k, nHat int) {
+	if k <= 1 {
+		runDTG(p, st, st.status, lat, 1, dtgBudget(1, nHat))
+		return
+	}
+	runTStatus(p, st, lat, k/2, nHat)
+	runDTG(p, st, st.status, lat, k, dtgBudget(k, nHat))
+	runTStatus(p, st, lat, k/2, nHat)
+}
+
+// TSequence solves all-to-all dissemination with known latencies and known
+// diameter by executing T(k) for the smallest power of two k >= D
+// (Lemmas 24–25).
+func TSequence(g *graph.Graph, d int, cfg sim.Config) (AllToAllResult, error) {
+	if d < 1 {
+		return AllToAllResult{}, fmt.Errorf("core: T(k) needs D >= 1, got %d", d)
+	}
+	k := 1
+	for k < d {
+		k *= 2
+	}
+	cfg.KnownLatencies = true
+	nw := sim.NewNetwork(g, cfg)
+	states := attachEIDProcs(nw, g, func(p *sim.Proc, st *eidState, lat latFunc) {
+		runT(p, st, lat, k, nwHint(nw, g))
+	})
+	res, err := nw.Run(nil)
+	out := collectAllToAll(res.Metrics, states)
+	out.FinalEstimate = k
+	if err != nil {
+		return out, fmt.Errorf("T(%d) on %v: %w", k, g, err)
+	}
+	return out, nil
+}
+
+// PathDiscovery solves all-to-all dissemination with known latencies and
+// unknown diameter (Algorithm 6): guess-and-double over T(k) with the T-based
+// termination check. It needs no global knowledge beyond the size hint used
+// for DTG budgets, and runs in O(D log² n log D) rounds (Lemma 26).
+func PathDiscovery(g *graph.Graph, cfg sim.Config) (AllToAllResult, error) {
+	cfg.KnownLatencies = true
+	nw := sim.NewNetwork(g, cfg)
+	states := attachEIDProcs(nw, g, func(p *sim.Proc, st *eidState, lat latFunc) {
+		nHat := nwHint(nw, g)
+		k := 1
+		for phase := 0; ; phase++ {
+			runT(p, st, lat, k, nHat)
+			if runTerminationCheckT(p, st, lat, k, nHat, phase) {
+				st.terminatedAt = p.Round()
+				st.finalEstimate = k
+				return
+			}
+			k *= 2
+			if phase >= maxDoubling {
+				st.gaveUp = true
+				return
+			}
+		}
+	})
+	res, err := nw.Run(nil)
+	out := collectAllToAll(res.Metrics, states)
+	for _, st := range states {
+		if st.finalEstimate > out.FinalEstimate {
+			out.FinalEstimate = st.finalEstimate
+		}
+		if st.gaveUp {
+			out.Completed = false
+			err = fmt.Errorf("path discovery on %v: doubling safety valve tripped", g)
+		}
+	}
+	if err != nil {
+		return out, fmt.Errorf("path discovery: %w", err)
+	}
+	return out, nil
+}

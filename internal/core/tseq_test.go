@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestTSequenceKnownDiameter(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique12", g: graph.Clique(12, 1)},
+		{name: "path8-lat2", g: graph.Path(8, 2)},
+		{name: "ringcliques", g: graph.RingOfCliques(3, 4, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := tt.g.WeightedDiameter()
+			res, err := TSequence(tt.g, d, sim.Config{Seed: 21})
+			if err != nil {
+				t.Fatalf("TSequence: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("T(D) did not achieve all-to-all dissemination")
+			}
+			// Lemma 25: O(D log² n log D) rounds, realized as the recursive
+			// budget sum.
+			k := 1
+			for k < d {
+				k *= 2
+			}
+			if res.Metrics.Rounds > tRounds(k, tt.g.N())+2 {
+				t.Errorf("T(%d) took %d rounds, exceeds schedule %d", k, res.Metrics.Rounds, tRounds(k, tt.g.N()))
+			}
+		})
+	}
+}
+
+// TestLemma24PairwiseExchange verifies the induction statement of Lemma 24
+// directly: after executing T(k), any two nodes within weighted distance k
+// hold each other's rumors — for every k in the schedule, on graphs with
+// mixed latencies.
+func TestLemma24PairwiseExchange(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "mixed-gnp", g: graph.RandomLatencies(graph.GNP(14, 0.3, 1, true, 3), 1, 6, 3)},
+		{name: "path-L3", g: graph.Path(9, 3)},
+		{name: "ringcliques", g: graph.RingOfCliques(3, 4, 4)},
+	}
+	for _, tt := range graphs {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, k := range []int{1, 2, 4, 8} {
+				cfg := sim.Config{Seed: 9, KnownLatencies: true}
+				nw := sim.NewNetwork(tt.g, cfg)
+				states := attachEIDProcs(nw, tt.g, func(p *sim.Proc, st *eidState, lat latFunc) {
+					runT(p, st, lat, k, nw.NHint())
+				})
+				if _, err := nw.Run(nil); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				for u := 0; u < tt.g.N(); u++ {
+					dist := tt.g.Distances(u)
+					for v := 0; v < tt.g.N(); v++ {
+						if u == v || dist[v] > k {
+							continue
+						}
+						if !states[u].rumors.Has(v) {
+							t.Errorf("k=%d: node %d (dist %d) missing rumor of %d", k, u, dist[v], v)
+						}
+						if !states[v].rumors.Has(u) {
+							t.Errorf("k=%d: node %d missing rumor of %d (symmetry)", k, v, u)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPathDiscovery(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique10", g: graph.Clique(10, 1)},
+		{name: "dumbbell", g: graph.Dumbbell(5, 3)},
+		{name: "grid3x4", g: graph.Grid(3, 4, 2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := PathDiscovery(tt.g, sim.Config{Seed: 23})
+			if err != nil {
+				t.Fatalf("PathDiscovery: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("Path Discovery did not achieve all-to-all dissemination")
+			}
+			first := res.TerminatedAt[0]
+			for v, r := range res.TerminatedAt {
+				if r != first {
+					t.Errorf("node %d terminated at %d, node 0 at %d", v, r, first)
+				}
+			}
+		})
+	}
+}
+
+func TestDiscoverEIDUnknownLatencies(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{name: "clique10", g: graph.Clique(10, 1)},
+		{name: "path8-lat2", g: graph.Path(8, 2)},
+		{name: "mixed-latencies", g: graph.RandomLatencies(graph.Grid(3, 3, 1), 1, 4, 9)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := DiscoverEID(tt.g, sim.Config{Seed: 29})
+			if err != nil {
+				t.Fatalf("DiscoverEID: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("discover-EID did not achieve all-to-all dissemination")
+			}
+			first := res.TerminatedAt[0]
+			for v, r := range res.TerminatedAt {
+				if r != first {
+					t.Errorf("node %d terminated at %d, node 0 at %d", v, r, first)
+				}
+			}
+		})
+	}
+}
+
+func TestUnifiedPicksWinner(t *testing.T) {
+	// Well-connected graph: push-pull should win.
+	cl := graph.Clique(16, 1)
+	res, err := Unified(cl, 0, true, sim.Config{Seed: 31})
+	if err != nil {
+		t.Fatalf("Unified: %v", err)
+	}
+	if res.Winner != "push-pull" {
+		t.Errorf("on a clique, winner = %q, want push-pull (pp=%d, sp=%d)",
+			res.Winner, res.PushPull.Metrics.Rounds, res.Spanner.Metrics.Rounds)
+	}
+	if res.Rounds != 2*res.PushPull.Metrics.Rounds {
+		t.Errorf("interleaved rounds = %d, want %d", res.Rounds, 2*res.PushPull.Metrics.Rounds)
+	}
+}

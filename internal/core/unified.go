@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// UnifiedResult reports the unified algorithm of Theorem 20: push-pull and
+// the spanner-based algorithm running in parallel, each on alternate rounds.
+type UnifiedResult struct {
+	// Rounds is the completion time of the interleaved execution:
+	// 2 × the faster component's solo time (each component gets every other
+	// round, and completion is whichever finishes first).
+	Rounds   int
+	Winner   string // "push-pull" or "spanner"
+	PushPull BroadcastResult
+	Spanner  AllToAllResult
+}
+
+// Unified runs the combined algorithm of Theorem 20 for single-source
+// broadcast from source: classical push-pull interleaved with the
+// spanner-based algorithm (General EID when latencies are known, the
+// discovery variant otherwise). Deterministic 1:1 interleaving gives each
+// component every other round and leaves its message schedule otherwise
+// untouched, so the interleaved completion time is exactly twice the faster
+// component's solo time; the implementation therefore runs both components
+// solo and reports 2·min, which keeps the components' internal round
+// accounting exact.
+//
+// Time: O(min((D+Δ)·log³ n, (ℓ*/φ*)·log n)) for unknown latencies and
+// O(min(D·log³ n, (ℓ*/φ*)·log n)) for known latencies.
+func Unified(g *graph.Graph, source graph.NodeID, known bool, cfg sim.Config) (UnifiedResult, error) {
+	pp, ppErr := PushPull(g, source, ModePushPull, cfg)
+	var (
+		sp    AllToAllResult
+		spErr error
+	)
+	if known {
+		sp, spErr = GeneralEID(g, cfg)
+	} else {
+		sp, spErr = DiscoverEID(g, cfg)
+	}
+	out := UnifiedResult{PushPull: pp, Spanner: sp}
+	switch {
+	case ppErr == nil && (spErr != nil || pp.Metrics.Rounds <= sp.Metrics.Rounds):
+		out.Winner = "push-pull"
+		out.Rounds = 2 * pp.Metrics.Rounds
+	case spErr == nil:
+		out.Winner = "spanner"
+		out.Rounds = 2 * sp.Metrics.Rounds
+	default:
+		return out, fmt.Errorf("unified: both components failed: push-pull: %v; spanner: %w", ppErr, spErr)
+	}
+	return out, nil
+}

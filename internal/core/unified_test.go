@@ -1,0 +1,67 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestUnifiedKnownLatencies(t *testing.T) {
+	g := graph.RingOfCliques(3, 5, 2)
+	res, err := Unified(g, 0, true, sim.Config{Seed: 9})
+	if err != nil {
+		t.Fatalf("Unified: %v", err)
+	}
+	// Interleaving arithmetic: unified = 2 × the winner's solo rounds.
+	var winnerRounds int
+	switch res.Winner {
+	case "push-pull":
+		winnerRounds = res.PushPull.Metrics.Rounds
+	case "spanner":
+		winnerRounds = res.Spanner.Metrics.Rounds
+	default:
+		t.Fatalf("unexpected winner %q", res.Winner)
+	}
+	if res.Rounds != 2*winnerRounds {
+		t.Errorf("unified rounds = %d, want 2×%d", res.Rounds, winnerRounds)
+	}
+	// The winner must actually be the faster component.
+	if res.Winner == "push-pull" && res.PushPull.Metrics.Rounds > res.Spanner.Metrics.Rounds {
+		t.Error("push-pull declared winner but was slower")
+	}
+	if res.Winner == "spanner" && res.Spanner.Metrics.Rounds > res.PushPull.Metrics.Rounds {
+		t.Error("spanner declared winner but was slower")
+	}
+}
+
+func TestUnifiedUnknownLatencies(t *testing.T) {
+	g := graph.Clique(10, 1)
+	res, err := Unified(g, 0, false, sim.Config{Seed: 9})
+	if err != nil {
+		t.Fatalf("Unified (unknown latencies): %v", err)
+	}
+	if !res.Spanner.Completed {
+		t.Error("discovery component did not complete")
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds reported")
+	}
+}
+
+func TestUnifiedBothComponentsFail(t *testing.T) {
+	// Under a round budget neither component can meet, Unified must report
+	// an error naming both components rather than a bogus winner.
+	g := graph.Dumbbell(6, 40)
+	_, err := Unified(g, 0, true, sim.Config{Seed: 9, MaxRounds: 10})
+	if err == nil {
+		t.Fatal("expected both components to fail under a 10-round budget")
+	}
+	msg := err.Error()
+	for _, want := range []string{"push-pull", "spanner"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %s", msg, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package cut
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+func BenchmarkPhiExact16(b *testing.B) {
+	g := graph.RandomLatencies(graph.GNP(16, 0.4, 1, true, 5), 1, 4, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PhiExact(g, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhiHeuristic256(b *testing.B) {
+	g := graph.RingOfCliques(16, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PhiHeuristic(g, 8, uint64(i)+1)
+	}
+}
+
+func BenchmarkPhiRefined256(b *testing.B) {
+	g := graph.RingOfCliques(16, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PhiRefined(g, 8, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

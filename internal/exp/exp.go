@@ -1,0 +1,199 @@
+// Package exp is the experiment harness that regenerates every quantitative
+// claim of the paper (see DESIGN.md §4 for the experiment index). Each
+// experiment function returns a Table that cmd/experiments prints and that
+// the root bench suite drives; EXPERIMENTS.md records the measured outcomes.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scale selects the experiment size: Quick for benchmarks and smoke runs,
+// Full for the EXPERIMENTS.md tables.
+type Scale int
+
+const (
+	// ScaleQuick runs a reduced parameter sweep (seconds).
+	ScaleQuick Scale = iota + 1
+	// ScaleFull runs the full sweep used in EXPERIMENTS.md.
+	ScaleFull
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, Cols: cols}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = F(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// F formats a float compactly.
+func F(x float64) string {
+	switch {
+	case math.IsInf(x, 0) || math.IsNaN(x):
+		return fmt.Sprintf("%v", x)
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 10:
+		return fmt.Sprintf("%.1f", x)
+	case math.Abs(x) >= 0.01:
+		return fmt.Sprintf("%.3f", x)
+	default:
+		return fmt.Sprintf("%.2e", x)
+	}
+}
+
+// Fprint writes the table in aligned text form.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i := range t.Cols {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+		_ = i
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// TSV writes the table as tab-separated values (header row first), the
+// machine-readable companion to Fprint for downstream plotting.
+func (t *Table) TSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Cols, "\t"))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Fprint(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// Stats summarizes a sample.
+type Stats struct {
+	Mean, Median, Min, Max, Std float64
+	N                           int
+}
+
+// Summarize computes basic statistics of xs.
+func Summarize(xs []float64) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(len(xs))
+	for _, x := range xs {
+		s.Std += (x - s.Mean) * (x - s.Mean)
+	}
+	s.Std = math.Sqrt(s.Std / float64(len(xs)))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// LogLogSlope fits the least-squares slope of log(y) against log(x) — the
+// empirical scaling exponent. Points with non-positive coordinates are
+// skipped.
+func LogLogSlope(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	n := float64(len(lx))
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}

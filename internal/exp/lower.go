@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"gossip/internal/core"
+	"gossip/internal/cut"
+	"gossip/internal/graph"
+	"gossip/internal/guess"
+	"gossip/internal/sim"
+)
+
+// L4Guessing reproduces Lemma 4: the singleton guessing game costs Θ(m)
+// rounds even for the adaptive (near-optimal) player. The table reports the
+// mean round count per m and the ratio rounds/m, which should be roughly
+// constant; the log-log slope of rounds vs m should be ≈ 1.
+func L4Guessing(scale Scale, seed uint64) (*Table, error) {
+	ms := []int{16, 32, 64, 128}
+	trials := 20
+	if scale == ScaleFull {
+		ms = append(ms, 256, 512)
+		trials = 40
+	}
+	t := NewTable("E-L4  Lemma 4: Guessing(2m, |T|=1) costs Θ(m) rounds",
+		"m", "adaptive rounds", "adaptive/m", "random rounds", "random/m")
+	var xs, ys []float64
+	for _, m := range ms {
+		var ad, rd []float64
+		for i := 0; i < trials; i++ {
+			target := graph.SingletonTarget(m, seed+uint64(i))
+			ra, err := guess.Play(m, target, guess.NewAdaptiveStrategy(seed+uint64(i)), 100*m)
+			if err != nil {
+				return nil, fmt.Errorf("L4 adaptive m=%d: %w", m, err)
+			}
+			rr, err := guess.Play(m, target, guess.NewRandomStrategy(seed+uint64(i)), 100*m)
+			if err != nil {
+				return nil, fmt.Errorf("L4 random m=%d: %w", m, err)
+			}
+			if !ra.Solved || !rr.Solved {
+				return nil, fmt.Errorf("L4 m=%d trial %d unsolved", m, i)
+			}
+			ad = append(ad, float64(ra.Rounds))
+			rd = append(rd, float64(rr.Rounds))
+		}
+		sa, sr := Summarize(ad), Summarize(rd)
+		t.Add(m, sa.Mean, sa.Mean/float64(m), sr.Mean, sr.Mean/float64(m))
+		xs = append(xs, float64(m))
+		ys = append(ys, sa.Mean)
+	}
+	t.Note = fmt.Sprintf("log-log slope of adaptive rounds vs m = %.2f (Lemma 4 predicts 1.0)", LogLogSlope(xs, ys))
+	return t, nil
+}
+
+// L5GuessingRandomP reproduces Lemma 5: against Random_p targets the
+// adaptive player pays Θ(1/p) rounds while the oblivious random player (the
+// push-pull analogue) pays Θ(log m / p).
+func L5GuessingRandomP(scale Scale, seed uint64) (*Table, error) {
+	m := 128
+	ps := []float64{0.16, 0.08, 0.04}
+	trials := 10
+	if scale == ScaleFull {
+		m = 256
+		ps = append(ps, 0.02)
+		trials = 20
+	}
+	t := NewTable("E-L5  Lemma 5: Guessing(2m, Random_p) round complexity",
+		"p", "adaptive rounds", "adaptive·p", "random rounds", "random·p", "random·p/ln m")
+	lnm := math.Log(float64(m))
+	for _, p := range ps {
+		var ad, rd []float64
+		for i := 0; i < trials; i++ {
+			target := graph.RandomTarget(m, p, seed+uint64(i))
+			ra, err := guess.Play(m, target, guess.NewAdaptiveStrategy(seed+uint64(i)), int(2000/p))
+			if err != nil {
+				return nil, fmt.Errorf("L5 adaptive p=%g: %w", p, err)
+			}
+			rr, err := guess.Play(m, target, guess.NewRandomStrategy(seed+uint64(i)), int(2000/p))
+			if err != nil {
+				return nil, fmt.Errorf("L5 random p=%g: %w", p, err)
+			}
+			if !ra.Solved || !rr.Solved {
+				return nil, fmt.Errorf("L5 p=%g trial %d unsolved", p, i)
+			}
+			ad = append(ad, float64(ra.Rounds))
+			rd = append(rd, float64(rr.Rounds))
+		}
+		sa, sr := Summarize(ad), Summarize(rd)
+		t.Add(p, sa.Mean, sa.Mean*p, sr.Mean, sr.Mean*p, sr.Mean*p/lnm)
+	}
+	t.Note = "adaptive·p and random·p/ln m should each be roughly constant across rows"
+	return t, nil
+}
+
+// T6DeltaLowerBound reproduces Theorem 6: on the gadget network H (O(1)
+// weighted diameter, max degree Θ(Δ)) dissemination costs Ω(Δ) — the hidden
+// fast edge must be found. Both push-pull and flooding pay linearly in Δ.
+func T6DeltaLowerBound(scale Scale, seed uint64) (*Table, error) {
+	deltas := []int{8, 16, 32}
+	trials := 5
+	if scale == ScaleFull {
+		deltas = append(deltas, 64, 128)
+		trials = 10
+	}
+	t := NewTable("E-T6  Theorem 6: Ω(Δ) on the gadget network H",
+		"Δ", "n", "D", "push-pull rounds", "pp/Δ", "flood rounds", "flood/Δ")
+	var xs, ys []float64
+	for _, delta := range deltas {
+		n := 2*delta + 8
+		var pps, fls []float64
+		var d int
+		for i := 0; i < trials; i++ {
+			h, err := graph.NewTheoremSixNetwork(n, delta, seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("T6 Δ=%d: %w", delta, err)
+			}
+			if i == 0 {
+				d = h.G.WeightedDiameter()
+			}
+			pp, err := core.PushPull(h.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("T6 push-pull Δ=%d: %w", delta, err)
+			}
+			fl, err := core.Flood(h.G, 0, sim.Config{Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("T6 flood Δ=%d: %w", delta, err)
+			}
+			pps = append(pps, float64(pp.Metrics.Rounds))
+			fls = append(fls, float64(fl.Metrics.Rounds))
+		}
+		sp, sf := Summarize(pps), Summarize(fls)
+		t.Add(delta, n, d, sp.Mean, sp.Mean/float64(delta), sf.Mean, sf.Mean/float64(delta))
+		xs = append(xs, float64(delta))
+		ys = append(ys, sp.Mean)
+	}
+	// Fit the asymptotic regime (larger Δ): small instances are dominated by
+	// the constant detour through latency-n edges.
+	half := len(xs) / 2
+	t.Note = fmt.Sprintf("log-log slope of push-pull rounds vs Δ (upper half) = %.2f; flood/Δ constant — "+
+		"both pay Ω(Δ) despite D=O(1) (Theorem 6)", LogLogSlope(xs[half:], ys[half:]))
+	return t, nil
+}
+
+// T7Conductance reproduces Theorem 7: on G(Random_φ) with fast latency ℓ,
+// local broadcast by push-pull costs Ω(log n/φ + ℓ) while the network has
+// weighted diameter O(ℓ) and weighted conductance Θ(φ).
+func T7Conductance(scale Scale, seed uint64) (*Table, error) {
+	n := 48
+	phis := []float64{0.3, 0.15, 0.08}
+	ell := 4
+	trials := 5
+	if scale == ScaleFull {
+		// Theorem 7 requires φ >= Ω(log n/n) ≈ 0.05 at n=96 for the whp
+		// diameter claim; stay just above it.
+		n = 96
+		phis = append(phis, 0.05)
+		trials = 10
+	}
+	t := NewTable("E-T7  Theorem 7: Ω(log n/φ + ℓ) on G(Random_φ), D = O(ℓ)",
+		"φ", "2n", "D (O(ℓ), ℓ="+fmt.Sprint(ell)+")", "measured φ_ℓ", "push-pull rounds", "rounds·φ/ln n")
+	lnn := math.Log(float64(2 * n))
+	for _, phi := range phis {
+		var rounds []float64
+		var d int
+		var measured float64
+		for i := 0; i < trials; i++ {
+			tn, err := graph.NewTheoremSevenNetwork(n, phi, ell, seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("T7 φ=%g: %w", phi, err)
+			}
+			if i == 0 {
+				d = tn.G.WeightedDiameterApprox()
+				measured = cut.PhiHeuristic(tn.G, ell, seed)
+			}
+			pp, err := core.PushPull(tn.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("T7 push-pull φ=%g: %w", phi, err)
+			}
+			rounds = append(rounds, float64(pp.Metrics.Rounds))
+		}
+		s := Summarize(rounds)
+		t.Add(phi, 2*n, d, measured, s.Mean, s.Mean*phi/lnn)
+	}
+	t.Note = "rounds·φ/ln n roughly constant => rounds = Θ(log n/φ); measured φ_ℓ tracks the construction's φ"
+	return t, nil
+}
+
+// T8TradeOff reproduces Theorem 8: on the layered ring network, dissemination
+// costs Ω(min(Δ+D, ℓ/φ)). Sweeping the cross-edge latency ℓ shows rounds
+// growing linearly in ℓ until the crossover at ℓ ≈ Θ(Δ), after which finding
+// the hidden fast edges (Ω(Δ) per layer) is the cheaper strategy and the
+// curve plateaus.
+func T8TradeOff(scale Scale, seed uint64) (*Table, error) {
+	n, alpha := 32, 0.25
+	ells := []int{1, 2, 4, 8, 16, 32}
+	trials := 5
+	if scale == ScaleFull {
+		n, alpha = 64, 0.25
+		ells = []int{1, 2, 4, 8, 16, 32, 64, 128}
+		trials = 8
+	}
+	t := NewTable("E-T8  Theorem 8: Ω(min(Δ+D, ℓ/φ)) trade-off on the layered ring",
+		"ℓ", "nodes", "Δ", "D", "push-pull rounds", "flood rounds", "min(Δ+D, ℓ/α)")
+	for _, ell := range ells {
+		var pps, fls []float64
+		var deg, d, nodes int
+		for i := 0; i < trials; i++ {
+			rn, err := graph.NewRingNetwork(n, alpha, ell, seed+uint64(i))
+			if err != nil {
+				return nil, fmt.Errorf("T8 ℓ=%d: %w", ell, err)
+			}
+			if i == 0 {
+				deg = rn.G.MaxDegree()
+				nodes = rn.G.N()
+				d = rn.K / 2
+			}
+			pp, err := core.PushPull(rn.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("T8 push-pull ℓ=%d: %w", ell, err)
+			}
+			fl, err := core.Flood(rn.G, 0, sim.Config{Seed: seed + uint64(i)})
+			if err != nil {
+				return nil, fmt.Errorf("T8 flood ℓ=%d: %w", ell, err)
+			}
+			pps = append(pps, float64(pp.Metrics.Rounds))
+			fls = append(fls, float64(fl.Metrics.Rounds))
+		}
+		bound := float64(deg + d)
+		if alt := float64(ell) / alpha; alt < bound {
+			bound = alt
+		}
+		t.Add(ell, nodes, deg, d, Summarize(pps).Mean, Summarize(fls).Mean, bound)
+	}
+	t.Note = "rounds grow with ℓ then plateau near the Δ+D regime — the min(Δ+D, ℓ/φ) crossover"
+	return t, nil
+}
+
+// L9RingConductance reproduces Lemmas 9–11: on the Theorem 8 ring network,
+// the half cut C has φ_ℓ(C) = α (Lemma 9), the graph conductance is Θ(α)
+// (Lemma 10), and the critical latency is ℓ (Lemma 11).
+func L9RingConductance(scale Scale, seed uint64) (*Table, error) {
+	type cfg struct {
+		n     int
+		alpha float64
+		ell   int
+	}
+	cfgs := []cfg{{n: 32, alpha: 0.25, ell: 4}, {n: 64, alpha: 0.125, ell: 4}}
+	if scale == ScaleFull {
+		cfgs = append(cfgs, cfg{n: 64, alpha: 0.25, ell: 8}, cfg{n: 128, alpha: 0.125, ell: 8})
+	}
+	t := NewTable("E-L9/L10/L11  Ring network conductance: φ_ℓ(C)=α, φ_ℓ=Θ(α), ℓ*=ℓ",
+		"α", "ℓ", "nodes", "φ_ℓ(C) (Lemma 9 ≈ α)", "heuristic φ_ℓ (Θ(α))", "ℓ* (Lemma 11 = ℓ)")
+	for _, c := range cfgs {
+		rn, err := graph.NewRingNetwork(c.n, c.alpha, c.ell, seed)
+		if err != nil {
+			return nil, fmt.Errorf("L9 α=%g: %w", c.alpha, err)
+		}
+		phiCut, err := cut.PhiCut(rn.G, rn.HalfCut(), c.ell)
+		if err != nil {
+			return nil, fmt.Errorf("L9 cut: %w", err)
+		}
+		heur := cut.PhiHeuristic(rn.G, c.ell, seed)
+		wc, err := cut.WeightedConductance(rn.G, seed)
+		if err != nil {
+			return nil, fmt.Errorf("L11: %w", err)
+		}
+		t.Add(c.alpha, c.ell, rn.G.N(), phiCut, heur, wc.EllStar)
+	}
+	return t, nil
+}

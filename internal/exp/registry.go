@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func is an experiment entry point.
+type Func func(scale Scale, seed uint64) (*Table, error)
+
+// Registry maps experiment IDs (DESIGN.md §4) to their implementations.
+var Registry = map[string]Func{
+	"L4":           L4Guessing,
+	"L5":           L5GuessingRandomP,
+	"T6":           T6DeltaLowerBound,
+	"T7":           T7Conductance,
+	"T8":           T8TradeOff,
+	"L9":           L9RingConductance,
+	"T12":          T12PushPull,
+	"T14":          T14Spanner,
+	"L15":          L15RRBroadcast,
+	"L17":          L17EID,
+	"T19":          T19GeneralEID,
+	"T20":          T20Unified,
+	"L24":          L24PathDiscovery,
+	"DISC":         DiscoveryEID,
+	"ABL-DELIVERY": AblationDelivery,
+	"ABL-PUSHONLY": AblationPushOnly,
+	"ABL-SPANNERK": AblationSpannerK,
+	"FAULT":        FaultTolerance,
+	"MSG":          MessageComplexity,
+	"L3":           L3Reduction,
+	"CONG":         Congestion,
+	"CURVE":        InformedCurve,
+	"ABL-TREE":     AblationTreeVsSpanner,
+	"ABL-LB":       AblationLocalBroadcast,
+	"ABL-BIAS":     AblationBiasedSelection,
+	"LOAD":         LoadBalance,
+	"F1":           Figure1,
+	"F2":           Figure2,
+	"SOCIAL":       SocialNetworks,
+}
+
+// IDs returns the registered experiment IDs in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, scale Scale, seed uint64) (*Table, error) {
+	fn, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return fn(scale, seed)
+}

@@ -1,0 +1,260 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shape checks encode each experiment's expected qualitative outcome — the
+// "verdict" column of EXPERIMENTS.md — as executable assertions over the
+// produced table, so the reproduction itself is regression-tested. They are
+// deliberately loose (factor-level, not constant-level): the claims are
+// asymptotic shapes.
+
+// VerifyShape checks the table of the given experiment against its expected
+// shape; experiments without a registered shape return nil.
+func VerifyShape(id string, t *Table) error {
+	fn, ok := shapeChecks[id]
+	if !ok {
+		return nil
+	}
+	if err := fn(t); err != nil {
+		return fmt.Errorf("experiment %s shape: %w", id, err)
+	}
+	return nil
+}
+
+var shapeChecks = map[string]func(*Table) error{
+	"L4":   shapeL4,
+	"L5":   shapeL5,
+	"T6":   shapeT6,
+	"T7":   shapeT7,
+	"T8":   shapeT8,
+	"T12":  shapeBoundedRatio("rounds/driver", 1.0),
+	"T14":  shapeT14,
+	"L15":  shapeBoundedRatio("done/bound", 1.0),
+	"L17":  shapeL17,
+	"T19":  shapeAllTrue("same-round termination"),
+	"L24":  shapeAllTrue("same-round term"),
+	"L3":   shapeAllTrue("game <= gossip"),
+	"CONG": shapeCong,
+	"MSG":  shapeMsg,
+}
+
+// cell returns the value at (row, colName).
+func cell(t *Table, row int, colName string) (string, error) {
+	for i, c := range t.Cols {
+		if strings.Contains(c, colName) {
+			if row >= len(t.Rows) || i >= len(t.Rows[row]) {
+				return "", fmt.Errorf("cell (%d, %q) out of range", row, colName)
+			}
+			return t.Rows[row][i], nil
+		}
+	}
+	return "", fmt.Errorf("no column containing %q (have %v)", colName, t.Cols)
+}
+
+func cellFloat(t *Table, row int, colName string) (float64, error) {
+	s, err := cell(t, row, colName)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell (%d, %q) = %q not numeric: %w", row, colName, s, err)
+	}
+	return v, nil
+}
+
+// noteSlope extracts the "slope ... = X" figure from a table note.
+func noteSlope(t *Table) (float64, error) {
+	idx := strings.Index(t.Note, "= ")
+	if idx < 0 {
+		return 0, fmt.Errorf("note has no slope figure: %q", t.Note)
+	}
+	rest := t.Note[idx+2:]
+	if end := strings.IndexAny(rest, " ("); end > 0 {
+		rest = rest[:end]
+	}
+	return strconv.ParseFloat(rest, 64)
+}
+
+func shapeL4(t *Table) error {
+	slope, err := noteSlope(t)
+	if err != nil {
+		return err
+	}
+	if slope < 0.75 || slope > 1.35 {
+		return fmt.Errorf("adaptive rounds vs m slope %.2f outside [0.75, 1.35] (Lemma 4 predicts 1)", slope)
+	}
+	return nil
+}
+
+func shapeL5(t *Table) error {
+	// adaptive·p roughly constant: max/min <= 3 across rows.
+	var vals []float64
+	for r := range t.Rows {
+		v, err := cellFloat(t, r, "adaptive·p")
+		if err != nil {
+			return err
+		}
+		vals = append(vals, v)
+	}
+	s := Summarize(vals)
+	if s.Min <= 0 || s.Max/s.Min > 3 {
+		return fmt.Errorf("adaptive·p varies too much: %v", vals)
+	}
+	// random strategy pays a growing factor over adaptive (the log m law).
+	firstAd, _ := cellFloat(t, 0, "adaptive rounds")
+	firstRd, _ := cellFloat(t, 0, "random rounds")
+	lastAd, _ := cellFloat(t, len(t.Rows)-1, "adaptive rounds")
+	lastRd, _ := cellFloat(t, len(t.Rows)-1, "random rounds")
+	if lastRd/lastAd < firstRd/firstAd {
+		return fmt.Errorf("random/adaptive ratio should grow as p shrinks: %.2f -> %.2f",
+			firstRd/firstAd, lastRd/lastAd)
+	}
+	return nil
+}
+
+func shapeT6(t *Table) error {
+	// D stays bounded while rounds grow: last-row push-pull rounds must
+	// exceed first-row by at least the Δ growth factor / 4.
+	firstD, err := cellFloat(t, 0, "Δ")
+	if err != nil {
+		return err
+	}
+	lastD, _ := cellFloat(t, len(t.Rows)-1, "Δ")
+	firstR, _ := cellFloat(t, 0, "push-pull rounds")
+	lastR, _ := cellFloat(t, len(t.Rows)-1, "push-pull rounds")
+	if growth, want := lastR/firstR, (lastD/firstD)/4; growth < want {
+		return fmt.Errorf("rounds grew only %.1fx over a %.0fx Δ range", growth, lastD/firstD)
+	}
+	return nil
+}
+
+func shapeT7(t *Table) error {
+	// rounds·φ/ln n roughly constant: max/min <= 3.
+	var vals []float64
+	for r := range t.Rows {
+		v, err := cellFloat(t, r, "rounds·φ/ln n")
+		if err != nil {
+			return err
+		}
+		vals = append(vals, v)
+	}
+	s := Summarize(vals)
+	if s.Min <= 0 || s.Max/s.Min > 3 {
+		return fmt.Errorf("rounds·φ/ln n varies too much: %v", vals)
+	}
+	return nil
+}
+
+func shapeT8(t *Table) error {
+	// Rounds grow from the first to the mid rows (ℓ/φ regime), and the
+	// final/penultimate growth rate flattens relative to ℓ doubling.
+	n := len(t.Rows)
+	if n < 4 {
+		return fmt.Errorf("need >= 4 rows, have %d", n)
+	}
+	first, _ := cellFloat(t, 0, "push-pull rounds")
+	mid, _ := cellFloat(t, n/2, "push-pull rounds")
+	last, _ := cellFloat(t, n-1, "push-pull rounds")
+	prev, _ := cellFloat(t, n-2, "push-pull rounds")
+	if mid <= first {
+		return fmt.Errorf("no growth in the ℓ/φ regime: %.1f -> %.1f", first, mid)
+	}
+	if last/prev > 1.9 {
+		return fmt.Errorf("no flattening at large ℓ: final step grew %.2fx (ℓ doubled)", last/prev)
+	}
+	return nil
+}
+
+func shapeT14(t *Table) error {
+	for r := range t.Rows {
+		st, err := cellFloat(t, r, "stretch")
+		if err != nil {
+			return err
+		}
+		bound, err := cellFloat(t, r, "2k-1")
+		if err != nil {
+			return err
+		}
+		if st > bound {
+			return fmt.Errorf("row %d: stretch %.1f exceeds 2k-1 = %.0f", r, st, bound)
+		}
+	}
+	return nil
+}
+
+func shapeL17(t *Table) error {
+	// rounds/(D·log³n) bounded: last <= 2 × first.
+	first, err := cellFloat(t, 0, "rounds/(D·log³n)")
+	if err != nil {
+		return err
+	}
+	last, _ := cellFloat(t, len(t.Rows)-1, "rounds/(D·log³n)")
+	if last > 2*first {
+		return fmt.Errorf("rounds/driver grew %.1f -> %.1f: super-linear in D·log³n", first, last)
+	}
+	return nil
+}
+
+func shapeCong(t *Table) error {
+	var vals []float64
+	for r := range t.Rows {
+		v, err := cellFloat(t, r, "bounded/n")
+		if err != nil {
+			return err
+		}
+		vals = append(vals, v)
+	}
+	s := Summarize(vals)
+	if s.Min < 0.5 || s.Max > 2 {
+		return fmt.Errorf("bounded/n outside [0.5, 2]: %v (should be Θ(n))", vals)
+	}
+	return nil
+}
+
+func shapeMsg(t *Table) error {
+	for r := range t.Rows {
+		ratio, err := cellFloat(t, r, "EID/anti-entropy")
+		if err != nil {
+			return err
+		}
+		if ratio < 10 {
+			return fmt.Errorf("row %d: EID/anti-entropy byte ratio %.1f < 10", r, ratio)
+		}
+	}
+	return nil
+}
+
+func shapeBoundedRatio(col string, bound float64) func(*Table) error {
+	return func(t *Table) error {
+		for r := range t.Rows {
+			v, err := cellFloat(t, r, col)
+			if err != nil {
+				return err
+			}
+			if v > bound {
+				return fmt.Errorf("row %d: %s = %.3f exceeds %.2f", r, col, v, bound)
+			}
+		}
+		return nil
+	}
+}
+
+func shapeAllTrue(col string) func(*Table) error {
+	return func(t *Table) error {
+		for r := range t.Rows {
+			v, err := cell(t, r, col)
+			if err != nil {
+				return err
+			}
+			if v != "true" {
+				return fmt.Errorf("row %d: %s = %q, want true", r, col, v)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShapesQuick runs every experiment that has a registered shape check at
+// quick scale and asserts the paper-claim shape holds — the reproduction as
+// a regression test.
+func TestShapesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running shape checks")
+	}
+	for id := range shapeChecks {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tb, err := Run(id, ScaleQuick, 1)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := VerifyShape(id, tb); err != nil {
+				t.Errorf("%v\n%s", err, tb)
+			}
+		})
+	}
+}
+
+func TestVerifyShapeUnknownIsNil(t *testing.T) {
+	if err := VerifyShape("NOPE", NewTable("x")); err != nil {
+		t.Errorf("unknown id should pass: %v", err)
+	}
+}
+
+func TestCellHelpers(t *testing.T) {
+	tb := NewTable("x", "alpha", "beta rounds")
+	tb.Add("1.5", "oops")
+	if v, err := cellFloat(tb, 0, "alpha"); err != nil || v != 1.5 {
+		t.Errorf("cellFloat = %v, %v", v, err)
+	}
+	if _, err := cellFloat(tb, 0, "beta"); err == nil {
+		t.Error("non-numeric cell should fail")
+	}
+	if _, err := cell(tb, 0, "gamma"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := cell(tb, 5, "alpha"); err == nil {
+		t.Error("row out of range should fail")
+	}
+}
+
+func TestNoteSlope(t *testing.T) {
+	tb := NewTable("x")
+	tb.Note = "log-log slope of adaptive rounds vs m = 1.01 (Lemma 4 predicts 1.0)"
+	v, err := noteSlope(tb)
+	if err != nil || v != 1.01 {
+		t.Errorf("noteSlope = %v, %v", v, err)
+	}
+	tb.Note = "no figure here"
+	if _, err := noteSlope(tb); err == nil {
+		t.Error("missing slope should fail")
+	}
+}
+
+func TestShapeBoundedRatioRejects(t *testing.T) {
+	tb := NewTable("x", "done/bound")
+	tb.Add("1.500")
+	err := shapeBoundedRatio("done/bound", 1.0)(tb)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("expected bound violation, got %v", err)
+	}
+}
+
+func TestShapeAllTrueRejects(t *testing.T) {
+	tb := NewTable("x", "same-round termination")
+	tb.Add("false")
+	if err := shapeAllTrue("same-round termination")(tb); err == nil {
+		t.Error("false row should fail")
+	}
+}

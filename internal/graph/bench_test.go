@@ -1,0 +1,36 @@
+package graph
+
+import "testing"
+
+func BenchmarkDijkstra(b *testing.B) {
+	g := RandomLatencies(GNP(512, 0.02, 1, true, 3), 1, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Distances(i % g.N())
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := GNP(512, 0.02, 1, true, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HopDistances(i % g.N())
+	}
+}
+
+func BenchmarkRingNetworkBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRingNetwork(64, 0.25, 8, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGadgetBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		target := RandomTarget(64, 0.1, uint64(i)+1)
+		if _, err := NewGadget(64, target, true, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGadgetStructure verifies the Figure 1 constructions G(P) and G_sym(P).
+func TestGadgetStructure(t *testing.T) {
+	target := []Pair{{A: 1, B: 2}, {A: 0, B: 0}}
+	for _, sym := range []bool{false, true} {
+		gd, err := NewGadget(4, target, sym, 99)
+		if err != nil {
+			t.Fatalf("NewGadget(sym=%v): %v", sym, err)
+		}
+		g := gd.G
+		if g.N() != 8 {
+			t.Fatalf("n = %d, want 8", g.N())
+		}
+		// Clique on L with latency 1.
+		for u := 0; u < 4; u++ {
+			for v := u + 1; v < 4; v++ {
+				if l, ok := g.EdgeLatency(u, v); !ok || l != 1 {
+					t.Errorf("L clique edge (%d,%d) latency=%d ok=%v", u, v, l, ok)
+				}
+			}
+		}
+		// Clique on R only in the symmetric variant.
+		_, rClique := g.EdgeLatency(gd.Right(0), gd.Right(1))
+		if rClique != sym {
+			t.Errorf("sym=%v but R clique present=%v", sym, rClique)
+		}
+		// All m² cross edges present; fast iff in target.
+		fast := map[Pair]bool{}
+		for _, p := range target {
+			fast[p] = true
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				l, ok := g.EdgeLatency(gd.Left(a), gd.Right(b))
+				if !ok {
+					t.Fatalf("missing cross edge (%d,%d)", a, b)
+				}
+				want := 99
+				if fast[Pair{A: a, B: b}] {
+					want = 1
+				}
+				if l != want {
+					t.Errorf("cross edge (%d,%d) latency %d, want %d", a, b, l, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGadgetValidation(t *testing.T) {
+	if _, err := NewGadget(1, nil, false, 5); err == nil {
+		t.Error("m=1 should fail")
+	}
+	if _, err := NewGadget(3, []Pair{{A: 3, B: 0}}, false, 5); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+	if _, err := NewGadget(3, nil, false, 0); err == nil {
+		t.Error("slow latency 0 should fail")
+	}
+}
+
+func TestSingletonAndRandomTargets(t *testing.T) {
+	p := SingletonTarget(16, 7)
+	if len(p) != 1 || p[0].A < 0 || p[0].A >= 16 || p[0].B < 0 || p[0].B >= 16 {
+		t.Errorf("SingletonTarget = %v", p)
+	}
+	tr := RandomTarget(64, 0.25, 7)
+	got := float64(len(tr)) / (64.0 * 64.0)
+	if math.Abs(got-0.25) > 0.05 {
+		t.Errorf("RandomTarget density %g, want ~0.25", got)
+	}
+	// Deterministic for a fixed seed.
+	tr2 := RandomTarget(64, 0.25, 7)
+	if len(tr) != len(tr2) {
+		t.Error("RandomTarget not deterministic")
+	}
+}
+
+func TestTheoremSixNetwork(t *testing.T) {
+	h, err := NewTheoremSixNetwork(64, 16, 3)
+	if err != nil {
+		t.Fatalf("NewTheoremSixNetwork: %v", err)
+	}
+	g := h.G
+	if g.N() != 64 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("H must be connected")
+	}
+	// Max degree Θ(Δ): gadget left nodes have Δ-1 clique + Δ cross (+1 attach).
+	if d := g.MaxDegree(); d < 16 || d > 64 {
+		t.Errorf("Δ = %d, want Θ(16) and < n", d)
+	}
+	// Weighted diameter O(1)-ish: everything reachable through latency-1
+	// clique edges and the single fast cross edge... the fast edge keeps the
+	// right side close to the left: D <= slow latency.
+	if d := g.WeightedDiameter(); d > 64 {
+		t.Errorf("weighted diameter = %d, too large", d)
+	}
+	if _, err := NewTheoremSixNetwork(10, 6, 1); err == nil {
+		t.Error("2Δ > n should fail")
+	}
+}
+
+func TestTheoremSevenNetwork(t *testing.T) {
+	n, phi, ell := 64, 0.2, 4
+	tn, err := NewTheoremSevenNetwork(n, phi, ell, 11)
+	if err != nil {
+		t.Fatalf("NewTheoremSevenNetwork: %v", err)
+	}
+	g := tn.G
+	if g.N() != 2*n {
+		t.Fatalf("n = %d, want %d", g.N(), 2*n)
+	}
+	// Fast cross edges have latency ℓ, slow ones 2n, cliques 1.
+	fast, slow := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Latency {
+		case ell:
+			fast++
+		case 2 * n:
+			slow++
+		case 1:
+		default:
+			t.Fatalf("unexpected latency %d", e.Latency)
+		}
+	}
+	if fast+slow != n*n {
+		t.Errorf("cross edges = %d, want %d", fast+slow, n*n)
+	}
+	density := float64(fast) / float64(n*n)
+	if math.Abs(density-phi) > 0.08 {
+		t.Errorf("fast density %g, want ~%g", density, phi)
+	}
+	// Theorem 7: weighted diameter O(ℓ) whp.
+	if d := g.WeightedDiameter(); d > 4*ell {
+		t.Errorf("weighted diameter %d, want O(ℓ)=O(%d)", d, ell)
+	}
+	if _, err := NewTheoremSevenNetwork(8, 0.9, 1, 1); err == nil {
+		t.Error("φ > 1/2 should fail")
+	}
+}
+
+// TestRingNetworkStructure verifies Figure 2 and Observation 23.
+func TestRingNetworkStructure(t *testing.T) {
+	n, alpha, ell := 128, 0.125, 8
+	rn, err := NewRingNetwork(n, alpha, ell, 5)
+	if err != nil {
+		t.Fatalf("NewRingNetwork: %v", err)
+	}
+	g := rn.G
+	if g.N() != rn.K*rn.S {
+		t.Fatalf("n = %d, want k·s = %d", g.N(), rn.K*rn.S)
+	}
+	// Observation 23: G is (3s-1)-regular.
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 3*rn.S-1 {
+			t.Fatalf("node %d degree %d, want %d (Observation 23)", u, g.Degree(u), 3*rn.S-1)
+		}
+	}
+	// One fast cross edge per layer pair.
+	if len(rn.Fast) != rn.K {
+		t.Errorf("fast edges = %d, want k=%d", len(rn.Fast), rn.K)
+	}
+	for _, fe := range rn.Fast {
+		if l, ok := g.EdgeLatency(fe.U, fe.V); !ok || l != 1 {
+			t.Errorf("fast edge (%d,%d) latency %d", fe.U, fe.V, l)
+		}
+	}
+	// Weighted diameter Θ(k/2): each layer pair bridged by a latency-1 edge,
+	// cliques internal latency 1 → D ≈ k (within constant factors).
+	d := g.WeightedDiameter()
+	if d < rn.K/2-1 || d > 3*rn.K {
+		t.Errorf("weighted diameter %d, want Θ(k/2) with k=%d", d, rn.K)
+	}
+	// D = Θ(1/α): paper shows 2/(3α) < D <= 1/α up to rounding.
+	if float64(d) > 3.0/alpha || float64(d) < 0.3/alpha {
+		t.Errorf("D=%d outside Θ(1/α)=Θ(%g)", d, 1/alpha)
+	}
+}
+
+func TestRingNetworkHalfCut(t *testing.T) {
+	rn, err := NewRingNetwork(64, 0.25, 4, 9)
+	if err != nil {
+		t.Fatalf("NewRingNetwork: %v", err)
+	}
+	c := rn.HalfCut()
+	if len(c) != (rn.K/2)*rn.S {
+		t.Errorf("|C| = %d, want %d", len(c), (rn.K/2)*rn.S)
+	}
+	// No intra-layer clique edge crosses the cut.
+	in := make(map[NodeID]bool, len(c))
+	for _, u := range c {
+		in[u] = true
+	}
+	for _, e := range rn.G.Edges() {
+		if e.Latency == 1 && in[e.U] != in[e.V] {
+			// Only fast cross edges (between layers) may cross; clique edges
+			// must not. Identify layer of endpoints.
+			lu, lv := e.U/rn.S, e.V/rn.S
+			if lu == lv {
+				t.Fatalf("clique edge (%d,%d) crosses the half cut", e.U, e.V)
+			}
+		}
+	}
+}
+
+func TestRingNetworkValidation(t *testing.T) {
+	if _, err := NewRingNetwork(64, 0, 1, 1); err == nil {
+		t.Error("α=0 should fail")
+	}
+	if _, err := NewRingNetwork(64, 2, 1, 1); err == nil {
+		t.Error("α>1 should fail")
+	}
+	if _, err := NewRingNetwork(64, 0.25, 0, 1); err == nil {
+		t.Error("ℓ=0 should fail")
+	}
+	if _, err := NewRingNetwork(2, 0.1, 1, 1); err == nil {
+		t.Error("nα<1 should fail")
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"gossip/internal/rng"
+)
+
+// Torus returns the rows×cols torus (grid with wraparound), uniform latency.
+// Node (r,c) has ID r*cols+c. Requires rows, cols >= 3 so wrap edges do not
+// duplicate grid edges.
+func Torus(rows, cols, latency int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic(fmt.Sprintf("graph: Torus needs rows, cols >= 3 (got %d,%d)", rows, cols))
+	}
+	g := New(rows * cols)
+	id := func(r, c int) NodeID { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.MustAddEdge(id(r, c), id(r, c+1), latency)
+			g.MustAddEdge(id(r, c), id(r+1, c), latency)
+		}
+	}
+	return g
+}
+
+// Hypercube returns the dim-dimensional hypercube on 2^dim nodes, uniform
+// latency. Node IDs are the binary labels; neighbors differ in one bit.
+func Hypercube(dim, latency int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("graph: Hypercube dimension %d out of [1,20]", dim))
+	}
+	n := 1 << uint(dim)
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < dim; b++ {
+			v := u ^ (1 << uint(b))
+			if u < v {
+				g.MustAddEdge(u, v, latency)
+			}
+		}
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree on n nodes (heap
+// layout: children of i are 2i+1 and 2i+2), uniform latency.
+func CompleteBinaryTree(n, latency int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge((v-1)/2, v, latency)
+	}
+	return g
+}
+
+// RandomRegular returns a connected random d-regular-ish multigraph-free
+// graph via the pairing heuristic with retries: every node ends with degree
+// in [d-1, d+1] and the graph is connected (a path backbone is added if the
+// pairing leaves it disconnected). n·d must be even for an exact pairing.
+func RandomRegular(n, d int, latency int, seed uint64) *Graph {
+	if d < 2 || d >= n {
+		panic(fmt.Sprintf("graph: RandomRegular needs 2 <= d < n (got d=%d, n=%d)", d, n))
+	}
+	r := rng.Stream(seed, 0x7272) // "rr"
+	g := New(n)
+	// Pairing model: n·d half-edge stubs shuffled and paired; invalid pairs
+	// (loops, duplicates) are skipped — degrees may fall one short.
+	stubs := make([]NodeID, 0, n*d)
+	for u := 0; u < n; u++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	for i := 0; i+1 < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v || g.HasEdge(u, v) || g.Degree(u) > d || g.Degree(v) > d {
+			continue
+		}
+		g.MustAddEdge(u, v, latency)
+	}
+	// Guarantee connectivity.
+	for v := 1; v < n; v++ {
+		if g.HopDistances(0)[v] == Inf && !g.HasEdge(v-1, v) {
+			g.MustAddEdge(v-1, v, latency)
+		}
+	}
+	return g
+}
+
+// Caterpillar returns a path of length spine where every spine node carries
+// legs pendant leaves — a high-degree, high-diameter family useful for
+// exercising the D + Δ regime.
+func Caterpillar(spine, legs, latency int) *Graph {
+	if spine < 1 || legs < 0 {
+		panic(fmt.Sprintf("graph: Caterpillar needs spine >= 1, legs >= 0 (got %d,%d)", spine, legs))
+	}
+	g := New(spine * (1 + legs))
+	for v := 1; v < spine; v++ {
+		g.MustAddEdge(v-1, v, latency)
+	}
+	for s := 0; s < spine; s++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(s, spine+s*legs+l, latency)
+		}
+	}
+	return g
+}
+
+// ChungLu returns a power-law random graph: node v gets expected degree
+// w_v ∝ (v+1)^{-1/(β-1)} scaled to the target average degree, and each edge
+// {u,v} appears independently with probability min(1, w_u·w_v/Σw). β in
+// (2, 3] matches the social-network regime of Doerr, Fouz and Friedrich
+// (related work: rumors spread in Θ(log n) there). A path backbone keeps
+// the graph connected.
+func ChungLu(n int, beta, avgDeg float64, latency int, seed uint64) *Graph {
+	if n < 2 || beta <= 2 || avgDeg <= 0 {
+		panic(fmt.Sprintf("graph: ChungLu needs n>=2, β>2, avgDeg>0 (got %d, %g, %g)", n, beta, avgDeg))
+	}
+	w := make([]float64, n)
+	sum := 0.0
+	exp := -1 / (beta - 1)
+	for v := 0; v < n; v++ {
+		w[v] = math.Pow(float64(v+1), exp)
+		sum += w[v]
+	}
+	// Scale weights so the expected average degree is avgDeg.
+	scale := avgDeg * float64(n) / sum
+	total := 0.0
+	for v := range w {
+		w[v] *= scale
+		total += w[v]
+	}
+	r := rng.Stream(seed, 0x636c) // "cl"
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := w[u] * w[v] / total
+			if p > 1 {
+				p = 1
+			}
+			if r.Float64() < p {
+				g.MustAddEdge(u, v, latency)
+			}
+		}
+	}
+	for v := 1; v < n; v++ {
+		if !g.HasEdge(v-1, v) && g.Degree(v) == 0 {
+			g.MustAddEdge(v-1, v, latency)
+		}
+	}
+	// Final connectivity stitch across remaining components.
+	comps := g.Components()
+	for i := 1; i < len(comps); i++ {
+		g.MustAddEdge(comps[0][0], comps[i][0], latency)
+	}
+	return g
+}
+
+// Components returns the connected components as slices of node IDs, in
+// increasing order of their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for start := 0; start < g.n; start++ {
+		if seen[start] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, he := range g.adj[u] {
+				if !seen[he.To] {
+					seen[he.To] = true
+					queue = append(queue, he.To)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int, 8)
+	for u := 0; u < g.n; u++ {
+		h[len(g.adj[u])]++
+	}
+	return h
+}
+
+// InducedSubgraph returns the subgraph induced by the given node set,
+// along with the mapping from new IDs (0..len(set)-1) to original IDs.
+func (g *Graph) InducedSubgraph(set []NodeID) (*Graph, []NodeID) {
+	idx := make(map[NodeID]int, len(set))
+	orig := make([]NodeID, len(set))
+	for i, u := range set {
+		idx[u] = i
+		orig[i] = u
+	}
+	sub := New(len(set))
+	for _, e := range g.edges {
+		iu, okU := idx[e.U]
+		iv, okV := idx[e.V]
+		if okU && okV {
+			sub.MustAddEdge(iu, iv, e.Latency)
+		}
+	}
+	return sub, orig
+}

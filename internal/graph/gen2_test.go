@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5, 2)
+	if g.N() != 20 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Torus is 4-regular with m = 2·rows·cols.
+	if g.M() != 40 {
+		t.Errorf("m = %d, want 40", g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if !g.Connected() {
+		t.Error("torus disconnected")
+	}
+	// Wraparound halves the diameter vs the grid.
+	if gd, td := Grid(4, 5, 2).WeightedDiameter(), g.WeightedDiameter(); td >= gd {
+		t.Errorf("torus diameter %d should beat grid diameter %d", td, gd)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4, 1)
+	if g.N() != 16 || g.M() != 32 {
+		t.Fatalf("n=%d m=%d, want 16/32", g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) != 4 {
+			t.Fatalf("node %d degree %d, want 4", u, g.Degree(u))
+		}
+	}
+	if d := g.HopDiameter(); d != 4 {
+		t.Errorf("hop diameter = %d, want 4", d)
+	}
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(15, 3)
+	if g.M() != 14 {
+		t.Fatalf("m = %d, want n-1", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	if g.Degree(0) != 2 {
+		t.Errorf("root degree %d, want 2", g.Degree(0))
+	}
+	// Depth 3 tree: diameter 2·3·latency.
+	if d := g.WeightedDiameter(); d != 18 {
+		t.Errorf("weighted diameter = %d, want 18", d)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(40, 6, 1, 3)
+	if !g.Connected() {
+		t.Fatal("random regular graph disconnected")
+	}
+	for u := 0; u < g.N(); u++ {
+		if d := g.Degree(u); d < 3 || d > 8 {
+			t.Errorf("node %d degree %d far from target 6", u, d)
+		}
+	}
+	g2 := RandomRegular(40, 6, 1, 3)
+	if g.M() != g2.M() {
+		t.Error("not deterministic for fixed seed")
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(5, 3, 2)
+	if g.N() != 20 {
+		t.Fatalf("n = %d, want 20", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("caterpillar disconnected")
+	}
+	// Interior spine nodes: 2 spine edges + 3 legs = 5.
+	if g.Degree(1) != 5 {
+		t.Errorf("spine degree = %d, want 5", g.Degree(1))
+	}
+	if g.Degree(spineLeaf(5, 3)) != 1 {
+		t.Errorf("leaf degree = %d, want 1", g.Degree(spineLeaf(5, 3)))
+	}
+}
+
+func spineLeaf(spine, legs int) NodeID { return spine } // first leaf of spine node 0
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 2 || len(comps[1]) != 3 || len(comps[2]) != 1 {
+		t.Errorf("component sizes %d/%d/%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5, 1)
+	h := g.DegreeHistogram()
+	if h[4] != 1 || h[1] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Clique(5, 2)
+	sub, orig := g.InducedSubgraph([]NodeID{1, 3, 4})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced n=%d m=%d, want 3/3", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[2] != 4 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	if l, ok := sub.EdgeLatency(0, 1); !ok || l != 2 {
+		t.Errorf("induced edge latency = %d,%v", l, ok)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 4 + int(seed%12)
+		g := GNP(n, 0.2, 1, false, seed)
+		comps := g.Components()
+		seen := make(map[NodeID]bool)
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramSumsToN(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 3 + int(seed%20)
+		g := GNP(n, 0.3, 1, true, seed)
+		total := 0
+		for _, c := range g.DegreeHistogram() {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChungLuPowerLaw(t *testing.T) {
+	g := ChungLu(300, 2.5, 8, 1, 7)
+	if !g.Connected() {
+		t.Fatal("ChungLu graph disconnected")
+	}
+	avg := 2 * float64(g.M()) / float64(g.N())
+	if avg < 3 || avg > 16 {
+		t.Errorf("average degree %g far from target 8", avg)
+	}
+	// Power law: early (heavy) nodes have much higher degree than the tail.
+	headDeg, tailDeg := 0, 0
+	for v := 0; v < 10; v++ {
+		headDeg += g.Degree(v)
+	}
+	for v := g.N() - 10; v < g.N(); v++ {
+		tailDeg += g.Degree(v)
+	}
+	if headDeg < 4*tailDeg {
+		t.Errorf("head degree %d not dominating tail %d (no skew)", headDeg, tailDeg)
+	}
+	// Deterministic.
+	if g2 := ChungLu(300, 2.5, 8, 1, 7); g2.M() != g.M() {
+		t.Error("not deterministic for fixed seed")
+	}
+}
+
+func TestChungLuValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ChungLu(1, 2.5, 4, 1, 1) },
+		func() { ChungLu(10, 2.0, 4, 1, 1) },
+		func() { ChungLu(10, 2.5, 0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}

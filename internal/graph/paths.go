@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf marks an unreachable distance.
+const Inf = math.MaxInt64 / 4
+
+// HopDistances returns BFS hop distances from src (Inf if unreachable).
+func (g *Graph) HopDistances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[u] {
+			if dist[he.To] == Inf {
+				dist[he.To] = dist[u] + 1
+				queue = append(queue, he.To)
+			}
+		}
+	}
+	return dist
+}
+
+// distItem is a priority-queue entry for Dijkstra.
+type distItem struct {
+	node NodeID
+	dist int
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Distances returns Dijkstra latency-weighted distances from src
+// (Inf if unreachable).
+func (g *Graph) Distances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	h := &distHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, he := range g.adj[it.node] {
+			nd := it.dist + he.Latency
+			if nd < dist[he.To] {
+				dist[he.To] = nd
+				heap.Push(h, distItem{node: he.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// DistancesWithin returns latency-weighted distances from src, exploring only
+// nodes at distance <= limit; others are Inf. Used for k-hop/ball gathering.
+func (g *Graph) DistancesWithin(src NodeID, limit int) map[NodeID]int {
+	dist := map[NodeID]int{src: 0}
+	h := &distHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if d, ok := dist[it.node]; ok && it.dist > d {
+			continue
+		}
+		for _, he := range g.adj[it.node] {
+			nd := it.dist + he.Latency
+			if nd > limit {
+				continue
+			}
+			if d, ok := dist[he.To]; !ok || nd < d {
+				dist[he.To] = nd
+				heap.Push(h, distItem{node: he.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	dist := g.HopDistances(0)
+	for _, d := range dist {
+		if d == Inf {
+			return false
+		}
+	}
+	return true
+}
+
+// Eccentricity returns the maximum latency-weighted distance from src, or Inf
+// if some node is unreachable.
+func (g *Graph) Eccentricity(src NodeID) int {
+	ecc := 0
+	for _, d := range g.Distances(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// WeightedDiameter returns D, the maximum latency-weighted distance between
+// any pair of nodes (Inf if disconnected). O(n · m log n).
+func (g *Graph) WeightedDiameter() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		if e := g.Eccentricity(u); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// HopDiameter returns the maximum BFS hop distance between any pair of nodes.
+func (g *Graph) HopDiameter() int {
+	d := 0
+	for u := 0; u < g.n; u++ {
+		for _, h := range g.HopDistances(u) {
+			if h > d {
+				d = h
+			}
+		}
+	}
+	return d
+}
+
+// WeightedDiameterApprox returns a 2-approximation of the weighted diameter
+// using a constant number of Dijkstra sweeps (double sweep from node 0),
+// cheap enough for large graphs. The true diameter is in
+// [result, 2*result].
+func (g *Graph) WeightedDiameterApprox() int {
+	if g.n == 0 {
+		return 0
+	}
+	d0 := g.Distances(0)
+	far, fd := 0, 0
+	for u, d := range d0 {
+		if d != Inf && d > fd {
+			far, fd = u, d
+		}
+	}
+	best := fd
+	for _, d := range g.Distances(far) {
+		if d != Inf && d > best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,29 @@
+package guess
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+func BenchmarkAdaptiveSingleton(b *testing.B) {
+	const m = 128
+	for i := 0; i < b.N; i++ {
+		target := graph.SingletonTarget(m, uint64(i)+1)
+		res, err := Play(m, target, NewAdaptiveStrategy(uint64(i)), 100*m)
+		if err != nil || !res.Solved {
+			b.Fatalf("err=%v solved=%v", err, res.Solved)
+		}
+	}
+}
+
+func BenchmarkRandomP(b *testing.B) {
+	const m = 128
+	for i := 0; i < b.N; i++ {
+		target := graph.RandomTarget(m, 0.1, uint64(i)+1)
+		res, err := Play(m, target, NewRandomStrategy(uint64(i)), 1000*m)
+		if err != nil || !res.Solved {
+			b.Fatalf("err=%v solved=%v", err, res.Solved)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package guess implements the combinatorial guessing game of Section 3.1,
+// Guessing(2m, P): Alice submits up to 2m guesses from A×B per round; the
+// oracle reveals the correct ones and removes from the target set every pair
+// whose B-component was hit (Equation 2). The game ends when the target set
+// is empty.
+//
+// The game underlies the paper's lower bounds: Lemma 4 (singleton targets
+// need Ω(m) rounds), Lemma 5 (Random_p targets need Ω(1/p) rounds in general
+// and Θ(log m / p) rounds for the uniform random strategy that models
+// push-pull).
+package guess
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/rng"
+)
+
+// Feedback is what Alice learns after a round: which of her guesses were in
+// the target set, and which B-components are now fully eliminated.
+type Feedback struct {
+	Round int
+	Hits  []graph.Pair
+	// DoneB[b] is true once b's column has been eliminated from the target.
+	DoneB []bool
+}
+
+// Strategy produces Alice's guesses for one round: at most 2m pairs.
+// The first call has a zero-value Feedback (Round 0, no hits).
+type Strategy interface {
+	Guess(m int, fb Feedback) []graph.Pair
+}
+
+// Result summarizes a play of the game.
+type Result struct {
+	Rounds  int
+	Guesses int
+	Solved  bool
+}
+
+// Play runs the game on target until it is solved or maxRounds elapse.
+func Play(m int, target []graph.Pair, s Strategy, maxRounds int) (Result, error) {
+	if m < 1 {
+		return Result{}, fmt.Errorf("guess: m must be >= 1, got %d", m)
+	}
+	// aliveByB[b] holds the not-yet-removed target pairs in column b.
+	aliveByB := make(map[int]map[int]bool, len(target))
+	for _, p := range target {
+		if p.A < 0 || p.A >= m || p.B < 0 || p.B >= m {
+			return Result{}, fmt.Errorf("guess: target pair %v out of range [0,%d)", p, m)
+		}
+		col := aliveByB[p.B]
+		if col == nil {
+			col = make(map[int]bool)
+			aliveByB[p.B] = col
+		}
+		col[p.A] = true
+	}
+	res := Result{}
+	fb := Feedback{DoneB: make([]bool, m)}
+	if len(aliveByB) == 0 {
+		res.Solved = true
+		return res, nil
+	}
+	for round := 1; round <= maxRounds; round++ {
+		guesses := s.Guess(m, fb)
+		if len(guesses) > 2*m {
+			return Result{}, fmt.Errorf("guess: strategy returned %d > 2m=%d guesses", len(guesses), 2*m)
+		}
+		res.Rounds = round
+		res.Guesses += len(guesses)
+		var hits []graph.Pair
+		for _, g := range guesses {
+			if col, ok := aliveByB[g.B]; ok && col[g.A] {
+				hits = append(hits, g)
+			}
+		}
+		// Equation 2: remove every target pair whose B-component was hit.
+		for _, h := range hits {
+			delete(aliveByB, h.B)
+			fb.DoneB[h.B] = true
+		}
+		fb.Round = round
+		fb.Hits = hits
+		if len(aliveByB) == 0 {
+			res.Solved = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// scriptedStrategy replays a fixed per-round guess schedule.
+type scriptedStrategy struct {
+	rounds [][]graph.Pair
+	next   int
+}
+
+func (s *scriptedStrategy) Guess(m int, _ Feedback) []graph.Pair {
+	if s.next >= len(s.rounds) {
+		return nil
+	}
+	out := s.rounds[s.next]
+	s.next++
+	return out
+}
+
+// PlayScripted replays a fixed schedule of per-round guesses against the
+// oracle — the mechanism of Lemma 3, where Alice derives her guesses from a
+// simulated gossip execution: every activation of a cross edge in round r of
+// the gossip algorithm becomes a round-r guess. The game budget is the
+// script length.
+func PlayScripted(m int, target []graph.Pair, rounds [][]graph.Pair) (Result, error) {
+	return Play(m, target, &scriptedStrategy{rounds: rounds}, max(1, len(rounds)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RandomStrategy models push-pull gossip on the gadget (Lemma 5's second
+// part): each round it guesses, for each a ∈ A, a uniformly random b ∈ B,
+// and for each b ∈ B, a uniformly random a ∈ A — obliviously of feedback.
+type RandomStrategy struct {
+	r *randSource
+}
+
+// NewRandomStrategy returns a deterministic random strategy for the seed.
+func NewRandomStrategy(seed uint64) *RandomStrategy {
+	return &RandomStrategy{r: newRandSource(seed)}
+}
+
+// Guess implements Strategy.
+func (s *RandomStrategy) Guess(m int, _ Feedback) []graph.Pair {
+	out := make([]graph.Pair, 0, 2*m)
+	for a := 0; a < m; a++ {
+		out = append(out, graph.Pair{A: a, B: s.r.intn(m)})
+	}
+	for b := 0; b < m; b++ {
+		out = append(out, graph.Pair{A: s.r.intn(m), B: b})
+	}
+	return out
+}
+
+// AdaptiveStrategy is the natural best-effort adaptive player: it never
+// repeats a guess, skips eliminated columns, and spreads its 2m guesses
+// round-robin over the columns that may still contain targets. Against a
+// singleton target it is within a factor two of optimal, so its round count
+// exhibits the Ω(m) law of Lemma 4; against Random_p it realizes the Θ(1/p)
+// general bound of Lemma 5.
+type AdaptiveStrategy struct {
+	tried [][]int // tried[b] = next untried a cursor, per column, as permutation index
+	perm  [][]int
+	r     *randSource
+}
+
+// NewAdaptiveStrategy returns a deterministic adaptive player.
+func NewAdaptiveStrategy(seed uint64) *AdaptiveStrategy {
+	return &AdaptiveStrategy{r: newRandSource(seed)}
+}
+
+// Guess implements Strategy.
+func (s *AdaptiveStrategy) Guess(m int, fb Feedback) []graph.Pair {
+	if s.perm == nil {
+		s.perm = make([][]int, m)
+		s.tried = make([][]int, m)
+		for b := 0; b < m; b++ {
+			p := make([]int, m)
+			for i := range p {
+				p[i] = i
+			}
+			s.r.shuffle(p)
+			s.perm[b] = p
+			s.tried[b] = []int{0}
+		}
+	}
+	out := make([]graph.Pair, 0, 2*m)
+	for len(out) < 2*m {
+		progressed := false
+		for b := 0; b < m && len(out) < 2*m; b++ {
+			if fb.DoneB != nil && fb.DoneB[b] {
+				continue
+			}
+			cur := &s.tried[b][0]
+			if *cur >= m {
+				continue
+			}
+			out = append(out, graph.Pair{A: s.perm[b][*cur], B: b})
+			*cur++
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// randSource is a tiny deterministic RNG wrapper to keep strategies
+// reproducible without importing math/rand at every call site.
+type randSource struct{ state uint64 }
+
+func newRandSource(seed uint64) *randSource {
+	return &randSource{state: rng.Hash(seed, 0x6777)} // "gw"
+}
+
+func (r *randSource) next() uint64 {
+	r.state = rng.Hash(r.state)
+	return r.state
+}
+
+func (r *randSource) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+func (r *randSource) shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,168 @@
+package guess
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gossip/internal/graph"
+)
+
+func TestPlayEmptyTarget(t *testing.T) {
+	res, err := Play(4, nil, NewRandomStrategy(1), 100)
+	if err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if !res.Solved || res.Rounds != 0 {
+		t.Errorf("empty target should solve instantly: %+v", res)
+	}
+}
+
+func TestPlayValidation(t *testing.T) {
+	if _, err := Play(0, nil, NewRandomStrategy(1), 10); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if _, err := Play(4, []graph.Pair{{A: 4, B: 0}}, NewRandomStrategy(1), 10); err == nil {
+		t.Error("out-of-range target should fail")
+	}
+}
+
+func TestPlayGuessLimitEnforced(t *testing.T) {
+	greedy := strategyFunc(func(m int, fb Feedback) []graph.Pair {
+		out := make([]graph.Pair, 2*m+1)
+		return out
+	})
+	if _, err := Play(4, []graph.Pair{{A: 0, B: 0}}, greedy, 10); err == nil {
+		t.Error("strategies exceeding 2m guesses must be rejected")
+	}
+}
+
+type strategyFunc func(m int, fb Feedback) []graph.Pair
+
+func (f strategyFunc) Guess(m int, fb Feedback) []graph.Pair { return f(m, fb) }
+
+func TestAdaptiveSolvesSingleton(t *testing.T) {
+	const m = 32
+	target := graph.SingletonTarget(m, 5)
+	res, err := Play(m, target, NewAdaptiveStrategy(7), 10*m)
+	if err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if !res.Solved {
+		t.Fatal("adaptive strategy failed to solve singleton game")
+	}
+	// Lemma 4: Ω(m) — and the adaptive strategy needs at most ~m/2 rounds
+	// since it makes 2m fresh guesses per round over m² candidates.
+	if res.Rounds > m {
+		t.Errorf("rounds = %d, want <= m = %d", res.Rounds, m)
+	}
+}
+
+// TestLemma4LinearScaling verifies that singleton games cost Θ(m) rounds for
+// the adaptive (near-optimal) player: doubling m roughly doubles the
+// average round count.
+func TestLemma4LinearScaling(t *testing.T) {
+	avg := func(m int) float64 {
+		const trials = 30
+		total := 0
+		for i := 0; i < trials; i++ {
+			target := graph.SingletonTarget(m, uint64(100+i))
+			res, err := Play(m, target, NewAdaptiveStrategy(uint64(i)), 10*m)
+			if err != nil {
+				t.Fatalf("Play(m=%d): %v", m, err)
+			}
+			if !res.Solved {
+				t.Fatalf("m=%d trial %d unsolved", m, i)
+			}
+			total += res.Rounds
+		}
+		return float64(total) / trials
+	}
+	small, large := avg(32), avg(128)
+	ratio := large / small
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("rounds(128)/rounds(32) = %.2f, want ≈ 4 (linear in m)", ratio)
+	}
+}
+
+// TestLemma5RandomVsAdaptive verifies the Lemma 5 separation on Random_p:
+// the adaptive player needs Θ(1/p) rounds while the oblivious random player
+// (push-pull analogue) needs Θ(log m / p).
+func TestLemma5RandomVsAdaptive(t *testing.T) {
+	const m = 128
+	p := 0.05
+	avgRounds := func(mk func(i int) Strategy) float64 {
+		const trials = 10
+		total := 0
+		for i := 0; i < trials; i++ {
+			target := graph.RandomTarget(m, p, uint64(i))
+			res, err := Play(m, target, mk(i), 200*m)
+			if err != nil {
+				t.Fatalf("Play: %v", err)
+			}
+			if !res.Solved {
+				t.Fatalf("trial %d unsolved", i)
+			}
+			total += res.Rounds
+		}
+		return float64(total) / trials
+	}
+	adaptive := avgRounds(func(i int) Strategy { return NewAdaptiveStrategy(uint64(i)) })
+	random := avgRounds(func(i int) Strategy { return NewRandomStrategy(uint64(i)) })
+	if random < 1.5*adaptive {
+		t.Errorf("random strategy (%.1f rounds) should pay a log m factor over adaptive (%.1f rounds)",
+			random, adaptive)
+	}
+}
+
+func TestRandomStrategySolves(t *testing.T) {
+	const m = 64
+	target := graph.RandomTarget(m, 0.1, 3)
+	res, err := Play(m, target, NewRandomStrategy(9), 100*m)
+	if err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if !res.Solved {
+		t.Error("random strategy did not solve Random_p game within budget")
+	}
+}
+
+func TestEquationTwoColumnElimination(t *testing.T) {
+	// Hitting one pair in column b removes every pair in that column
+	// (Equation 2).
+	target := []graph.Pair{{A: 0, B: 1}, {A: 2, B: 1}, {A: 3, B: 1}}
+	oneShot := strategyFunc(func(m int, fb Feedback) []graph.Pair {
+		return []graph.Pair{{A: 2, B: 1}}
+	})
+	res, err := Play(4, target, oneShot, 5)
+	if err != nil {
+		t.Fatalf("Play: %v", err)
+	}
+	if !res.Solved || res.Rounds != 1 {
+		t.Errorf("column elimination failed: %+v", res)
+	}
+}
+
+func TestQuickAdaptiveAlwaysSolvesWithinBudget(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := 8 + int(seed%24)
+		target := graph.RandomTarget(m, 0.2, seed)
+		res, err := Play(m, target, NewAdaptiveStrategy(seed), 4*m)
+		return err == nil && res.Solved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundsCoverGuesses(t *testing.T) {
+	// Total guesses never exceed 2m per round.
+	f := func(seed uint64) bool {
+		m := 8 + int(seed%16)
+		target := graph.SingletonTarget(m, seed)
+		res, err := Play(m, target, NewAdaptiveStrategy(seed), 10*m)
+		return err == nil && res.Guesses <= 2*m*res.Rounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package rng provides deterministic pseudo-randomness for the whole
+// repository. Two facilities are exposed:
+//
+//   - PRF: a stateless SplitMix64-based pseudo-random function over tuples of
+//     integers, used wherever the paper assumes *public shared randomness*
+//     (Alice's public random bits in the guessing game, and the shared
+//     cluster-sampling coins of the distributed Baswana–Sen spanner). Every
+//     node evaluating the PRF with the same seed sees the same coin.
+//
+//   - Stream: a per-entity random stream (math/rand compatible Source) derived
+//     from a master seed and an entity ID, so simulations are reproducible
+//     regardless of goroutine scheduling or iteration order.
+package rng
+
+import "math/rand"
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+// Generators" (OOPSLA 2014).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash mixes an arbitrary tuple of integers into a single 64-bit value.
+func Hash(vals ...uint64) uint64 {
+	h := uint64(0x51ab_de37_91c0_ffee)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return splitmix64(h)
+}
+
+// Coin returns a deterministic biased coin: true with probability p, computed
+// from the tuple (seed, vals...). All parties that evaluate Coin with the
+// same arguments observe the same outcome — this is the repository's
+// implementation of public shared randomness.
+func Coin(p float64, seed uint64, vals ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := Hash(append([]uint64{seed}, vals...)...)
+	// Use the top 53 bits for a uniform float in [0,1).
+	u := float64(h>>11) / float64(1<<53)
+	return u < p
+}
+
+// Stream returns a deterministic *rand.Rand derived from (seed, id). Distinct
+// ids yield independent-looking streams.
+func Stream(seed uint64, id uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(Hash(seed, id)))) //nolint:gosec // deterministic simulation, not crypto
+}
+
+// New returns a deterministic *rand.Rand for a bare seed.
+func New(seed uint64) *rand.Rand {
+	return Stream(seed, 0)
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+// BenchmarkEngineRounds measures raw engine throughput: n state-machine
+// nodes each initiating every round.
+func BenchmarkEngineRounds(b *testing.B) {
+	g := graph.Clique(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g, Config{Seed: uint64(i) + 1, MaxRounds: 100})
+		for u := 0; u < g.N(); u++ {
+			nw.SetHandler(u, &benchHandler{})
+		}
+		if _, err := nw.Run(func(nw *Network) bool { return nw.Round() >= 50 }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchHandler struct{}
+
+func (h *benchHandler) Start(ctx *Context) {}
+func (h *benchHandler) Tick(ctx *Context) {
+	_, _ = ctx.Initiate(ctx.Rand().Intn(ctx.Degree()), nil)
+}
+func (h *benchHandler) OnRequest(ctx *Context, req Request) Payload { return nil }
+func (h *benchHandler) OnResponse(ctx *Context, resp Response)      {}
+func (h *benchHandler) Done() bool                                  { return false }
+
+// BenchmarkProcRounds measures the coroutine layer's overhead relative to
+// the state-machine path.
+func BenchmarkProcRounds(b *testing.B) {
+	g := graph.Clique(64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(g, Config{Seed: uint64(i) + 1, MaxRounds: 100})
+		for u := 0; u < g.N(); u++ {
+			p := NewProc(func(p *Proc) {
+				for p.Round() < 50 {
+					p.Send(p.Rand().Intn(p.Degree()), nil)
+					p.Yield()
+				}
+			})
+			nw.SetHandler(u, p)
+		}
+		if _, err := nw.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

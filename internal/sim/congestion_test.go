@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+// TestBoundedInDegreeQueues verifies the MaxResponsesPerRound extension: a
+// hub receiving several simultaneous requests answers them one per round in
+// FIFO order, stretching the later responders' round trips.
+func TestBoundedInDegreeQueues(t *testing.T) {
+	const leaves = 4
+	g := graph.Star(leaves+1, 1)
+	nw := NewNetwork(g, Config{Seed: 1, MaxRounds: 60, MaxResponsesPerRound: 1})
+	respAt := make([]int, leaves+1)
+	handlers := make([]*echoHandler, leaves+1)
+	for v := 0; v <= leaves; v++ {
+		h := &echoHandler{initiateAt: -1}
+		if v > 0 {
+			h = &echoHandler{initiateAt: 1, edgeIdx: 0, payload: "probe"}
+		}
+		handlers[v] = h
+		nw.SetHandler(v, h)
+	}
+	_, err := nw.Run(func(nw *Network) bool {
+		done := true
+		for v := 1; v <= leaves; v++ {
+			if len(handlers[v].respRound) > 0 {
+				if respAt[v] == 0 {
+					respAt[v] = handlers[v].respRound[0]
+				}
+			} else {
+				done = false
+			}
+		}
+		return done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All four requests arrive at the hub at round 2; with capacity 1 the
+	// responses complete at rounds 2, 3, 4, 5 (one served per round).
+	got := map[int]int{}
+	for v := 1; v <= leaves; v++ {
+		got[respAt[v]]++
+	}
+	for r := 2; r <= 5; r++ {
+		if got[r] != 1 {
+			t.Errorf("responses per round = %v, want exactly one in each of rounds 2..5", got)
+			break
+		}
+	}
+}
+
+func TestUnboundedInDegreeIsParallel(t *testing.T) {
+	const leaves = 4
+	g := graph.Star(leaves+1, 1)
+	nw := NewNetwork(g, Config{Seed: 1, MaxRounds: 20})
+	handlers := make([]*echoHandler, leaves+1)
+	for v := 0; v <= leaves; v++ {
+		h := &echoHandler{initiateAt: -1}
+		if v > 0 {
+			h = &echoHandler{initiateAt: 1, edgeIdx: 0, payload: "probe"}
+		}
+		handlers[v] = h
+		nw.SetHandler(v, h)
+	}
+	if _, err := nw.Run(func(nw *Network) bool {
+		for v := 1; v <= leaves; v++ {
+			if len(handlers[v].respRound) == 0 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= leaves; v++ {
+		if handlers[v].respRound[0] != 2 {
+			t.Errorf("leaf %d response at round %d, want 2 (unbounded hub)", v, handlers[v].respRound[0])
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gossip/internal/graph"
+)
+
+// ProcFunc is the body of a coroutine protocol. It runs on its own goroutine
+// in strict lockstep with the engine: user code executes only between round
+// barriers, so a ProcFunc may freely share state with its request/response
+// handlers without additional locking.
+type ProcFunc func(p *Proc)
+
+// errProcStopped is the sentinel used to unwind a proc goroutine when the
+// network shuts down before the proc returns. It never escapes this package:
+// the proc runner recovers it.
+type procStopped struct{}
+
+// Proc adapts a sequential ProcFunc to the Handler interface. Protocols like
+// DTG, RR Broadcast and EID are naturally sequential programs with blocking
+// waits; Proc lets them be written that way:
+//
+//	p.Exchange(idx, msg)  // initiate and block until the response returns
+//	p.Send(idx, msg)      // initiate without blocking (non-blocking model)
+//	p.Yield()             // wait one round
+//
+// Incoming requests are answered by the handler installed with
+// HandleRequests, which runs while the proc goroutine is parked.
+type Proc struct {
+	fn         ProcFunc
+	onRequest  func(p *Proc, req Request) Payload
+	onResponse func(p *Proc, resp Response)
+
+	ctx      *Context
+	started  bool
+	finished bool
+
+	stepCh chan struct{} // engine -> proc: run until you park
+	parkCh chan struct{} // proc -> engine: parked (or finished)
+	stopCh chan struct{} // closed on shutdown
+	doneCh chan struct{} // closed when the goroutine exits
+
+	park      parkState
+	blockIDs  map[uint64]bool      // exchange IDs awaited by Exchange
+	arrived   map[uint64]*Response // responses for blocked exchanges
+	nextWake  int
+	awaitedID uint64
+}
+
+type parkKind uint8
+
+const (
+	parkYield parkKind = iota + 1
+	parkWaitRound
+	parkWaitResp
+)
+
+type parkState struct {
+	kind parkKind
+}
+
+// NewProc wraps fn as a coroutine handler.
+func NewProc(fn ProcFunc) *Proc {
+	return &Proc{
+		fn:       fn,
+		stepCh:   make(chan struct{}),
+		parkCh:   make(chan struct{}),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+		blockIDs: make(map[uint64]bool),
+		arrived:  make(map[uint64]*Response),
+	}
+}
+
+// HandleRequests installs the responder: fn is called for every incoming
+// request and returns the response payload. It must be installed before the
+// run starts (typically right after NewProc).
+func (p *Proc) HandleRequests(fn func(p *Proc, req Request) Payload) *Proc {
+	p.onRequest = fn
+	return p
+}
+
+// HandleResponses installs the callback for responses to non-blocking Sends.
+func (p *Proc) HandleResponses(fn func(p *Proc, resp Response)) *Proc {
+	p.onResponse = fn
+	return p
+}
+
+// Start launches the proc goroutine, parked until the first round.
+func (p *Proc) Start(ctx *Context) {
+	p.ctx = ctx
+	p.started = true
+	go func() {
+		defer close(p.doneCh)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procStopped); ok {
+					// Clean shutdown unwind: the engine is blocked in stop()
+					// waiting on doneCh, so this write cannot race with it.
+					p.finished = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		p.waitStep() // park until round 1
+		p.fn(p)
+		// finished must be visible to the engine before it regains control,
+		// or it would tick (and resume) a proc that no longer exists.
+		p.finished = true
+		// Signal the engine that this tick's work is over; the engine is
+		// waiting on parkCh inside resume().
+		p.parkCh <- struct{}{}
+	}()
+}
+
+// Tick resumes the proc goroutine when its park condition is satisfied.
+func (p *Proc) Tick(ctx *Context) {
+	if p.finished {
+		return
+	}
+	switch p.park.kind {
+	case parkYield:
+		p.resume()
+	case parkWaitRound:
+		if ctx.Round() >= p.nextWake {
+			p.resume()
+		}
+	case parkWaitResp:
+		if p.arrived[p.awaitedID] != nil {
+			p.resume()
+		}
+	default:
+		// First tick after Start.
+		p.resume()
+	}
+}
+
+// resume hands control to the proc goroutine and waits until it parks again
+// or finishes. Engine and proc never run concurrently.
+func (p *Proc) resume() {
+	p.stepCh <- struct{}{}
+	<-p.parkCh
+}
+
+// waitStep parks the proc goroutine until the engine resumes it. It panics
+// with procStopped if the network shut down.
+func (p *Proc) waitStep() {
+	select {
+	case <-p.stepCh:
+	case <-p.stopCh:
+		panic(procStopped{})
+	}
+}
+
+// parkAs records the park condition and yields control back to the engine.
+func (p *Proc) parkAs(st parkState) {
+	p.park = st
+	p.parkCh <- struct{}{}
+	p.waitStep()
+}
+
+// OnRequest implements Handler by delegating to the installed responder.
+func (p *Proc) OnRequest(ctx *Context, req Request) Payload {
+	if p.onRequest == nil {
+		return nil
+	}
+	return p.onRequest(p, req)
+}
+
+// OnResponse implements Handler: responses awaited by Exchange are stored for
+// the blocked proc; all others go to the HandleResponses callback.
+func (p *Proc) OnResponse(ctx *Context, resp Response) {
+	// Exchange IDs are not exposed on Response, so blocked exchanges are
+	// matched through the awaited set keyed by the internal exchange ID
+	// recorded at initiation; see Exchange.
+	if id := p.matchBlocked(resp); id != 0 {
+		r := resp
+		p.arrived[id] = &r
+		return
+	}
+	if p.onResponse != nil {
+		p.onResponse(p, resp)
+	}
+}
+
+// matchBlocked finds the blocked exchange this response answers, if any.
+// A response matches when it came back on the same edge index with the same
+// initiation round as a registered blocking exchange.
+func (p *Proc) matchBlocked(resp Response) uint64 {
+	key := blockKey(resp.EdgeIndex, resp.InitiatedAt)
+	if p.blockIDs[key] {
+		delete(p.blockIDs, key)
+		return key
+	}
+	return 0
+}
+
+func blockKey(edgeIdx, round int) uint64 {
+	return uint64(edgeIdx)<<32 | uint64(uint32(round))
+}
+
+// Done implements Handler.
+func (p *Proc) Done() bool { return p.finished }
+
+// stop shuts the proc goroutine down and waits for it to exit. Called by
+// Network.Close with the proc parked.
+func (p *Proc) stop() {
+	if !p.started {
+		return
+	}
+	select {
+	case <-p.doneCh:
+		return
+	default:
+	}
+	close(p.stopCh)
+	<-p.doneCh
+}
+
+// ---- API available to the ProcFunc goroutine ----
+
+// ID returns the node's identifier.
+func (p *Proc) ID() graph.NodeID { return p.ctx.ID() }
+
+// NHint returns the network-size upper bound known to nodes.
+func (p *Proc) NHint() int { return p.ctx.NHint() }
+
+// Round returns the current round.
+func (p *Proc) Round() int { return p.ctx.Round() }
+
+// Degree returns the node's degree.
+func (p *Proc) Degree() int { return p.ctx.Degree() }
+
+// Neighbor returns the idx-th incident edge view.
+func (p *Proc) Neighbor(idx int) EdgeView { return p.ctx.Neighbor(idx) }
+
+// Neighbors returns all incident edge views.
+func (p *Proc) Neighbors() []EdgeView { return p.ctx.Neighbors() }
+
+// Rand returns the node's deterministic random stream.
+func (p *Proc) Rand() *rand.Rand { return p.ctx.Rand() }
+
+// Yield parks the proc until the next round.
+func (p *Proc) Yield() {
+	p.parkAs(parkState{kind: parkYield})
+}
+
+// WaitRounds parks the proc for k rounds (k <= 0 behaves like Yield).
+func (p *Proc) WaitRounds(k int) {
+	if k <= 0 {
+		p.Yield()
+		return
+	}
+	p.nextWake = p.Round() + k
+	p.parkAs(parkState{kind: parkWaitRound})
+}
+
+// Send initiates an exchange on edge idx without blocking for the response
+// (which will be delivered to the HandleResponses callback). If this node
+// already initiated an exchange this round, Send waits for the next round.
+func (p *Proc) Send(idx int, payload Payload) {
+	for {
+		if _, err := p.ctx.Initiate(idx, payload); err == nil {
+			return
+		}
+		p.Yield()
+	}
+}
+
+// Exchange initiates an exchange on edge idx and blocks until its response
+// returns, which takes exactly the edge latency in rounds. Responses to
+// other in-flight Sends are still delivered to HandleResponses while blocked.
+func (p *Proc) Exchange(idx int, payload Payload) Response {
+	var initRound int
+	for {
+		initRound = p.Round()
+		if _, err := p.ctx.Initiate(idx, payload); err == nil {
+			break
+		}
+		p.Yield()
+	}
+	key := blockKey(idx, initRound)
+	if p.blockIDs[key] {
+		// Two blocking exchanges on the same edge in the same round are
+		// impossible (one initiation per round); defend anyway.
+		panic(fmt.Sprintf("sim: duplicate blocking exchange on edge %d round %d", idx, initRound))
+	}
+	p.blockIDs[key] = true
+	p.awaitedID = key
+	p.parkAs(parkState{kind: parkWaitResp})
+	resp := p.arrived[key]
+	delete(p.arrived, key)
+	if resp == nil {
+		panic(fmt.Sprintf("sim: resumed without response on edge %d round %d", idx, initRound))
+	}
+	return *resp
+}

@@ -1,0 +1,519 @@
+// Package sim implements the paper's communication model (Section 1) as a
+// deterministic, round-driven network simulator:
+//
+//   - Nodes communicate over the edges of a latency-weighted graph in
+//     synchronous rounds.
+//   - In each round a node may initiate at most one exchange: it sends a
+//     request to a chosen neighbor and automatically receives a response.
+//     Over an edge of latency ℓ the request arrives after ⌈ℓ/2⌉ rounds and
+//     the response after the remaining ⌊ℓ/2⌋ rounds, so the round trip takes
+//     exactly ℓ rounds, as the model requires.
+//   - Communication is non-blocking: a node may initiate a new exchange every
+//     round even while earlier exchanges are in flight.
+//   - Nodes know the identity of their neighbors and (optionally, Section 5)
+//     the latency of adjacent edges; they learn an edge's latency after
+//     completing an exchange over it.
+//
+// Protocols attach to nodes either as state machines (Handler) or as
+// sequential coroutines (Proc, see proc.go), which the engine drives in
+// lockstep with the round barrier.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gossip/internal/graph"
+	"gossip/internal/rng"
+)
+
+// Payload is a protocol-defined message body. Payloads must be treated as
+// immutable once passed to the engine: the request payload is captured at
+// initiation time and delivered ⌈ℓ/2⌉ rounds later unchanged.
+type Payload interface{}
+
+// Sizer lets payloads report their size for message accounting.
+type Sizer interface{ SizeBytes() int }
+
+// EdgeView is a node's view of one incident edge. Latency is the true edge
+// latency when the network is configured with known latencies, and 0
+// (unknown) otherwise.
+type EdgeView struct {
+	To      graph.NodeID
+	Index   int // index into the node's neighbor list
+	EdgeID  int
+	Latency int
+}
+
+// Response is delivered to the initiator when an exchange completes.
+type Response struct {
+	From        graph.NodeID
+	EdgeIndex   int
+	Payload     Payload
+	Latency     int // the true edge latency, learned by completing the exchange
+	InitiatedAt int
+}
+
+// Request is delivered to the responder when a request arrives.
+type Request struct {
+	From      graph.NodeID
+	EdgeIndex int // index of the edge in the *responder's* neighbor list
+	Payload   Payload
+}
+
+// Handler is the state-machine protocol interface. The engine calls Start
+// once, then every round: first delivery callbacks (OnRequest/OnResponse) for
+// arrivals, then Tick. A handler initiates exchanges via Context.Initiate.
+type Handler interface {
+	Start(ctx *Context)
+	Tick(ctx *Context)
+	OnRequest(ctx *Context, req Request) Payload
+	OnResponse(ctx *Context, resp Response)
+	// Done reports local termination; when every handler is done the run
+	// stops. Handlers that never terminate locally should return false and
+	// rely on the run predicate.
+	Done() bool
+}
+
+// Config controls a Network.
+type Config struct {
+	KnownLatencies bool
+	Seed           uint64
+	MaxRounds      int // 0 means DefaultMaxRounds
+	NHint          int // polynomial upper bound on n known to nodes; 0 = exact n
+	// FullRTTDelivery delivers the request only at t+ℓ (response still at
+	// t+ℓ). This is the "no pipelining" ablation; the default split delivery
+	// (⌈ℓ/2⌉ + ⌊ℓ/2⌋) matches the round-trip semantics of the paper while
+	// letting information flow one-way in ⌈ℓ/2⌉.
+	FullRTTDelivery bool
+	// Crashes schedules node crash failures: Crashes[v] = r makes node v
+	// fail-stop at the beginning of round r. A crashed node no longer ticks,
+	// drops incoming requests without responding (so a blocking exchange
+	// with it never completes), and its in-flight initiations are lost. The
+	// paper's conclusion notes push-pull is robust to such failures while
+	// the spanner-based algorithms are not; this knob is the fault-injection
+	// extension that measures it.
+	Crashes map[graph.NodeID]int
+	// Trace, when non-nil, receives every engine event (initiations,
+	// deliveries, crashes) synchronously.
+	Trace Tracer
+	// MaxResponsesPerRound bounds how many incoming requests a node can
+	// answer per round (0 = unlimited, the paper's base model). Excess
+	// requests queue and are answered in FIFO order in later rounds, so
+	// congestion at a hub stretches effective latencies. This implements the
+	// restricted model raised in the paper's conclusion (Daum, Kuhn, Maus:
+	// rumor spreading with bounded in-degree).
+	MaxResponsesPerRound int
+}
+
+// DefaultMaxRounds bounds runs whose predicate never fires.
+const DefaultMaxRounds = 2_000_000
+
+// ErrMaxRounds reports that the round budget was exhausted before the
+// completion predicate fired.
+var ErrMaxRounds = errors.New("sim: max rounds exceeded")
+
+// ErrStalled reports that no node is active and no event is in flight, yet
+// the completion predicate has not fired.
+var ErrStalled = errors.New("sim: network stalled before completion")
+
+// Metrics aggregates the cost of a run.
+type Metrics struct {
+	Rounds          int
+	Requests        int
+	Responses       int
+	Bytes           int
+	EdgeActivations int
+}
+
+// Messages returns the total message count (requests + responses).
+func (m Metrics) Messages() int { return m.Requests + m.Responses }
+
+// NodeLoad reports one node's share of the traffic.
+type NodeLoad struct {
+	Initiated int // exchanges this node initiated
+	Answered  int // requests this node answered
+}
+
+// Total returns the node's total handled messages.
+func (l NodeLoad) Total() int { return l.Initiated + l.Answered }
+
+type eventKind uint8
+
+const (
+	evRequest eventKind = iota + 1
+	evResponse
+)
+
+type event struct {
+	kind        eventKind
+	from, to    graph.NodeID
+	edgeID      int
+	payload     Payload
+	initiatedAt int
+	latency     int
+	exchangeID  uint64
+}
+
+type nodeState struct {
+	id        graph.NodeID
+	handler   Handler
+	ctx       Context
+	initiated bool // initiated an exchange this round
+	served    int  // requests answered this round (MaxResponsesPerRound)
+	crashed   bool
+}
+
+// Network drives a set of handlers over a latency-weighted graph.
+type Network struct {
+	g         *graph.Graph
+	cfg       Config
+	nodes     []*nodeState
+	pending   map[int][]*event // completion round -> events
+	inFlight  int
+	round     int
+	metrics   Metrics
+	nextExch  uint64
+	edgeIdxAt map[int64]int // (node, edgeID) -> index in node's neighbor list
+	loads     []NodeLoad
+	closed    bool
+}
+
+// NewNetwork creates a network over g. Attach handlers with SetHandler (or
+// SetProc) for every node before calling Run.
+func NewNetwork(g *graph.Graph, cfg Config) *Network {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.NHint <= 0 {
+		cfg.NHint = g.N()
+	}
+	nw := &Network{
+		g:         g,
+		cfg:       cfg,
+		nodes:     make([]*nodeState, g.N()),
+		pending:   make(map[int][]*event),
+		edgeIdxAt: make(map[int64]int, 2*g.M()),
+		loads:     make([]NodeLoad, g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		for idx, he := range g.Neighbors(u) {
+			nw.edgeIdxAt[int64(u)<<32|int64(he.ID)] = idx
+		}
+	}
+	return nw
+}
+
+// Graph returns the underlying graph.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// Round returns the current round number.
+func (nw *Network) Round() int { return nw.round }
+
+// NHint returns the network-size upper bound known to nodes.
+func (nw *Network) NHint() int { return nw.cfg.NHint }
+
+// Metrics returns a copy of the accumulated metrics.
+func (nw *Network) Metrics() Metrics { return nw.metrics }
+
+// Loads returns a copy of the per-node traffic loads.
+func (nw *Network) Loads() []NodeLoad {
+	out := make([]NodeLoad, len(nw.loads))
+	copy(out, nw.loads)
+	return out
+}
+
+// SetHandler attaches a handler to node u.
+func (nw *Network) SetHandler(u graph.NodeID, h Handler) {
+	st := &nodeState{id: u, handler: h}
+	st.ctx = Context{nw: nw, node: st}
+	nw.nodes[u] = st
+}
+
+// Handler returns the handler attached to node u.
+func (nw *Network) Handler(u graph.NodeID) Handler { return nw.nodes[u].handler }
+
+// Context is a node's interface to the engine. A Context is only valid
+// during the engine callbacks of its own node.
+type Context struct {
+	nw   *Network
+	node *nodeState
+	rand *rand.Rand
+}
+
+// ID returns the node's identifier.
+func (c *Context) ID() graph.NodeID { return c.node.id }
+
+// NHint returns the upper bound on the network size known to nodes.
+func (c *Context) NHint() int { return c.nw.cfg.NHint }
+
+// Round returns the current round.
+func (c *Context) Round() int { return c.nw.round }
+
+// Degree returns the node's degree.
+func (c *Context) Degree() int { return c.nw.g.Degree(c.node.id) }
+
+// Neighbor returns the node's idx-th incident edge. Latency is included only
+// when the network has known latencies.
+func (c *Context) Neighbor(idx int) EdgeView {
+	he := c.nw.g.Neighbors(c.node.id)[idx]
+	ev := EdgeView{To: he.To, Index: idx, EdgeID: he.ID}
+	if c.nw.cfg.KnownLatencies {
+		ev.Latency = he.Latency
+	}
+	return ev
+}
+
+// Neighbors returns all incident edges (see Neighbor for latency rules).
+func (c *Context) Neighbors() []EdgeView {
+	hes := c.nw.g.Neighbors(c.node.id)
+	out := make([]EdgeView, len(hes))
+	for i := range hes {
+		out[i] = c.Neighbor(i)
+	}
+	return out
+}
+
+// Rand returns the node's deterministic random stream.
+func (c *Context) Rand() *rand.Rand {
+	if c.rand == nil {
+		c.rand = rng.Stream(c.nw.cfg.Seed, uint64(c.node.id)+1)
+	}
+	return c.rand
+}
+
+// Initiate starts an exchange on the node's idx-th edge carrying the given
+// request payload. At most one initiation per node per round is allowed; a
+// second call in the same round returns an error. It returns the exchange ID.
+func (c *Context) Initiate(idx int, payload Payload) (uint64, error) {
+	if c.node.initiated {
+		return 0, fmt.Errorf("sim: node %d already initiated in round %d", c.node.id, c.nw.round)
+	}
+	hes := c.nw.g.Neighbors(c.node.id)
+	if idx < 0 || idx >= len(hes) {
+		return 0, fmt.Errorf("sim: node %d edge index %d out of range [0,%d)", c.node.id, idx, len(hes))
+	}
+	c.node.initiated = true
+	he := hes[idx]
+	nw := c.nw
+	nw.nextExch++
+	reqDelay := (he.Latency + 1) / 2
+	if nw.cfg.FullRTTDelivery {
+		reqDelay = he.Latency
+	}
+	ev := &event{
+		kind:        evRequest,
+		from:        c.node.id,
+		to:          he.To,
+		edgeID:      he.ID,
+		payload:     payload,
+		initiatedAt: nw.round,
+		latency:     he.Latency,
+		exchangeID:  nw.nextExch,
+	}
+	nw.schedule(nw.round+reqDelay, ev)
+	nw.metrics.Requests++
+	nw.metrics.EdgeActivations++
+	nw.loads[c.node.id].Initiated++
+	nw.metrics.Bytes += payloadSize(payload)
+	nw.trace(TraceEvent{Kind: TraceInitiate, Round: nw.round, From: c.node.id, To: he.To, EdgeID: he.ID, Latency: he.Latency})
+	return nw.nextExch, nil
+}
+
+func payloadSize(p Payload) int {
+	if s, ok := p.(Sizer); ok {
+		return s.SizeBytes()
+	}
+	return 1
+}
+
+func (nw *Network) schedule(at int, ev *event) {
+	nw.pending[at] = append(nw.pending[at], ev)
+	nw.inFlight++
+}
+
+// Predicate inspects global state each round; Run stops when it returns
+// true. A nil predicate stops only when every handler is Done.
+type Predicate func(nw *Network) bool
+
+// RunResult reports the outcome of a run.
+type RunResult struct {
+	Metrics Metrics
+	// Completed is true when the predicate fired (or all handlers finished).
+	Completed bool
+}
+
+// Run starts every handler and executes rounds until the predicate fires,
+// every handler reports Done, the round budget is exhausted (ErrMaxRounds),
+// or no progress is possible (ErrStalled).
+func (nw *Network) Run(pred Predicate) (RunResult, error) {
+	if nw.closed {
+		return RunResult{}, errors.New("sim: network already closed")
+	}
+	for u, st := range nw.nodes {
+		if st == nil {
+			return RunResult{}, fmt.Errorf("sim: node %d has no handler", u)
+		}
+	}
+	defer nw.Close()
+	for _, st := range nw.nodes {
+		st.handler.Start(&st.ctx)
+	}
+	if pred != nil && pred(nw) {
+		return RunResult{Metrics: nw.metrics, Completed: true}, nil
+	}
+	for nw.round = 1; nw.round <= nw.cfg.MaxRounds; nw.round++ {
+		nw.applyCrashes()
+		if nw.cfg.MaxResponsesPerRound > 0 {
+			for _, st := range nw.nodes {
+				st.served = 0
+			}
+		}
+		nw.deliver()
+		active := nw.tick()
+		nw.metrics.Rounds = nw.round
+		if pred != nil && pred(nw) {
+			return RunResult{Metrics: nw.metrics, Completed: true}, nil
+		}
+		if nw.allDone() {
+			return RunResult{Metrics: nw.metrics, Completed: pred == nil}, nil
+		}
+		if !active && nw.inFlight == 0 {
+			return RunResult{Metrics: nw.metrics}, fmt.Errorf("%w (round %d)", ErrStalled, nw.round)
+		}
+	}
+	nw.metrics.Rounds = nw.cfg.MaxRounds
+	return RunResult{Metrics: nw.metrics}, fmt.Errorf("%w (%d)", ErrMaxRounds, nw.cfg.MaxRounds)
+}
+
+// deliver processes phase A of the round: request arrivals (which generate
+// response events, possibly delivered in this same round when the remaining
+// delay is zero) and response arrivals.
+func (nw *Network) deliver() {
+	for {
+		evs := nw.pending[nw.round]
+		if len(evs) == 0 {
+			delete(nw.pending, nw.round)
+			return
+		}
+		delete(nw.pending, nw.round)
+		for _, ev := range evs {
+			nw.inFlight--
+			if nw.nodes[ev.to].crashed {
+				// Fail-stop: a crashed node neither answers requests nor
+				// consumes responses; the message is lost.
+				continue
+			}
+			switch ev.kind {
+			case evRequest:
+				st := nw.nodes[ev.to]
+				if nw.cfg.MaxResponsesPerRound > 0 && st.served >= nw.cfg.MaxResponsesPerRound {
+					// In-degree bound reached: the request waits in the
+					// responder's queue until a later round (not traced —
+					// only the eventual delivery is an observable event).
+					nw.schedule(nw.round+1, ev)
+					continue
+				}
+				st.served++
+				nw.loads[ev.to].Answered++
+				nw.trace(TraceEvent{Kind: TraceRequest, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
+				idx := nw.edgeIdxAt[int64(ev.to)<<32|int64(ev.edgeID)]
+				respPayload := st.handler.OnRequest(&st.ctx, Request{
+					From:      ev.from,
+					EdgeIndex: idx,
+					Payload:   ev.payload,
+				})
+				respDelay := ev.latency - (ev.latency+1)/2
+				if nw.cfg.FullRTTDelivery {
+					respDelay = 0
+				}
+				nw.schedule(nw.round+respDelay, &event{
+					kind:        evResponse,
+					from:        ev.to,
+					to:          ev.from,
+					edgeID:      ev.edgeID,
+					payload:     respPayload,
+					initiatedAt: ev.initiatedAt,
+					latency:     ev.latency,
+					exchangeID:  ev.exchangeID,
+				})
+				nw.metrics.Responses++
+				nw.metrics.Bytes += payloadSize(respPayload)
+			case evResponse:
+				st := nw.nodes[ev.to]
+				nw.trace(TraceEvent{Kind: TraceResponse, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
+				idx := nw.edgeIdxAt[int64(ev.to)<<32|int64(ev.edgeID)]
+				st.handler.OnResponse(&st.ctx, Response{
+					From:        ev.from,
+					EdgeIndex:   idx,
+					Payload:     ev.payload,
+					Latency:     ev.latency,
+					InitiatedAt: ev.initiatedAt,
+				})
+			}
+		}
+		// Responses with zero remaining delay were appended for this round;
+		// loop to flush them.
+	}
+}
+
+// tick runs phase B: every non-done handler gets a Tick. It reports whether
+// any handler is still active (not done).
+func (nw *Network) tick() bool {
+	active := false
+	for _, st := range nw.nodes {
+		st.initiated = false
+		if st.crashed || st.handler.Done() {
+			continue
+		}
+		active = true
+		st.handler.Tick(&st.ctx)
+	}
+	return active
+}
+
+// applyCrashes fail-stops the nodes whose crash round has arrived.
+func (nw *Network) applyCrashes() {
+	if len(nw.cfg.Crashes) == 0 {
+		return
+	}
+	for v, r := range nw.cfg.Crashes {
+		if r == nw.round && v >= 0 && v < len(nw.nodes) {
+			nw.nodes[v].crashed = true
+			nw.trace(TraceEvent{Kind: TraceCrash, Round: nw.round, From: v, To: -1})
+		}
+	}
+}
+
+// Crashed reports whether node v has fail-stopped.
+func (nw *Network) Crashed(v graph.NodeID) bool { return nw.nodes[v].crashed }
+
+func (nw *Network) allDone() bool {
+	for _, st := range nw.nodes {
+		if st.crashed {
+			continue
+		}
+		if !st.handler.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close releases engine resources; in particular it stops all coroutine
+// handlers and waits for their goroutines to exit. Safe to call twice.
+func (nw *Network) Close() {
+	if nw.closed {
+		return
+	}
+	nw.closed = true
+	for _, st := range nw.nodes {
+		if st == nil {
+			continue
+		}
+		if p, ok := st.handler.(*Proc); ok {
+			p.stop()
+		}
+	}
+}

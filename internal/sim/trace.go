@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"gossip/internal/graph"
+)
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+const (
+	// TraceInitiate: From initiated an exchange toward To.
+	TraceInitiate TraceKind = iota + 1
+	// TraceRequest: the request From→To was delivered.
+	TraceRequest
+	// TraceResponse: the response From→To (back to the initiator) was
+	// delivered.
+	TraceResponse
+	// TraceCrash: node From fail-stopped.
+	TraceCrash
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceInitiate:
+		return "initiate"
+	case TraceRequest:
+		return "request"
+	case TraceResponse:
+		return "response"
+	case TraceCrash:
+		return "crash"
+	default:
+		return fmt.Sprintf("TraceKind(%d)", uint8(k))
+	}
+}
+
+// TraceEvent is one observable engine event.
+type TraceEvent struct {
+	Kind     TraceKind
+	Round    int
+	From, To graph.NodeID
+	EdgeID   int
+	Latency  int
+}
+
+// String renders the event compactly.
+func (e TraceEvent) String() string {
+	if e.Kind == TraceCrash {
+		return fmt.Sprintf("r%d %s node=%d", e.Round, e.Kind, e.From)
+	}
+	return fmt.Sprintf("r%d %s %d->%d (edge %d, ℓ=%d)", e.Round, e.Kind, e.From, e.To, e.EdgeID, e.Latency)
+}
+
+// Tracer receives engine events. Installed via Config.Trace; called
+// synchronously from the engine, so implementations must be fast and must
+// not call back into the Network.
+type Tracer func(ev TraceEvent)
+
+// WriteTracer returns a Tracer that prints each event to w, one per line.
+func WriteTracer(w io.Writer) Tracer {
+	return func(ev TraceEvent) {
+		fmt.Fprintln(w, ev.String())
+	}
+}
+
+// Recorder collects events for inspection in tests and tools.
+type Recorder struct {
+	Events []TraceEvent
+}
+
+// Tracer returns the recording Tracer.
+func (r *Recorder) Tracer() Tracer {
+	return func(ev TraceEvent) { r.Events = append(r.Events, ev) }
+}
+
+// Count returns the number of recorded events of the given kind.
+func (r *Recorder) Count(kind TraceKind) int {
+	c := 0
+	for _, ev := range r.Events {
+		if ev.Kind == kind {
+			c++
+		}
+	}
+	return c
+}
+
+func (nw *Network) trace(ev TraceEvent) {
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace(ev)
+	}
+}

@@ -1,0 +1,96 @@
+package spanner
+
+import (
+	"testing"
+
+	"gossip/internal/graph"
+)
+
+// TestClusterHierarchy validates the Baswana–Sen clustering invariants on
+// the recorded trace:
+//
+//  1. initial clustering is the identity;
+//  2. a vertex's center after iteration i is either unchanged (its cluster
+//     was sampled), a center that was sampled at iteration i, or −1 (left V′);
+//  3. once unclustered, always unclustered;
+//  4. the live cluster count is non-increasing.
+func TestClusterHierarchy(t *testing.T) {
+	g := graph.GNP(48, 0.25, 1, true, 7)
+	k := 4
+	seed := uint64(13)
+	_, detail, err := BuildDetailed(g, k, g.N(), seed)
+	if err != nil {
+		t.Fatalf("BuildDetailed: %v", err)
+	}
+	if len(detail.Centers) != k { // initial + k-1 iterations
+		t.Fatalf("recorded %d clusterings, want %d", len(detail.Centers), k)
+	}
+	for v, c := range detail.Centers[0] {
+		if c != v {
+			t.Fatalf("initial center of %d = %d, want identity", v, c)
+		}
+	}
+	for i := 1; i < len(detail.Centers); i++ {
+		prev, cur := detail.Centers[i-1], detail.Centers[i]
+		for v := range cur {
+			switch {
+			case prev[v] < 0:
+				if cur[v] >= 0 {
+					t.Errorf("iter %d: node %d re-entered V′", i, v)
+				}
+			case cur[v] < 0:
+				// Left V′ this iteration: its old cluster must NOT have been
+				// sampled (else it would have stayed).
+				if SampleCoin(g.N(), k, seed, prev[v], i) {
+					t.Errorf("iter %d: node %d left V′ although its cluster %d was sampled", i, v, prev[v])
+				}
+			case cur[v] == prev[v]:
+				// Stayed: its cluster must have been sampled.
+				if !SampleCoin(g.N(), k, seed, prev[v], i) {
+					t.Errorf("iter %d: node %d kept unsampled center %d", i, v, prev[v])
+				}
+			default:
+				// Joined a new cluster: the new center must be sampled.
+				if !SampleCoin(g.N(), k, seed, cur[v], i) {
+					t.Errorf("iter %d: node %d joined unsampled cluster %d", i, v, cur[v])
+				}
+			}
+		}
+		if detail.DistinctCenters(i) > detail.DistinctCenters(i-1) {
+			t.Errorf("iter %d: cluster count grew %d -> %d", i,
+				detail.DistinctCenters(i-1), detail.DistinctCenters(i))
+		}
+	}
+}
+
+// TestClusterDecay checks the geometric decay of the expected cluster count
+// (the mechanism behind the O(k·n^{1+1/k}) size bound): after iteration i,
+// roughly n·p^i clusters survive, p = n^{-1/k}.
+func TestClusterDecay(t *testing.T) {
+	g := graph.Clique(128, 1)
+	k := 3
+	_, detail, err := BuildDetailed(g, k, g.N(), 21)
+	if err != nil {
+		t.Fatalf("BuildDetailed: %v", err)
+	}
+	n := float64(g.N())
+	p := 1.0 / cubeRoot(n)
+	for i := 1; i < len(detail.Centers); i++ {
+		expected := n
+		for j := 0; j < i; j++ {
+			expected *= p
+		}
+		got := float64(detail.DistinctCenters(i))
+		if got > 6*expected+8 {
+			t.Errorf("iter %d: %g live clusters, expected ≈ %g", i, got, expected)
+		}
+	}
+}
+
+func cubeRoot(x float64) float64 {
+	r := x
+	for i := 0; i < 60; i++ {
+		r = (2*r + x/(r*r)) / 3
+	}
+	return r
+}

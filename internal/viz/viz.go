@@ -1,0 +1,162 @@
+// Package viz renders a run's event trace as an SVG timeline: one lane per
+// node, one bar per exchange spanning initiation to response delivery,
+// colored by edge latency. Useful for explaining why a protocol spends its
+// rounds where it does (e.g. the long bridge bars of a dumbbell broadcast).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gossip/internal/sim"
+)
+
+// TimelineOptions controls the rendering.
+type TimelineOptions struct {
+	// MaxRounds clips the horizontal axis (0 = full trace).
+	MaxRounds int
+	// LaneHeight is the pixel height per node lane (default 14).
+	LaneHeight int
+	// RoundWidth is the pixel width per round (default 8).
+	RoundWidth int
+	// Title is drawn above the timeline.
+	Title string
+}
+
+type bar struct {
+	from, to sim.TraceKind
+	node     int
+	start    int
+	end      int
+	latency  int
+	peer     int
+}
+
+// Timeline writes an SVG visualization of the trace for a run over n nodes.
+func Timeline(w io.Writer, n int, events []sim.TraceEvent, opts TimelineOptions) error {
+	if n <= 0 {
+		return fmt.Errorf("viz: need n > 0, got %d", n)
+	}
+	if opts.LaneHeight <= 0 {
+		opts.LaneHeight = 14
+	}
+	if opts.RoundWidth <= 0 {
+		opts.RoundWidth = 8
+	}
+
+	// Pair initiations with their responses per (from, to, edge) FIFO.
+	type key struct{ from, to, edge int }
+	open := make(map[key][]int)
+	var bars []bar
+	var crashes []sim.TraceEvent
+	maxRound := 1
+	for _, ev := range events {
+		if ev.Round > maxRound {
+			maxRound = ev.Round
+		}
+		switch ev.Kind {
+		case sim.TraceInitiate:
+			k := key{from: ev.From, to: ev.To, edge: ev.EdgeID}
+			open[k] = append(open[k], ev.Round)
+		case sim.TraceResponse:
+			// Response is delivered to the initiator ev.To from ev.From.
+			k := key{from: ev.To, to: ev.From, edge: ev.EdgeID}
+			q := open[k]
+			if len(q) == 0 {
+				continue // lost initiation (crash); skip
+			}
+			open[k] = q[1:]
+			bars = append(bars, bar{
+				node:    ev.To,
+				start:   q[0],
+				end:     ev.Round,
+				latency: ev.Latency,
+				peer:    ev.From,
+			})
+		case sim.TraceCrash:
+			crashes = append(crashes, ev)
+		}
+	}
+	// Unanswered initiations (in flight at the end, or dropped by crashes)
+	// render as open-ended bars.
+	for k, starts := range open {
+		for _, s := range starts {
+			bars = append(bars, bar{node: k.from, start: s, end: -1, peer: k.to})
+		}
+	}
+	sort.Slice(bars, func(i, j int) bool {
+		if bars[i].node != bars[j].node {
+			return bars[i].node < bars[j].node
+		}
+		return bars[i].start < bars[j].start
+	})
+
+	if opts.MaxRounds > 0 && maxRound > opts.MaxRounds {
+		maxRound = opts.MaxRounds
+	}
+	const leftMargin, topMargin = 40, 24
+	width := leftMargin + (maxRound+1)*opts.RoundWidth + 10
+	height := topMargin + n*opts.LaneHeight + 10
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="4" y="14" font-size="12" font-family="monospace">%s</text>`+"\n", opts.Title)
+	// Lanes.
+	for v := 0; v < n; v++ {
+		y := topMargin + v*opts.LaneHeight
+		fmt.Fprintf(w, `<text x="2" y="%d" font-size="9" font-family="monospace">%d</text>`+"\n",
+			y+opts.LaneHeight-4, v)
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#eee"/>`+"\n",
+			leftMargin, y+opts.LaneHeight/2, width-10, y+opts.LaneHeight/2)
+	}
+	// Exchange bars.
+	for _, b := range bars {
+		if b.start > maxRound {
+			continue
+		}
+		end := b.end
+		openEnded := end < 0
+		if openEnded || end > maxRound {
+			end = maxRound
+		}
+		x := leftMargin + b.start*opts.RoundWidth
+		wpx := (end - b.start + 1) * opts.RoundWidth
+		y := topMargin + b.node*opts.LaneHeight + 2
+		fill := latencyColor(b.latency)
+		if openEnded {
+			fill = "#cccccc"
+		}
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" opacity="0.8">`+
+			`<title>node %d ↔ %d: rounds %d-%d (ℓ=%d)</title></rect>`+"\n",
+			x, y, wpx, opts.LaneHeight-4, fill, b.node, b.peer, b.start, b.end, b.latency)
+	}
+	// Crash markers.
+	for _, c := range crashes {
+		if c.Round > maxRound {
+			continue
+		}
+		x := leftMargin + c.Round*opts.RoundWidth
+		y := topMargin + c.From*opts.LaneHeight
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11" fill="red">✕</text>`+"\n",
+			x, y+opts.LaneHeight-3)
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}
+
+// latencyColor maps an edge latency to a stable color: fast = green,
+// medium = amber, slow = red-ish, on a small fixed ladder.
+func latencyColor(lat int) string {
+	switch {
+	case lat <= 1:
+		return "#4caf50"
+	case lat <= 3:
+		return "#8bc34a"
+	case lat <= 8:
+		return "#ffc107"
+	case lat <= 20:
+		return "#ff9800"
+	default:
+		return "#f44336"
+	}
+}

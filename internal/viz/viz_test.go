@@ -1,0 +1,94 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+func TestTimelineBasic(t *testing.T) {
+	events := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 1, From: 0, To: 1, EdgeID: 0, Latency: 4},
+		{Kind: sim.TraceRequest, Round: 3, From: 0, To: 1, EdgeID: 0, Latency: 4},
+		{Kind: sim.TraceResponse, Round: 5, From: 1, To: 0, EdgeID: 0, Latency: 4},
+		{Kind: sim.TraceCrash, Round: 6, From: 1, To: -1},
+	}
+	var sb strings.Builder
+	if err := Timeline(&sb, 2, events, TimelineOptions{Title: "demo"}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "demo", "rounds 1-5", "ℓ=4", "✕", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineOpenEndedExchange(t *testing.T) {
+	// An initiation whose response never arrives (crashed responder)
+	// renders as an open-ended grey bar.
+	events := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 2, From: 0, To: 1, EdgeID: 0, Latency: 9},
+	}
+	var sb strings.Builder
+	if err := Timeline(&sb, 2, events, TimelineOptions{}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if !strings.Contains(sb.String(), "#cccccc") {
+		t.Error("open-ended exchange not rendered grey")
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := Timeline(&sb, 0, nil, TimelineOptions{}); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestTimelineFromLiveRun(t *testing.T) {
+	g := graph.Dumbbell(4, 6)
+	var rec sim.Recorder
+	nw := sim.NewNetwork(g, sim.Config{Seed: 1, MaxRounds: 100, Trace: rec.Tracer()})
+	for u := 0; u < g.N(); u++ {
+		nw.SetHandler(u, sim.NewProc(func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				p.Exchange(p.Rand().Intn(p.Degree()), nil)
+			}
+		}))
+	}
+	if _, err := nw.Run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sb strings.Builder
+	if err := Timeline(&sb, g.N(), rec.Events, TimelineOptions{Title: "dumbbell"}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<rect") < 5 {
+		t.Errorf("expected many exchange bars, got %d", strings.Count(out, "<rect"))
+	}
+	// Latency-6 bridge exchanges must appear with their color class.
+	if !strings.Contains(out, "ℓ=6") && !strings.Contains(out, "ℓ=1") {
+		t.Error("no latency annotations found")
+	}
+}
+
+func TestTimelineClipping(t *testing.T) {
+	events := []sim.TraceEvent{
+		{Kind: sim.TraceInitiate, Round: 1, From: 0, To: 1, EdgeID: 0, Latency: 2},
+		{Kind: sim.TraceResponse, Round: 3, From: 1, To: 0, EdgeID: 0, Latency: 2},
+		{Kind: sim.TraceInitiate, Round: 50, From: 0, To: 1, EdgeID: 0, Latency: 2},
+		{Kind: sim.TraceResponse, Round: 52, From: 1, To: 0, EdgeID: 0, Latency: 2},
+	}
+	var sb strings.Builder
+	if err := Timeline(&sb, 2, events, TimelineOptions{MaxRounds: 10}); err != nil {
+		t.Fatalf("Timeline: %v", err)
+	}
+	if strings.Contains(sb.String(), "rounds 50-52") {
+		t.Error("bar beyond MaxRounds not clipped")
+	}
+}

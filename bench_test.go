@@ -7,6 +7,7 @@ package gossip
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"gossip/internal/exp"
 	"gossip/internal/spanner"
@@ -169,4 +170,28 @@ func BenchmarkWeightedDiameter(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = g.WeightedDiameter()
 	}
+}
+
+// BenchmarkLiveInProc measures a full live push-pull broadcast over the
+// in-process channel transport: goroutine-per-node wall-clock execution
+// with a short tick, reporting protocol ticks alongside ns/op. The wall
+// time is dominated by tick duration by design — the interesting outputs
+// are the tick and message counts staying flat as scheduling jitter varies.
+func BenchmarkLiveInProc(b *testing.B) {
+	g := RingOfCliques(4, 8, 4) // 32 nodes
+	b.ResetTimer()
+	var ticks, msgs int
+	for i := 0; i < b.N; i++ {
+		res, err := RunLive(g, LivePushPull(0), LiveOptions{
+			Seed: uint64(i) + 1,
+			Tick: 200 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += res.Metrics.Ticks
+		msgs += res.Metrics.Messages()
+	}
+	b.ReportMetric(float64(ticks)/float64(b.N), "ticks/op")
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
 }

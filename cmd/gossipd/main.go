@@ -1,0 +1,279 @@
+// Command gossipd starts one daemon of a live gossip cluster: it hosts a
+// subset of a graph's nodes behind a TCP transport and runs a protocol to
+// completion together with its peer daemons. Every daemon is started with
+// the same graph flags and the same full peer map; they may start in any
+// order (the transport retries dials while peers come up).
+//
+// A two-process push-pull run over the 64-node ring of cliques:
+//
+//	gossipd -graph ringcliques -k 8 -s 8 -latency 4 \
+//	    -listen 127.0.0.1:7000 -nodes 0-31 \
+//	    -peers 0-31=127.0.0.1:7000,32-63=127.0.0.1:7001 &
+//	gossipd -graph ringcliques -k 8 -s 8 -latency 4 \
+//	    -listen 127.0.0.1:7001 -nodes 32-63 \
+//	    -peers 0-31=127.0.0.1:7000,32-63=127.0.0.1:7001
+//
+// Graphs: clique, star, path, cycle, grid, gnp, ringcliques, dumbbell, or
+// -load FILE (.json as graphio JSON, anything else as an edge list).
+// Protocols: pushpull, flood.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"gossip"
+	"gossip/internal/graphio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gossipd", flag.ContinueOnError)
+	var (
+		graphName = fs.String("graph", "ringcliques", "graph family")
+		loadPath  = fs.String("load", "", "load the graph from a file instead of -graph")
+		n         = fs.Int("n", 64, "node count (clique/star/path/cycle/gnp)")
+		k         = fs.Int("k", 8, "cliques in ring / grid rows")
+		s         = fs.Int("s", 8, "clique size / grid cols")
+		latency   = fs.Int("latency", 1, "edge or bridge latency (family dependent)")
+		p         = fs.Float64("p", 0.1, "GNP edge probability")
+		proto     = fs.String("proto", "pushpull", "protocol: pushpull or flood")
+		source    = fs.Int("source", 0, "broadcast source node")
+		seed      = fs.Uint64("seed", 1, "deterministic run seed (same on every daemon)")
+		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address for this daemon")
+		nodesSpec = fs.String("nodes", "", "nodes hosted here, e.g. 0-31 or 0,5,9 (empty = all)")
+		peersSpec = fs.String("peers", "", "peer map, e.g. 0-31=host:7000,32-63=host:7001")
+		tick      = fs.Duration("tick", gossip.DefaultLiveTick, "wall-clock duration of one round")
+		maxTicks  = fs.Int("maxticks", 0, "tick budget (0 = default)")
+		linger    = fs.Duration("linger", 2*time.Second, "keep serving peers this long after local completion")
+		crashSpec = fs.String("crash", "", "fail-stop injection, e.g. 3=10,7=25 (node=tick)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*loadPath, *graphName, *n, *k, *s, *latency, *p, *seed)
+	if err != nil {
+		return err
+	}
+	hosted, err := parseNodeSet(*nodesSpec, g.N())
+	if err != nil {
+		return fmt.Errorf("-nodes: %w", err)
+	}
+	peers, err := parsePeers(*peersSpec, g.N())
+	if err != nil {
+		return fmt.Errorf("-peers: %w", err)
+	}
+	crashes, err := parseCrashes(*crashSpec, g.N())
+	if err != nil {
+		return fmt.Errorf("-crash: %w", err)
+	}
+
+	tr, err := gossip.NewLiveTCPTransport(*listen, hosted)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	defer tr.Close()
+	// Hosted nodes route in-process; map them to our own address so peer
+	// validation below only flags genuinely unreachable nodes.
+	for _, u := range hosted {
+		if _, ok := peers[u]; !ok {
+			peers[u] = tr.Addr().String()
+		}
+	}
+	var missing []int
+	for u := 0; u < g.N(); u++ {
+		if _, ok := peers[gossip.NodeID(u)]; !ok {
+			missing = append(missing, u)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("no peer address for nodes %v (cover every node with -peers or -nodes)", missing)
+	}
+	tr.SetPeers(peers)
+
+	var lp gossip.LiveProtocol
+	switch *proto {
+	case "pushpull":
+		lp = gossip.LivePushPull(gossip.NodeID(*source))
+	case "flood":
+		lp = gossip.LiveFlood(gossip.NodeID(*source))
+	default:
+		return fmt.Errorf("unknown protocol %q (want pushpull or flood)", *proto)
+	}
+
+	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v\n",
+		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick)
+
+	res, err := gossip.RunLiveTransport(g, lp, tr, gossip.LiveOptions{
+		Seed:     *seed,
+		Tick:     *tick,
+		MaxTicks: *maxTicks,
+		Nodes:    hosted,
+		Crashes:  crashes,
+		Linger:   *linger,
+	})
+	informed := 0
+	for _, u := range hosted {
+		if res.Done[u] {
+			informed++
+		}
+	}
+	fmt.Fprintf(out, "completed=%v informed=%d/%d ticks=%d messages=%d bytes=%d wall=%v dropped=%d\n",
+		res.Completed, informed, len(hosted), res.Metrics.Ticks, res.Metrics.Messages(),
+		res.Metrics.Bytes, res.Metrics.Wall.Round(time.Millisecond), tr.Dropped())
+	return err
+}
+
+func loadGraph(loadPath, name string, n, k, s, latency int, p float64, seed uint64) (*gossip.Graph, error) {
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(loadPath, ".json") {
+			return graphio.DecodeJSON(f)
+		}
+		return graphio.ReadEdgeList(f)
+	}
+	switch name {
+	case "clique":
+		return gossip.Clique(n, latency), nil
+	case "star":
+		return gossip.Star(n, latency), nil
+	case "path":
+		return gossip.Path(n, latency), nil
+	case "cycle":
+		return gossip.Cycle(n, latency), nil
+	case "grid":
+		return gossip.Grid(k, s, latency), nil
+	case "gnp":
+		return gossip.GNP(n, p, latency, true, seed), nil
+	case "ringcliques":
+		return gossip.RingOfCliques(k, s, latency), nil
+	case "dumbbell":
+		return gossip.Dumbbell(s, latency), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", name)
+	}
+}
+
+func describeGraph(loadPath, name string) string {
+	if loadPath != "" {
+		return loadPath
+	}
+	return name
+}
+
+// parseNodeSet parses "0-31", "0,5,9", or a mix; empty means all n nodes.
+func parseNodeSet(spec string, n int) ([]gossip.NodeID, error) {
+	if spec == "" {
+		all := make([]gossip.NodeID, n)
+		for u := range all {
+			all[u] = gossip.NodeID(u)
+		}
+		return all, nil
+	}
+	var ids []gossip.NodeID
+	seen := make(map[gossip.NodeID]bool)
+	for _, part := range strings.Split(spec, ",") {
+		lo, hi, err := parseRange(part)
+		if err != nil {
+			return nil, err
+		}
+		for u := lo; u <= hi; u++ {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("node %d out of range [0,%d)", u, n)
+			}
+			if seen[gossip.NodeID(u)] {
+				return nil, fmt.Errorf("node %d listed twice", u)
+			}
+			seen[gossip.NodeID(u)] = true
+			ids = append(ids, gossip.NodeID(u))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// parsePeers parses "0-31=host:port,32-63=host:port" into a full address map.
+func parsePeers(spec string, n int) (map[gossip.NodeID]string, error) {
+	peers := make(map[gossip.NodeID]string)
+	if spec == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		ids, addr, ok := strings.Cut(part, "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("entry %q is not nodes=addr", part)
+		}
+		lo, hi, err := parseRange(ids)
+		if err != nil {
+			return nil, err
+		}
+		for u := lo; u <= hi; u++ {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("node %d out of range [0,%d)", u, n)
+			}
+			peers[gossip.NodeID(u)] = addr
+		}
+	}
+	return peers, nil
+}
+
+// parseCrashes parses "3=10,7=25" into node→crash-tick.
+func parseCrashes(spec string, n int) (map[gossip.NodeID]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	crashes := make(map[gossip.NodeID]int)
+	for _, part := range strings.Split(spec, ",") {
+		node, tickStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not node=tick", part)
+		}
+		u, err := strconv.Atoi(node)
+		if err != nil || u < 0 || u >= n {
+			return nil, fmt.Errorf("bad node in %q", part)
+		}
+		t, err := strconv.Atoi(tickStr)
+		if err != nil || t < 1 {
+			return nil, fmt.Errorf("bad tick in %q (must be >= 1)", part)
+		}
+		crashes[gossip.NodeID(u)] = t
+	}
+	return crashes, nil
+}
+
+// parseRange parses "5" or "3-9" into an inclusive [lo, hi] pair.
+func parseRange(s string) (lo, hi int, err error) {
+	if a, b, ok := strings.Cut(s, "-"); ok {
+		lo, err = strconv.Atoi(strings.TrimSpace(a))
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+		hi, err = strconv.Atoi(strings.TrimSpace(b))
+		if err != nil || hi < lo {
+			return 0, 0, fmt.Errorf("bad range %q", s)
+		}
+		return lo, hi, nil
+	}
+	lo, err = strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad node %q", s)
+	}
+	return lo, lo, nil
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSingleDaemonHostsAll is the smoke test: one daemon hosting every node
+// needs no -peers and completes in-process.
+func TestSingleDaemonHostsAll(t *testing.T) {
+	var sb strings.Builder
+	args := []string{
+		"-graph", "clique", "-n", "8",
+		"-listen", "127.0.0.1:0",
+		"-tick", "500us", "-linger", "0s", "-seed", "3",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	out := sb.String()
+	for _, w := range []string{"gossipd: graph=clique nodes=8 hosting=8", "completed=true", "informed=8/8"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+// TestTwoDaemonCluster runs a real two-daemon push-pull cluster over TCP
+// loopback: each daemon hosts one side of a dumbbell.
+func TestTwoDaemonCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster run is not -short friendly")
+	}
+	addrs := reservePorts(t, 2)
+	peers := fmt.Sprintf("0-3=%s,4-7=%s", addrs[0], addrs[1])
+	common := []string{
+		"-graph", "dumbbell", "-s", "4", "-latency", "2",
+		"-proto", "pushpull", "-seed", "7",
+		"-tick", "1ms", "-linger", "2s",
+		"-peers", peers,
+	}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 2)
+	errs := make([]error, 2)
+	for i, spec := range []struct{ listen, nodes string }{
+		{addrs[0], "0-3"},
+		{addrs[1], "4-7"},
+	} {
+		wg.Add(1)
+		go func(i int, listen, nodes string) {
+			defer wg.Done()
+			errs[i] = run(append([]string{"-listen", listen, "-nodes", nodes}, common...), &outs[i])
+		}(i, spec.listen, spec.nodes)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("daemon %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+		out := outs[i].String()
+		for _, w := range []string{"completed=true", "informed=4/4"} {
+			if !strings.Contains(out, w) {
+				t.Errorf("daemon %d output missing %q:\n%s", i, w, out)
+			}
+		}
+	}
+}
+
+// TestFlagErrors exercises the argument validation paths.
+func TestFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "unknown-graph",
+			args: []string{"-graph", "hypercube"},
+			want: "unknown graph family",
+		},
+		{
+			name: "unknown-proto",
+			args: []string{"-graph", "clique", "-n", "4", "-proto", "quantum"},
+			want: "unknown protocol",
+		},
+		{
+			name: "bad-node-range",
+			args: []string{"-graph", "clique", "-n", "4", "-nodes", "9-3"},
+			want: "-nodes",
+		},
+		{
+			name: "node-out-of-range",
+			args: []string{"-graph", "clique", "-n", "4", "-nodes", "0-7"},
+			want: "out of range",
+		},
+		{
+			name: "duplicate-node",
+			args: []string{"-graph", "clique", "-n", "4", "-nodes", "1,1"},
+			want: "listed twice",
+		},
+		{
+			name: "uncovered-peers",
+			args: []string{"-graph", "clique", "-n", "4", "-nodes", "0-1"},
+			want: "no peer address",
+		},
+		{
+			name: "bad-peer-entry",
+			args: []string{"-graph", "clique", "-n", "4", "-peers", "0-3"},
+			want: "nodes=addr",
+		},
+		{
+			name: "bad-crash-entry",
+			args: []string{"-graph", "clique", "-n", "4", "-crash", "1=0"},
+			want: "must be >= 1",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			err := run(append(tt.args, "-listen", "127.0.0.1:0"), &sb)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("run(%v) error = %v, want substring %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseNodeSet(t *testing.T) {
+	ids, err := parseNodeSet("4,0-2", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ids) != "[0 1 2 4]" {
+		t.Errorf("parseNodeSet = %v", ids)
+	}
+	if all, err := parseNodeSet("", 3); err != nil || len(all) != 3 {
+		t.Errorf("empty spec: %v %v", all, err)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("0-1=a:1,3=b:2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0] != "a:1" || peers[1] != "a:1" || peers[3] != "b:2" {
+		t.Errorf("parsePeers = %v", peers)
+	}
+}
+
+// reservePorts grabs n distinct loopback addresses and releases them so the
+// daemons under test can claim them. (The tiny window between release and
+// re-listen is tolerable on loopback; the dial retry covers start order.)
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}

@@ -1,0 +1,104 @@
+// Live runtime: run the same push-pull state machine twice — once in the
+// deterministic lockstep simulator, once on the wall-clock runtime with a
+// goroutine per node and real latency delays — and compare. Then split the
+// graph across two TCP-backed runtimes in this process, the shape of a real
+// multi-process deployment (see cmd/gossipd).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gossip"
+)
+
+func main() {
+	// Eight cliques of eight (fast LAN links) bridged in a ring by slow WAN
+	// links — the paper's motivating topology.
+	g := gossip.RingOfCliques(8, 8, 4)
+	const seed = 42
+
+	// Round simulator: lockstep, instantaneous, deterministic.
+	simRes, err := gossip.RunPushPull(g, 0, gossip.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator: informed %d nodes in %d rounds, %d messages\n",
+		g.N(), simRes.Metrics.Rounds, simRes.Metrics.Messages())
+
+	// Live runtime: one goroutine per node, 1ms per round, latencies as real
+	// timer delays. Same seed → same per-node random choices.
+	liveRes, err := gossip.RunLive(g, gossip.LivePushPull(0), gossip.LiveOptions{
+		Seed: seed,
+		Tick: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live:      informed %d nodes in %d ticks, %d messages, wall %v\n",
+		countDone(liveRes.Done), liveRes.Metrics.Ticks, liveRes.Metrics.Messages(),
+		liveRes.Metrics.Wall.Round(time.Millisecond))
+
+	// A two-runtime TCP cluster in one process: each runtime hosts half the
+	// nodes behind its own loopback transport, exactly as two gossipd
+	// processes would.
+	half := g.N() / 2
+	var hosted [2][]gossip.NodeID
+	for u := 0; u < g.N(); u++ {
+		hosted[u/half] = append(hosted[u/half], gossip.NodeID(u))
+	}
+	addrs := make(map[gossip.NodeID]string, g.N())
+	var trs [2]*gossip.LiveTCPTransport
+	for i := range trs {
+		tr, err := gossip.NewLiveTCPTransport("127.0.0.1:0", hosted[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+		for _, u := range hosted[i] {
+			addrs[u] = tr.Addr().String()
+		}
+	}
+	for i := range trs {
+		trs[i].SetPeers(addrs)
+	}
+
+	var wg sync.WaitGroup
+	var results [2]gossip.LiveResult
+	for i := range trs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = gossip.RunLiveTransport(g, gossip.LivePushPull(0), trs[i], gossip.LiveOptions{
+				Seed:   seed,
+				Tick:   time.Millisecond,
+				Nodes:  hosted[i],
+				Linger: 2 * time.Second,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	informed := 0
+	for i := range results {
+		for _, u := range hosted[i] {
+			if results[i].Done[u] {
+				informed++
+			}
+		}
+	}
+	fmt.Printf("tcp x2:    informed %d/%d nodes across two TCP runtimes\n", informed, g.N())
+}
+
+func countDone(done []bool) int {
+	c := 0
+	for _, d := range done {
+		if d {
+			c++
+		}
+	}
+	return c
+}

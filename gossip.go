@@ -26,9 +26,12 @@
 package gossip
 
 import (
+	"time"
+
 	"gossip/internal/core"
 	"gossip/internal/cut"
 	"gossip/internal/graph"
+	"gossip/internal/live"
 	"gossip/internal/sim"
 )
 
@@ -254,6 +257,112 @@ func RunTreeBroadcast(g *Graph, root NodeID, opts Options) (TreeBroadcastResult,
 // faster component's solo time.
 func RunUnified(g *Graph, source NodeID, knownLatencies bool, opts Options) (UnifiedResult, error) {
 	return core.Unified(g, source, knownLatencies, opts.simConfig())
+}
+
+// ---- Live runtime ----
+//
+// The functions above run protocols inside the deterministic lockstep round
+// simulator. The live runtime below executes the *same* protocol state
+// machines with one goroutine per node over real concurrent transports,
+// mapping each edge latency to an actual wall-clock delay (see
+// internal/live). It is the bridge from the paper's model to a deployed
+// gossip system.
+
+// DefaultLiveTick is the default wall-clock duration of one live round.
+const DefaultLiveTick = live.DefaultTick
+
+// LiveProtocol describes a protocol runnable on the live runtime: a
+// per-node handler factory plus the node-local completion goal.
+type LiveProtocol = live.Protocol
+
+// LiveTransport moves messages between live nodes; see NewLiveTCPTransport
+// for the multi-process implementation. RunLive builds an in-process
+// channel transport automatically.
+type LiveTransport = live.Transport
+
+// LiveMetrics aggregates the cost of a live run (ticks, messages, bytes,
+// wall time); Sim() converts it to the simulator's Metrics shape.
+type LiveMetrics = live.Metrics
+
+// LiveResult reports a live run.
+type LiveResult = live.Result
+
+// LiveOptions configures a live run. The zero value is usable.
+type LiveOptions struct {
+	// Seed makes per-node randomness reproducible and identical to a
+	// simulator run with the same seed.
+	Seed uint64
+	// Tick is the wall-clock duration of one protocol round (0 = 1ms).
+	// An edge of latency ℓ delays a request by ⌈ℓ/2⌉ ticks and its
+	// response by ⌊ℓ/2⌋, as in the simulator.
+	Tick time.Duration
+	// MaxTicks bounds the run (0 = a generous default).
+	MaxTicks int
+	// NHint is the polynomial size bound known to nodes (0 = exact).
+	NHint int
+	// Crashes schedules fail-stop failures: Crashes[v] = t halts node v at
+	// tick t (it stops ticking and drops messages unanswered).
+	Crashes map[NodeID]int
+	// Nodes restricts this runtime to a subset of the graph's nodes (nil =
+	// all) — the multi-process deployment case; see RunLiveTransport.
+	Nodes []NodeID
+	// Linger keeps serving peers' requests this long after local
+	// completion, so slower runtimes in a cluster can still pull from us.
+	Linger time.Duration
+}
+
+func (o LiveOptions) liveOptions() live.Options {
+	return live.Options{
+		Seed:     o.Seed,
+		Tick:     o.Tick,
+		MaxTicks: o.MaxTicks,
+		NHint:    o.NHint,
+		Nodes:    o.Nodes,
+		Crashes:  o.Crashes,
+		Linger:   o.Linger,
+	}
+}
+
+// LivePushPull returns the live protocol for push-pull broadcast from
+// source — the identical state machine RunPushPull drives in the simulator.
+func LivePushPull(source NodeID) LiveProtocol {
+	return core.PushPullLive(source, core.ModePushPull)
+}
+
+// LiveFlood returns the live protocol for deterministic flooding.
+func LiveFlood(source NodeID) LiveProtocol {
+	return core.FloodLive(source)
+}
+
+// RunLive executes a protocol on the live wall-clock runtime over an
+// in-process channel transport hosting every node: goroutine-per-node, real
+// latency delays, same seeded randomness as the simulator.
+func RunLive(g *Graph, proto LiveProtocol, opts LiveOptions) (LiveResult, error) {
+	tr := live.NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	o := opts.liveOptions()
+	o.Nodes = nil // the in-process transport hosts everyone
+	return live.Run(g, proto, tr, o)
+}
+
+// RunLiveTransport executes a protocol on the live runtime over a
+// caller-supplied transport, hosting only opts.Nodes (nil = all). This is
+// the multi-process entry point: each process hosts a node subset behind a
+// NewLiveTCPTransport and the cluster jointly executes the protocol. The
+// caller keeps ownership of the transport and must Close it after the run.
+func RunLiveTransport(g *Graph, proto LiveProtocol, tr LiveTransport, opts LiveOptions) (LiveResult, error) {
+	return live.Run(g, proto, tr, opts.liveOptions())
+}
+
+// LiveTCPTransport is the multi-process transport: JSON lines over TCP,
+// one listener per process.
+type LiveTCPTransport = live.TCPTransport
+
+// NewLiveTCPTransport returns a TCP/JSON transport listening on listenAddr
+// and hosting the given nodes; map the remaining nodes to their processes'
+// addresses with SetPeers before running. See cmd/gossipd for the CLI.
+func NewLiveTCPTransport(listenAddr string, local []NodeID) (*LiveTCPTransport, error) {
+	return live.NewTCPTransport(listenAddr, local, 0)
 }
 
 // Conductance reports the weighted conductance analysis of a graph.

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/live"
+	"gossip/internal/sim"
+)
+
+// This file adapts the protocol state machines to the live wall-clock
+// runtime: live.Protocol descriptors (handler factory + local completion
+// goal) and the wire codecs the TCP transport needs to ship their payloads
+// between processes. The handlers themselves are untouched — the same state
+// machines run under both engines.
+
+func init() {
+	// bitPayload crosses the wire as a bare JSON bool.
+	live.RegisterPayload("core.bit",
+		func(p sim.Payload) ([]byte, bool) {
+			b, ok := p.(bitPayload)
+			if !ok {
+				return nil, false
+			}
+			data, err := json.Marshal(b.informed)
+			if err != nil {
+				return nil, false
+			}
+			return data, true
+		},
+		func(data []byte) (sim.Payload, error) {
+			var informed bool
+			if err := json.Unmarshal(data, &informed); err != nil {
+				return nil, fmt.Errorf("core: bit payload: %w", err)
+			}
+			return bitPayload{informed: informed}, nil
+		})
+}
+
+// broadcastProto is the live.Protocol shape shared by the single-source
+// broadcast protocols: completion is "this node is informed".
+type broadcastProto struct {
+	name       string
+	known      bool
+	newHandler func(u graph.NodeID) sim.Handler
+	informed   func(h sim.Handler) bool
+}
+
+var _ live.Protocol = (*broadcastProto)(nil)
+
+func (p *broadcastProto) Name() string                          { return p.name }
+func (p *broadcastProto) KnownLatencies() bool                  { return p.known }
+func (p *broadcastProto) NewHandler(u graph.NodeID) sim.Handler { return p.newHandler(u) }
+func (p *broadcastProto) LocalDone(_ graph.NodeID, h sim.Handler) bool {
+	return p.informed(h)
+}
+
+// PushPullLive returns the live-runtime descriptor for the random phone call
+// broadcast from source (Theorem 12) — the same pushPullNode state machine
+// PushPull drives in the simulator.
+func PushPullLive(source graph.NodeID, mode PushPullMode) live.Protocol {
+	return &broadcastProto{
+		name:  "pushpull",
+		known: mode == ModeLatencyBiased,
+		newHandler: func(u graph.NodeID) sim.Handler {
+			return &pushPullNode{informed: u == source, informer: -1, mode: mode}
+		},
+		informed: func(h sim.Handler) bool { return h.(*pushPullNode).informed },
+	}
+}
+
+// FloodLive returns the live-runtime descriptor for deterministic flooding
+// from source.
+func FloodLive(source graph.NodeID) live.Protocol {
+	return &broadcastProto{
+		name: "flood",
+		newHandler: func(u graph.NodeID) sim.Handler {
+			return &floodNode{informed: u == source}
+		},
+		informed: func(h sim.Handler) bool { return h.(*floodNode).informed },
+	}
+}

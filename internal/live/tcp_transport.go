@@ -1,0 +1,295 @@
+package live
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// wireMessage is the JSON line format of the TCP transport. Payloads travel
+// as (registered type name, raw bytes) pairs — see codec.go.
+type wireMessage struct {
+	Kind        uint8           `json:"k"`
+	From        int             `json:"f"`
+	To          int             `json:"t"`
+	EdgeID      int             `json:"e"`
+	Latency     int             `json:"l"`
+	SentTick    int             `json:"s"`
+	PayloadType string          `json:"pt,omitempty"`
+	Payload     json.RawMessage `json:"p,omitempty"`
+}
+
+// TCPTransport moves messages between processes as JSON lines over TCP.
+// Each process hosts a subset of the graph's nodes behind one listener;
+// SetPeers maps every remote node to the listen address of the process
+// hosting it. Messages between two locally hosted nodes short-circuit the
+// socket and are delivered in memory.
+//
+// Outbound connections are dialed lazily (with retries, so a cluster's
+// processes may start in any order) and pooled per destination address.
+type TCPTransport struct {
+	ln      net.Listener
+	inboxes map[graph.NodeID]chan Message
+
+	mu      sync.Mutex
+	peers   map[graph.NodeID]string
+	outs    map[string]*outConn
+	accepts []net.Conn
+
+	dialTimeout time.Duration
+	dropped     atomic.Int64
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// outConn is one pooled outbound connection; its mutex serializes writers so
+// a slow peer only stalls traffic to that peer.
+type outConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *json.Encoder
+}
+
+// NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") and hosts the
+// given local nodes. Call Addr to learn the bound address and SetPeers to
+// install the node→address map before the first remote Send.
+func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPTransport, error) {
+	if buffer <= 0 {
+		buffer = DefaultInboxBuffer
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", listenAddr, err)
+	}
+	t := &TCPTransport{
+		ln:          ln,
+		inboxes:     make(map[graph.NodeID]chan Message, len(local)),
+		peers:       make(map[graph.NodeID]string),
+		outs:        make(map[string]*outConn),
+		dialTimeout: 10 * time.Second,
+		closed:      make(chan struct{}),
+	}
+	for _, u := range local {
+		t.inboxes[u] = make(chan Message, buffer)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCPTransport) Addr() net.Addr { return t.ln.Addr() }
+
+// SetPeers installs (or extends) the node→address map used to route remote
+// sends. Locally hosted nodes need no entry.
+func (t *TCPTransport) SetPeers(addrs map[graph.NodeID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for u, a := range addrs {
+		t.peers[u] = a
+	}
+}
+
+// SetDialTimeout bounds how long a remote Send retries dialing an
+// unreachable peer before dropping the message (default 10s — generous so a
+// cluster's processes may start in any order).
+func (t *TCPTransport) SetDialTimeout(d time.Duration) { t.dialTimeout = d }
+
+// Dropped returns the number of messages abandoned on dial or write
+// failures since the transport started.
+func (t *TCPTransport) Dropped() int64 { return t.dropped.Load() }
+
+// Send implements Transport. Local destinations are delivered in memory;
+// remote destinations are encoded eagerly (so codec errors surface here)
+// and written to the peer after the latency delay.
+func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
+	select {
+	case <-t.closed:
+		return ErrTransportClosed
+	default:
+	}
+	if inbox, ok := t.inboxes[msg.To]; ok {
+		deliverAfter(inbox, msg, delay, t.closed)
+		return nil
+	}
+	t.mu.Lock()
+	addr, ok := t.peers[msg.To]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("live: no peer address for node %d", msg.To)
+	}
+	pt, data, err := encodePayload(msg.Payload)
+	if err != nil {
+		return err
+	}
+	w := wireMessage{
+		Kind:        uint8(msg.Kind),
+		From:        int(msg.From),
+		To:          int(msg.To),
+		EdgeID:      msg.EdgeID,
+		Latency:     msg.Latency,
+		SentTick:    msg.SentTick,
+		PayloadType: pt,
+		Payload:     data,
+	}
+	time.AfterFunc(delay, func() { t.write(addr, w) })
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(u graph.NodeID) <-chan Message { return t.inboxes[u] }
+
+// Close implements Transport: it stops the listener, all connections, and
+// abandons undelivered messages.
+func (t *TCPTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.ln.Close()
+		t.mu.Lock()
+		for _, oc := range t.outs {
+			oc.c.Close()
+		}
+		for _, c := range t.accepts {
+			c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.accepts = append(t.accepts, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+// readLoop decodes JSON lines from one inbound connection and routes them to
+// the local inboxes.
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	dec := json.NewDecoder(bufio.NewReader(c))
+	for {
+		var w wireMessage
+		if err := dec.Decode(&w); err != nil {
+			return // EOF or closed
+		}
+		inbox, ok := t.inboxes[graph.NodeID(w.To)]
+		if !ok {
+			t.dropped.Add(1) // misrouted: not hosted here
+			continue
+		}
+		payload, err := decodePayload(w.PayloadType, w.Payload)
+		if err != nil {
+			t.dropped.Add(1)
+			continue
+		}
+		msg := Message{
+			Kind:     MsgKind(w.Kind),
+			From:     graph.NodeID(w.From),
+			To:       graph.NodeID(w.To),
+			EdgeID:   w.EdgeID,
+			Latency:  w.Latency,
+			SentTick: w.SentTick,
+			Payload:  payload,
+		}
+		select {
+		case inbox <- msg:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// write delivers one encoded message to addr, dialing if needed. Failures
+// drop the message — the live model's answer to a crashed or partitioned
+// peer — and evict the broken connection so the next write redials.
+func (t *TCPTransport) write(addr string, w wireMessage) {
+	oc, err := t.conn(addr)
+	if err != nil {
+		t.dropped.Add(1)
+		return
+	}
+	oc.mu.Lock()
+	err = oc.enc.Encode(&w)
+	oc.mu.Unlock()
+	if err != nil {
+		t.evict(addr, oc)
+		t.dropped.Add(1)
+	}
+}
+
+// conn returns the pooled connection to addr, dialing with retries until
+// dialTimeout so peers may come up after us.
+func (t *TCPTransport) conn(addr string) (*outConn, error) {
+	t.mu.Lock()
+	if oc, ok := t.outs[addr]; ok {
+		t.mu.Unlock()
+		return oc, nil
+	}
+	t.mu.Unlock()
+
+	deadline := time.Now().Add(t.dialTimeout)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+		}
+		select {
+		case <-t.closed:
+			return nil, ErrTransportClosed
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	oc := &outConn{c: c, enc: json.NewEncoder(c)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prior, ok := t.outs[addr]; ok {
+		// Lost a dial race; keep the first connection.
+		c.Close()
+		return prior, nil
+	}
+	select {
+	case <-t.closed:
+		c.Close()
+		return nil, ErrTransportClosed
+	default:
+	}
+	t.outs[addr] = oc
+	return oc, nil
+}
+
+// evict removes a broken pooled connection so the next write redials.
+func (t *TCPTransport) evict(addr string, oc *outConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.outs[addr] == oc {
+		delete(t.outs, addr)
+	}
+	oc.c.Close()
+}

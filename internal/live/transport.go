@@ -1,0 +1,69 @@
+package live
+
+import (
+	"errors"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/sim"
+)
+
+// MsgKind distinguishes the two halves of an exchange.
+type MsgKind uint8
+
+const (
+	// MsgRequest is the initiator→responder half of an exchange.
+	MsgRequest MsgKind = iota + 1
+	// MsgResponse is the responder→initiator half.
+	MsgResponse
+)
+
+// Message is one in-flight half of an exchange. It is the live counterpart
+// of the round simulator's calendar event: Latency is the edge's latency in
+// rounds (ticks) and SentTick the initiator's tick at initiation, so the
+// receiver can reconstruct the same sim.Request/sim.Response the lockstep
+// engine would have delivered.
+type Message struct {
+	Kind     MsgKind
+	From, To graph.NodeID
+	EdgeID   int
+	Latency  int
+	SentTick int
+	Payload  sim.Payload
+}
+
+// ErrTransportClosed reports a Send on a closed transport.
+var ErrTransportClosed = errors.New("live: transport closed")
+
+// Transport moves messages between nodes. Implementations must be safe for
+// concurrent use: every node goroutine sends through the same transport.
+//
+// Send schedules msg for delivery to msg.To after delay — this is where an
+// edge's latency becomes real wall-clock time. Send must not block on slow
+// receivers (delivery happens asynchronously); a delivery that cannot
+// complete by the time the transport closes is dropped, mirroring a message
+// lost to a crashed node. Payloads must be treated as immutable once passed
+// to Send, exactly as the round engine requires.
+//
+// Recv returns the inbox of a node hosted by this transport, or nil for
+// nodes hosted elsewhere (multi-process deployments).
+//
+// Close stops all delivery and releases listeners, connections, and pending
+// timers. Close the transport only after every runtime using it returned.
+type Transport interface {
+	Send(msg Message, delay time.Duration) error
+	Recv(u graph.NodeID) <-chan Message
+	Close() error
+}
+
+// deliverAfter delivers msg to inbox after delay on a timer goroutine,
+// abandoning the delivery if closed is signalled first (so a full inbox of a
+// stopped runtime cannot leak the goroutine forever).
+func deliverAfter(inbox chan<- Message, msg Message, delay time.Duration, closed <-chan struct{}) {
+	time.AfterFunc(delay, func() {
+		select {
+		case inbox <- msg:
+		case <-closed:
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+)
+
+// Env is the engine backend behind a Context — the seam that lets different
+// runtimes drive the same Handler state machines. The round simulator's
+// Network implements it for deterministic lockstep execution; internal/live
+// implements it for wall-clock execution over real concurrent transports.
+//
+// An Env is per-node: every method answers for the single node it serves,
+// and Initiate is only ever called from that node's engine callbacks (the
+// round engine's single goroutine, or the node's own goroutine in a live
+// runtime), so implementations need no internal locking for it.
+type Env interface {
+	// NodeID returns the identity of the node this environment serves.
+	NodeID() graph.NodeID
+	// Graph returns the network graph (topology is global knowledge for
+	// neighbor lists; latencies are gated by KnownLatencies).
+	Graph() *graph.Graph
+	// Round returns the node's current round (a live runtime's tick count).
+	Round() int
+	// NHint returns the network-size upper bound known to nodes.
+	NHint() int
+	// Seed returns the run's master seed; per-node random streams derive
+	// from it, so two runtimes with equal seeds give every node identical
+	// randomness regardless of scheduling.
+	Seed() uint64
+	// KnownLatencies reports whether nodes may observe adjacent latencies.
+	KnownLatencies() bool
+	// Initiate starts an exchange on the node's idx-th edge and returns its
+	// exchange ID. At most one initiation per node per round is allowed.
+	Initiate(idx int, payload Payload) (uint64, error)
+}
+
+// NewContext builds a Context over an engine backend. Runtimes other than
+// the round simulator use this to drive Handlers unchanged.
+func NewContext(env Env) *Context { return &Context{env: env} }
+
+// nodeEnv is the round simulator's Env: it binds a Network to one node.
+type nodeEnv struct {
+	nw   *Network
+	node *nodeState
+}
+
+var _ Env = (*nodeEnv)(nil)
+
+func (e *nodeEnv) NodeID() graph.NodeID { return e.node.id }
+func (e *nodeEnv) Graph() *graph.Graph  { return e.nw.g }
+func (e *nodeEnv) Round() int           { return e.nw.round }
+func (e *nodeEnv) NHint() int           { return e.nw.cfg.NHint }
+func (e *nodeEnv) Seed() uint64         { return e.nw.cfg.Seed }
+func (e *nodeEnv) KnownLatencies() bool { return e.nw.cfg.KnownLatencies }
+
+// Initiate schedules the request event on the round calendar; the paper's
+// split delivery (⌈ℓ/2⌉ out, ⌊ℓ/2⌋ back) happens in Network.deliver.
+func (e *nodeEnv) Initiate(idx int, payload Payload) (uint64, error) {
+	if e.node.initiated {
+		return 0, fmt.Errorf("sim: node %d already initiated in round %d", e.node.id, e.nw.round)
+	}
+	hes := e.nw.g.Neighbors(e.node.id)
+	if idx < 0 || idx >= len(hes) {
+		return 0, fmt.Errorf("sim: node %d edge index %d out of range [0,%d)", e.node.id, idx, len(hes))
+	}
+	e.node.initiated = true
+	he := hes[idx]
+	nw := e.nw
+	nw.nextExch++
+	reqDelay := (he.Latency + 1) / 2
+	if nw.cfg.FullRTTDelivery {
+		reqDelay = he.Latency
+	}
+	ev := &event{
+		kind:        evRequest,
+		from:        e.node.id,
+		to:          he.To,
+		edgeID:      he.ID,
+		payload:     payload,
+		initiatedAt: nw.round,
+		latency:     he.Latency,
+		exchangeID:  nw.nextExch,
+	}
+	nw.schedule(nw.round+reqDelay, ev)
+	nw.metrics.Requests++
+	nw.metrics.EdgeActivations++
+	nw.loads[e.node.id].Initiated++
+	nw.metrics.Bytes += PayloadSize(payload)
+	nw.trace(TraceEvent{Kind: TraceInitiate, Round: nw.round, From: e.node.id, To: he.To, EdgeID: he.ID, Latency: he.Latency})
+	return nw.nextExch, nil
+}

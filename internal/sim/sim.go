@@ -227,7 +227,7 @@ func (nw *Network) Loads() []NodeLoad {
 // SetHandler attaches a handler to node u.
 func (nw *Network) SetHandler(u graph.NodeID, h Handler) {
 	st := &nodeState{id: u, handler: h}
-	st.ctx = Context{nw: nw, node: st}
+	st.ctx = Context{env: &nodeEnv{nw: nw, node: st}}
 	nw.nodes[u] = st
 }
 
@@ -235,31 +235,32 @@ func (nw *Network) SetHandler(u graph.NodeID, h Handler) {
 func (nw *Network) Handler(u graph.NodeID) Handler { return nw.nodes[u].handler }
 
 // Context is a node's interface to the engine. A Context is only valid
-// during the engine callbacks of its own node.
+// during the engine callbacks of its own node. It is a thin façade over an
+// Env backend (see env.go), so any runtime that implements Env can drive
+// the same Handler protocols.
 type Context struct {
-	nw   *Network
-	node *nodeState
+	env  Env
 	rand *rand.Rand
 }
 
 // ID returns the node's identifier.
-func (c *Context) ID() graph.NodeID { return c.node.id }
+func (c *Context) ID() graph.NodeID { return c.env.NodeID() }
 
 // NHint returns the upper bound on the network size known to nodes.
-func (c *Context) NHint() int { return c.nw.cfg.NHint }
+func (c *Context) NHint() int { return c.env.NHint() }
 
 // Round returns the current round.
-func (c *Context) Round() int { return c.nw.round }
+func (c *Context) Round() int { return c.env.Round() }
 
 // Degree returns the node's degree.
-func (c *Context) Degree() int { return c.nw.g.Degree(c.node.id) }
+func (c *Context) Degree() int { return c.env.Graph().Degree(c.env.NodeID()) }
 
 // Neighbor returns the node's idx-th incident edge. Latency is included only
 // when the network has known latencies.
 func (c *Context) Neighbor(idx int) EdgeView {
-	he := c.nw.g.Neighbors(c.node.id)[idx]
+	he := c.env.Graph().Neighbors(c.env.NodeID())[idx]
 	ev := EdgeView{To: he.To, Index: idx, EdgeID: he.ID}
-	if c.nw.cfg.KnownLatencies {
+	if c.env.KnownLatencies() {
 		ev.Latency = he.Latency
 	}
 	return ev
@@ -267,7 +268,7 @@ func (c *Context) Neighbor(idx int) EdgeView {
 
 // Neighbors returns all incident edges (see Neighbor for latency rules).
 func (c *Context) Neighbors() []EdgeView {
-	hes := c.nw.g.Neighbors(c.node.id)
+	hes := c.env.Graph().Neighbors(c.env.NodeID())
 	out := make([]EdgeView, len(hes))
 	for i := range hes {
 		out[i] = c.Neighbor(i)
@@ -275,10 +276,12 @@ func (c *Context) Neighbors() []EdgeView {
 	return out
 }
 
-// Rand returns the node's deterministic random stream.
+// Rand returns the node's deterministic random stream. The stream depends
+// only on (seed, node), so a protocol makes identical random choices under
+// every runtime that preserves its tick count.
 func (c *Context) Rand() *rand.Rand {
 	if c.rand == nil {
-		c.rand = rng.Stream(c.nw.cfg.Seed, uint64(c.node.id)+1)
+		c.rand = rng.Stream(c.env.Seed(), uint64(c.env.NodeID())+1)
 	}
 	return c.rand
 }
@@ -287,41 +290,12 @@ func (c *Context) Rand() *rand.Rand {
 // request payload. At most one initiation per node per round is allowed; a
 // second call in the same round returns an error. It returns the exchange ID.
 func (c *Context) Initiate(idx int, payload Payload) (uint64, error) {
-	if c.node.initiated {
-		return 0, fmt.Errorf("sim: node %d already initiated in round %d", c.node.id, c.nw.round)
-	}
-	hes := c.nw.g.Neighbors(c.node.id)
-	if idx < 0 || idx >= len(hes) {
-		return 0, fmt.Errorf("sim: node %d edge index %d out of range [0,%d)", c.node.id, idx, len(hes))
-	}
-	c.node.initiated = true
-	he := hes[idx]
-	nw := c.nw
-	nw.nextExch++
-	reqDelay := (he.Latency + 1) / 2
-	if nw.cfg.FullRTTDelivery {
-		reqDelay = he.Latency
-	}
-	ev := &event{
-		kind:        evRequest,
-		from:        c.node.id,
-		to:          he.To,
-		edgeID:      he.ID,
-		payload:     payload,
-		initiatedAt: nw.round,
-		latency:     he.Latency,
-		exchangeID:  nw.nextExch,
-	}
-	nw.schedule(nw.round+reqDelay, ev)
-	nw.metrics.Requests++
-	nw.metrics.EdgeActivations++
-	nw.loads[c.node.id].Initiated++
-	nw.metrics.Bytes += payloadSize(payload)
-	nw.trace(TraceEvent{Kind: TraceInitiate, Round: nw.round, From: c.node.id, To: he.To, EdgeID: he.ID, Latency: he.Latency})
-	return nw.nextExch, nil
+	return c.env.Initiate(idx, payload)
 }
 
-func payloadSize(p Payload) int {
+// PayloadSize returns the accounted size of a payload: SizeBytes when the
+// payload implements Sizer, 1 byte otherwise.
+func PayloadSize(p Payload) int {
 	if s, ok := p.(Sizer); ok {
 		return s.SizeBytes()
 	}
@@ -439,7 +413,7 @@ func (nw *Network) deliver() {
 					exchangeID:  ev.exchangeID,
 				})
 				nw.metrics.Responses++
-				nw.metrics.Bytes += payloadSize(respPayload)
+				nw.metrics.Bytes += PayloadSize(respPayload)
 			case evResponse:
 				st := nw.nodes[ev.to]
 				nw.trace(TraceEvent{Kind: TraceResponse, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})

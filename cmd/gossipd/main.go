@@ -15,7 +15,18 @@
 //
 // Graphs: clique, star, path, cycle, grid, gnp, ringcliques, dumbbell, or
 // -load FILE (.json as graphio JSON, anything else as an edge list).
-// Protocols: pushpull, flood.
+// Protocols: pushpull, flood, rr.
+//
+// Chaos flags inject deterministic faults (same -seed + same flags = same
+// faults on every daemon): -drop and -dup are per-message probabilities,
+// -jitter adds up to that many ticks of extra delay, -crash takes
+// "node=tick" (permanent) or "node=tick:tick2" (recover at tick2), and
+// -partition cuts all edges between two node sets for a tick window:
+//
+//	-partition "50:150:0-31/32-63"   # cut halves during ticks [50,150)
+//	-partition "50:0:0-31/32-63"     # ... and never heal (until = 0)
+//
+// Separate multiple partition epochs with ";".
 package main
 
 import (
@@ -58,7 +69,13 @@ func run(args []string, out io.Writer) error {
 		tick      = fs.Duration("tick", gossip.DefaultLiveTick, "wall-clock duration of one round")
 		maxTicks  = fs.Int("maxticks", 0, "tick budget (0 = default)")
 		linger    = fs.Duration("linger", 2*time.Second, "keep serving peers this long after local completion")
-		crashSpec = fs.String("crash", "", "fail-stop injection, e.g. 3=10,7=25 (node=tick)")
+		crashSpec = fs.String("crash", "", "crash injection, e.g. 3=10,7=25:60 (node=tick[:recover-tick])")
+		drop      = fs.Float64("drop", 0, "per-message drop probability in [0,1]")
+		dup       = fs.Float64("dup", 0, "per-message duplication probability in [0,1]")
+		jitter    = fs.Int("jitter", 0, "extra delivery delay of up to this many ticks per message")
+		partSpec  = fs.String("partition", "", "link cuts, e.g. 50:150:0-31/32-63 (from:until:setA/setB; until 0 = never heal; ';' separates epochs)")
+		faultSeed = fs.Uint64("faultseed", 0, "fault-decision seed (0 = use -seed)")
+		rrK       = fs.Int("rrk", 0, "RR broadcast latency bound k (0 = the graph's max edge latency)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +96,10 @@ func run(args []string, out io.Writer) error {
 	crashes, err := parseCrashes(*crashSpec, g.N())
 	if err != nil {
 		return fmt.Errorf("-crash: %w", err)
+	}
+	partitions, err := parsePartitions(*partSpec, g)
+	if err != nil {
+		return fmt.Errorf("-partition: %w", err)
 	}
 
 	tr, err := gossip.NewLiveTCPTransport(*listen, hosted)
@@ -104,27 +125,55 @@ func run(args []string, out io.Writer) error {
 	}
 	tr.SetPeers(peers)
 
-	var lp gossip.LiveProtocol
-	switch *proto {
-	case "pushpull":
-		lp = gossip.LivePushPull(gossip.NodeID(*source))
-	case "flood":
-		lp = gossip.LiveFlood(gossip.NodeID(*source))
-	default:
-		return fmt.Errorf("unknown protocol %q (want pushpull or flood)", *proto)
-	}
-
-	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v\n",
-		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick)
-
-	res, err := gossip.RunLiveTransport(g, lp, tr, gossip.LiveOptions{
+	opts := gossip.LiveOptions{
 		Seed:     *seed,
 		Tick:     *tick,
 		MaxTicks: *maxTicks,
 		Nodes:    hosted,
 		Crashes:  crashes,
 		Linger:   *linger,
-	})
+	}
+	if *drop > 0 || *dup > 0 || *jitter > 0 || len(partitions) > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		opts.Faults = &gossip.LiveFaultConfig{
+			Seed:        fseed,
+			Drop:        *drop,
+			Duplicate:   *dup,
+			JitterTicks: *jitter,
+			Partitions:  partitions,
+		}
+	}
+
+	var lp gossip.LiveProtocol
+	switch *proto {
+	case "pushpull":
+		lp = gossip.LivePushPull(gossip.NodeID(*source))
+	case "flood":
+		lp = gossip.LiveFlood(gossip.NodeID(*source))
+	case "rr":
+		k := *rrK
+		if k <= 0 {
+			for _, e := range g.Edges() {
+				if e.Latency > k {
+					k = e.Latency
+				}
+			}
+		}
+		lp, err = gossip.LiveRRBroadcast(g, k, 0, opts)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q (want pushpull, flood or rr)", *proto)
+	}
+
+	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v\n",
+		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick)
+
+	res, err := gossip.RunLiveTransport(g, lp, tr, opts)
 	informed := 0
 	for _, u := range hosted {
 		if res.Done[u] {
@@ -134,6 +183,11 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "completed=%v informed=%d/%d ticks=%d messages=%d bytes=%d wall=%v dropped=%d\n",
 		res.Completed, informed, len(hosted), res.Metrics.Ticks, res.Metrics.Messages(),
 		res.Metrics.Bytes, res.Metrics.Wall.Round(time.Millisecond), tr.Dropped())
+	if f := res.Faults; f.Dropped() > 0 || f.InjectedDups > 0 || f.Retransmits > 0 || len(f.Partitions) > 0 {
+		fmt.Fprintf(out, "faults: injected-drops=%d partition-drops=%d transport-drops=%d dups=%d jittered=%d retransmits=%d dedup-hits=%d partitions=%d\n",
+			f.InjectedDrops, f.PartitionDrops, f.TransportDrops, f.InjectedDups, f.Jittered,
+			f.Retransmits, f.DupsSuppressed, len(f.Partitions))
+	}
 	return err
 }
 
@@ -234,28 +288,79 @@ func parsePeers(spec string, n int) (map[gossip.NodeID]string, error) {
 	return peers, nil
 }
 
-// parseCrashes parses "3=10,7=25" into node→crash-tick.
-func parseCrashes(spec string, n int) (map[gossip.NodeID]int, error) {
+// parseCrashes parses "3=10,7=25:60" into node→crash plan: "node=tick"
+// crashes permanently, "node=tick:tick2" rejoins with cleared state at tick2.
+func parseCrashes(spec string, n int) (map[gossip.NodeID]gossip.LiveCrash, error) {
 	if spec == "" {
 		return nil, nil
 	}
-	crashes := make(map[gossip.NodeID]int)
+	crashes := make(map[gossip.NodeID]gossip.LiveCrash)
 	for _, part := range strings.Split(spec, ",") {
 		node, tickStr, ok := strings.Cut(part, "=")
 		if !ok {
-			return nil, fmt.Errorf("entry %q is not node=tick", part)
+			return nil, fmt.Errorf("entry %q is not node=tick[:recover-tick]", part)
 		}
 		u, err := strconv.Atoi(node)
 		if err != nil || u < 0 || u >= n {
 			return nil, fmt.Errorf("bad node in %q", part)
 		}
-		t, err := strconv.Atoi(tickStr)
+		atStr, recStr, hasRec := strings.Cut(tickStr, ":")
+		t, err := strconv.Atoi(atStr)
 		if err != nil || t < 1 {
 			return nil, fmt.Errorf("bad tick in %q (must be >= 1)", part)
 		}
-		crashes[gossip.NodeID(u)] = t
+		plan := gossip.LiveCrash{At: t}
+		if hasRec {
+			r, err := strconv.Atoi(recStr)
+			if err != nil || r <= t {
+				return nil, fmt.Errorf("bad recovery tick in %q (must be > crash tick)", part)
+			}
+			plan.RecoverAt = r
+		}
+		crashes[gossip.NodeID(u)] = plan
 	}
 	return crashes, nil
+}
+
+// parsePartitions parses "from:until:setA/setB" epochs separated by ";" into
+// partition schedules, deriving each epoch's cut edge set from the graph.
+func parsePartitions(spec string, g *gossip.Graph) ([]gossip.LivePartition, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var parts []gossip.LivePartition
+	for _, epoch := range strings.Split(spec, ";") {
+		fields := strings.SplitN(epoch, ":", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("epoch %q is not from:until:setA/setB", epoch)
+		}
+		from, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("bad from tick in %q", epoch)
+		}
+		until, err := strconv.Atoi(strings.TrimSpace(fields[1]))
+		if err != nil || (until != 0 && until <= from) {
+			return nil, fmt.Errorf("bad until tick in %q (must be > from, or 0 = never heal)", epoch)
+		}
+		aSpec, bSpec, ok := strings.Cut(fields[2], "/")
+		if !ok {
+			return nil, fmt.Errorf("epoch %q missing setA/setB", epoch)
+		}
+		a, err := parseNodeSet(aSpec, g.N())
+		if err != nil {
+			return nil, fmt.Errorf("epoch %q side A: %w", epoch, err)
+		}
+		b, err := parseNodeSet(bSpec, g.N())
+		if err != nil {
+			return nil, fmt.Errorf("epoch %q side B: %w", epoch, err)
+		}
+		edges := gossip.LiveCutBetween(g, a, b)
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("epoch %q cuts no edges", epoch)
+		}
+		parts = append(parts, gossip.LivePartition{From: from, Until: until, Edges: edges})
+	}
+	return parts, nil
 }
 
 // parseRange parses "5" or "3-9" into an inclusive [lo, hi] pair.

@@ -284,8 +284,55 @@ type LiveTransport = live.Transport
 // wall time); Sim() converts it to the simulator's Metrics shape.
 type LiveMetrics = live.Metrics
 
-// LiveResult reports a live run.
+// LiveResult reports a live run, including its fault ledger (Faults) and
+// per-node crash/recovery outcomes.
 type LiveResult = live.Result
+
+// LiveCrash schedules a crash-recovery epoch for one node: fail-stop at tick
+// At; if RecoverAt > 0, rejoin at that tick with cleared protocol state.
+// RecoverAt == 0 means the crash is permanent.
+type LiveCrash = live.CrashPlan
+
+// LiveFaultConfig configures deterministic fault injection for a live run:
+// message drop and duplication probabilities, latency jitter, and scheduled
+// link partitions. Every fault decision is a pure function of (Seed, message
+// identity), so a fault plan replays identically across runs.
+type LiveFaultConfig = live.FaultConfig
+
+// LivePartition cuts a set of edges during a tick window (see LiveCutBetween
+// for deriving the edge set from a node bipartition).
+type LivePartition = live.Partition
+
+// LiveFaultCounts aggregates fault accounting across the transport stack;
+// Dropped() totals losses from every cause.
+type LiveFaultCounts = live.FaultCounts
+
+// LiveFaultReport is the fault ledger of a live run: counters, partition
+// epochs, and the informed-fraction-over-time trajectory.
+type LiveFaultReport = live.FaultReport
+
+// LiveFaultTransport decorates any LiveTransport with seeded fault
+// injection; see NewLiveFaultTransport.
+type LiveFaultTransport = live.FaultTransport
+
+// NewLiveFaultTransport wraps a transport with the given fault plan. Most
+// callers can set LiveOptions.Faults instead and let RunLive wrap for them;
+// use this directly to stack faults over a custom transport arrangement.
+func NewLiveFaultTransport(inner LiveTransport, cfg LiveFaultConfig) *LiveFaultTransport {
+	return live.NewFaultTransport(inner, cfg)
+}
+
+// LiveCutBetween returns the IDs of all edges between node sets a and b —
+// the cut's edge set, ready for LivePartition.Edges.
+func LiveCutBetween(g *Graph, a, b []NodeID) []int {
+	return live.CutBetween(g, a, b)
+}
+
+// ErrLiveMaxTicks reports that a live run stopped with every hosted node
+// halted — tick budget spent or schedule ended — before the protocol's goal
+// was reached. This is the fail-closed outcome: a fixed-schedule protocol
+// whose window was cut by a fault surfaces this error instead of hanging.
+var ErrLiveMaxTicks = live.ErrMaxTicks
 
 // LiveOptions configures a live run. The zero value is usable.
 type LiveOptions struct {
@@ -300,9 +347,16 @@ type LiveOptions struct {
 	MaxTicks int
 	// NHint is the polynomial size bound known to nodes (0 = exact).
 	NHint int
-	// Crashes schedules fail-stop failures: Crashes[v] = t halts node v at
-	// tick t (it stops ticking and drops messages unanswered).
-	Crashes map[NodeID]int
+	// Crashes schedules crash-recovery epochs: Crashes[v] halts node v at
+	// tick At (it stops ticking and drops messages unanswered) and, when
+	// RecoverAt is set, rejoins it there with cleared state. Completion is
+	// defined among reachable survivors: permanently crashed nodes don't
+	// count; recovering nodes do.
+	Crashes map[NodeID]LiveCrash
+	// Faults, when non-nil, wraps the run's transport in a
+	// LiveFaultTransport injecting the configured chaos (drops, dups,
+	// jitter, partitions); the resulting ledger lands in LiveResult.Faults.
+	Faults *LiveFaultConfig
 	// Nodes restricts this runtime to a subset of the graph's nodes (nil =
 	// all) — the multi-process deployment case; see RunLiveTransport.
 	Nodes []NodeID
@@ -323,6 +377,19 @@ func (o LiveOptions) liveOptions() live.Options {
 	}
 }
 
+// faultWrap applies o.Faults to tr, defaulting the fault plan's tick scale
+// to the run's tick.
+func (o LiveOptions) faultWrap(tr LiveTransport) LiveTransport {
+	if o.Faults == nil {
+		return tr
+	}
+	cfg := *o.Faults
+	if cfg.Tick <= 0 {
+		cfg.Tick = o.Tick
+	}
+	return live.NewFaultTransport(tr, cfg)
+}
+
 // LivePushPull returns the live protocol for push-pull broadcast from
 // source — the identical state machine RunPushPull drives in the simulator.
 func LivePushPull(source NodeID) LiveProtocol {
@@ -334,11 +401,22 @@ func LiveFlood(source NodeID) LiveProtocol {
 	return core.FloodLive(source)
 }
 
+// LiveRRBroadcast returns the live protocol for RR Broadcast over an
+// oriented spanner of the latency-<=k subgraph — the same fixed-schedule
+// state machine RunRRBroadcast drives in the simulator. The seed and nHint
+// must come from the run's LiveOptions so every process builds the identical
+// spanner. Unlike push-pull, the fixed schedule does not reroute around
+// faults: under partitions or crashes it fails closed (Completed=false)
+// rather than self-healing.
+func LiveRRBroadcast(g *Graph, k, spannerK int, opts LiveOptions) (LiveProtocol, error) {
+	return core.RRBroadcastLive(g, k, spannerK, opts.NHint, opts.Seed)
+}
+
 // RunLive executes a protocol on the live wall-clock runtime over an
 // in-process channel transport hosting every node: goroutine-per-node, real
 // latency delays, same seeded randomness as the simulator.
 func RunLive(g *Graph, proto LiveProtocol, opts LiveOptions) (LiveResult, error) {
-	tr := live.NewChanTransport(g.N(), 0)
+	tr := opts.faultWrap(live.NewChanTransport(g.N(), 0))
 	defer tr.Close()
 	o := opts.liveOptions()
 	o.Nodes = nil // the in-process transport hosts everyone
@@ -348,10 +426,12 @@ func RunLive(g *Graph, proto LiveProtocol, opts LiveOptions) (LiveResult, error)
 // RunLiveTransport executes a protocol on the live runtime over a
 // caller-supplied transport, hosting only opts.Nodes (nil = all). This is
 // the multi-process entry point: each process hosts a node subset behind a
-// NewLiveTCPTransport and the cluster jointly executes the protocol. The
-// caller keeps ownership of the transport and must Close it after the run.
+// NewLiveTCPTransport and the cluster jointly executes the protocol. When
+// opts.Faults is set, the transport is wrapped in a LiveFaultTransport for
+// the run. The caller keeps ownership of the transport and must Close it
+// after the run (the wrapper closes with it).
 func RunLiveTransport(g *Graph, proto LiveProtocol, tr LiveTransport, opts LiveOptions) (LiveResult, error) {
-	return live.Run(g, proto, tr, opts.liveOptions())
+	return live.Run(g, proto, opts.faultWrap(tr), opts.liveOptions())
 }
 
 // LiveTCPTransport is the multi-process transport: JSON lines over TCP,

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gossip/internal/graph"
@@ -19,12 +20,15 @@ const DefaultInboxBuffer = 1024
 // counterpart of the simulator's round calendar and the transport used by
 // gossip.RunLive.
 type ChanTransport struct {
-	inboxes   []chan Message
-	closed    chan struct{}
-	closeOnce sync.Once
+	inboxes     []chan Message
+	timers      timerSet
+	dropsClosed atomic.Int64 // deliveries abandoned at Close
+	closed      chan struct{}
+	closeOnce   sync.Once
 }
 
 var _ Transport = (*ChanTransport)(nil)
+var _ FaultReporter = (*ChanTransport)(nil)
 
 // NewChanTransport builds an in-process transport hosting nodes 0..n-1 with
 // the given per-node inbox capacity (<= 0 means DefaultInboxBuffer).
@@ -52,7 +56,10 @@ func (t *ChanTransport) Send(msg Message, delay time.Duration) error {
 	if msg.To < 0 || int(msg.To) >= len(t.inboxes) {
 		return fmt.Errorf("live: destination %d out of range [0,%d)", msg.To, len(t.inboxes))
 	}
-	deliverAfter(t.inboxes[msg.To], msg, delay, t.closed)
+	if !deliverAfter(&t.timers, t.inboxes[msg.To], msg, delay, t.closed) {
+		t.dropsClosed.Add(1)
+		return ErrTransportClosed
+	}
 	return nil
 }
 
@@ -64,8 +71,22 @@ func (t *ChanTransport) Recv(u graph.NodeID) <-chan Message {
 	return t.inboxes[u]
 }
 
-// Close implements Transport; pending deliveries are abandoned.
+// Close implements Transport; pending deliveries are stopped, counted, and
+// abandoned.
 func (t *ChanTransport) Close() error {
-	t.closeOnce.Do(func() { close(t.closed) })
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		t.dropsClosed.Add(t.timers.close())
+	})
 	return nil
+}
+
+// PendingDeliveries returns the number of armed delivery timers — zero after
+// Close (the timer-hygiene guarantee tests rely on).
+func (t *ChanTransport) PendingDeliveries() int { return t.timers.len() }
+
+// Faults implements FaultReporter: the channel transport's only loss path is
+// deliveries abandoned at Close.
+func (t *ChanTransport) Faults() FaultReport {
+	return FaultReport{FaultCounts: FaultCounts{TransportDrops: t.dropsClosed.Load()}}
 }

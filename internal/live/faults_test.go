@@ -1,0 +1,328 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// scriptedFeed builds a deterministic message schedule: every half-edge of g
+// carries one request per tick in [0, ticks). Feeding the same schedule into
+// two transports must produce identical behaviour, which is what makes
+// fault-injection determinism testable independently of goroutine timing.
+func scriptedFeed(g *graph.Graph, ticks int) []Message {
+	var feed []Message
+	for tick := 0; tick < ticks; tick++ {
+		for u := 0; u < g.N(); u++ {
+			for _, he := range g.Neighbors(u) {
+				feed = append(feed, Message{
+					Kind:     MsgRequest,
+					From:     graph.NodeID(u),
+					To:       he.To,
+					EdgeID:   he.ID,
+					Latency:  he.Latency,
+					SentTick: tick,
+				})
+			}
+		}
+	}
+	return feed
+}
+
+// arrivalKey identifies one delivery for multiset comparison across runs.
+type arrivalKey struct {
+	edge     int
+	from     graph.NodeID
+	sentTick int
+}
+
+// runScripted feeds the schedule through a FaultTransport over a channel
+// transport, waits out all delays, and returns the arrival multiset and the
+// fault report (taken before Close so shutdown accounting can't leak in).
+func runScripted(t *testing.T, g *graph.Graph, feed []Message, cfg FaultConfig) (map[arrivalKey]int, FaultReport) {
+	t.Helper()
+	inner := NewChanTransport(g.N(), 4096)
+	ft := NewFaultTransport(inner, cfg)
+	for _, m := range feed {
+		if err := ft.Send(m, 0); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	// Worst-case extra delay: jitter plus the duplicate's trailing offset.
+	time.Sleep(50*time.Millisecond + time.Duration(2*(cfg.JitterTicks+1))*cfg.Tick)
+	got := make(map[arrivalKey]int)
+	for u := 0; u < g.N(); u++ {
+		for {
+			select {
+			case m := <-ft.Recv(graph.NodeID(u)):
+				got[arrivalKey{edge: m.EdgeID, from: m.From, sentTick: m.SentTick}]++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	rep := ft.Faults()
+	ft.Close()
+	return got, rep
+}
+
+// TestFaultTransportDeterministicReport is the chaos determinism check: the
+// same fault plan over the same message schedule must drop, duplicate and
+// jitter exactly the same messages on every run — byte-identical fault
+// reports and identical arrival multisets. Fault decisions hash message
+// identity, so goroutine scheduling cannot perturb them.
+func TestFaultTransportDeterministicReport(t *testing.T) {
+	g := graph.RingOfCliques(4, 4, 3)
+	var cliqueA, rest []graph.NodeID
+	for u := 0; u < g.N(); u++ {
+		if u < 4 {
+			cliqueA = append(cliqueA, graph.NodeID(u))
+		} else {
+			rest = append(rest, graph.NodeID(u))
+		}
+	}
+	cfg := FaultConfig{
+		Seed:        99,
+		Drop:        0.10,
+		Duplicate:   0.05,
+		JitterTicks: 2,
+		Tick:        time.Millisecond,
+		Partitions:  []Partition{{From: 3, Until: 6, Edges: CutBetween(g, cliqueA, rest)}},
+	}
+	feed := scriptedFeed(g, 10)
+
+	got1, rep1 := runScripted(t, g, feed, cfg)
+	got2, rep2 := runScripted(t, g, feed, cfg)
+
+	j1, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(rep2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("fault reports differ across identical runs:\n%s\n%s", j1, j2)
+	}
+	if len(got1) != len(got2) {
+		t.Fatalf("arrival multisets differ in size: %d vs %d", len(got1), len(got2))
+	}
+	for k, n := range got1 {
+		if got2[k] != n {
+			t.Errorf("arrival %+v: %d vs %d deliveries", k, n, got2[k])
+		}
+	}
+	if rep1.InjectedDrops == 0 || rep1.InjectedDups == 0 || rep1.Jittered == 0 || rep1.PartitionDrops == 0 {
+		t.Errorf("fault plan injected nothing on some axis: %+v", rep1.FaultCounts)
+	}
+	sent := int64(len(feed))
+	delivered := int64(0)
+	for _, n := range got1 {
+		delivered += int64(n)
+	}
+	if delivered != sent-rep1.InjectedDrops-rep1.PartitionDrops+rep1.InjectedDups {
+		t.Errorf("delivery ledger does not balance: sent=%d delivered=%d counts=%+v",
+			sent, delivered, rep1.FaultCounts)
+	}
+}
+
+// TestFaultTransportZeroRatePassThrough is the zero-fault equivalence check
+// at the transport level: an all-zero FaultTransport must behave exactly
+// like the bare transport — every message delivered once, nothing counted.
+func TestFaultTransportZeroRatePassThrough(t *testing.T) {
+	g := graph.Dumbbell(4, 2)
+	feed := scriptedFeed(g, 5)
+
+	got, rep := runScripted(t, g, feed, FaultConfig{Seed: 7})
+	if rep.Dropped() != 0 || rep.InjectedDups != 0 || rep.Jittered != 0 {
+		t.Errorf("zero-rate plan injected faults: %+v", rep.FaultCounts)
+	}
+	delivered := 0
+	for k, n := range got {
+		if n != 1 {
+			t.Errorf("arrival %+v delivered %d times, want 1", k, n)
+		}
+		delivered += n
+	}
+	if delivered != len(feed) {
+		t.Errorf("delivered %d of %d messages through zero-fault plan", delivered, len(feed))
+	}
+
+	// The bare transport delivers the identical multiset.
+	bare := NewChanTransport(g.N(), 4096)
+	defer bare.Close()
+	for _, m := range feed {
+		if err := bare.Send(m, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	bareGot := make(map[arrivalKey]int)
+	for u := 0; u < g.N(); u++ {
+		for {
+			select {
+			case m := <-bare.Recv(graph.NodeID(u)):
+				bareGot[arrivalKey{edge: m.EdgeID, from: m.From, sentTick: m.SentTick}]++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if len(bareGot) != len(got) {
+		t.Fatalf("bare vs zero-fault arrival sets differ: %d vs %d", len(bareGot), len(got))
+	}
+	for k, n := range bareGot {
+		if got[k] != n {
+			t.Errorf("arrival %+v: bare %d vs zero-fault %d", k, n, got[k])
+		}
+	}
+}
+
+// TestPartitionWindow pins the partition semantics: messages of exchanges
+// initiated inside [From, Until) are cut, everything else passes, and
+// Until <= 0 never heals.
+func TestPartitionWindow(t *testing.T) {
+	g := graph.Path(2, 1) // a single edge
+	edgeID := g.Neighbors(0)[0].ID
+
+	cfg := FaultConfig{Seed: 1, Partitions: []Partition{{From: 2, Until: 5, Edges: []int{edgeID}}}}
+	got, rep := runScripted(t, g, scriptedFeed(g, 7), cfg)
+	for k := range got {
+		if k.sentTick >= 2 && k.sentTick < 5 {
+			t.Errorf("message from tick %d crossed an active partition", k.sentTick)
+		}
+	}
+	// 2 directions × ticks {2,3,4} cut.
+	if rep.PartitionDrops != 6 {
+		t.Errorf("PartitionDrops = %d, want 6", rep.PartitionDrops)
+	}
+
+	// Never-healing partition: everything from From onward is cut.
+	cfg = FaultConfig{Seed: 1, Partitions: []Partition{{From: 3, Until: 0, Edges: []int{edgeID}}}}
+	got, rep = runScripted(t, g, scriptedFeed(g, 7), cfg)
+	for k := range got {
+		if k.sentTick >= 3 {
+			t.Errorf("message from tick %d crossed an unhealed partition", k.sentTick)
+		}
+	}
+	if rep.PartitionDrops != 8 {
+		t.Errorf("PartitionDrops = %d, want 8", rep.PartitionDrops)
+	}
+}
+
+// TestPartitionCutBetween checks the cut derivation: on a dumbbell the cut
+// between the halves is exactly the bridge, in either argument order.
+func TestPartitionCutBetween(t *testing.T) {
+	g := graph.Dumbbell(4, 2) // nodes 0..3 | 4..7, one bridge
+	var left, right []graph.NodeID
+	for u := 0; u < 4; u++ {
+		left = append(left, graph.NodeID(u))
+	}
+	for u := 4; u < 8; u++ {
+		right = append(right, graph.NodeID(u))
+	}
+	ab := CutBetween(g, left, right)
+	ba := CutBetween(g, right, left)
+	if len(ab) != 1 || len(ba) != 1 || ab[0] != ba[0] {
+		t.Fatalf("dumbbell cut: %v / %v, want one shared bridge edge", ab, ba)
+	}
+	if got := CutBetween(g, left, left[:2]); len(got) == 0 {
+		t.Error("intra-clique cut found no edges")
+	}
+	if got := CutBetween(g, left[:1], right[:1]); len(got) != 0 {
+		t.Errorf("cut between non-adjacent nodes: %v", got)
+	}
+}
+
+// TestFaultTimerHygieneOnClose is the deliverAfter leak check: a delivery
+// armed with an hour of delay must be stopped and counted at Close, leaving
+// no armed timer and no lingering goroutine behind.
+func TestFaultTimerHygieneOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tr := NewChanTransport(2, 8)
+	if err := tr.Send(Message{Kind: MsgRequest, From: 0, To: 1}, time.Hour); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if n := tr.PendingDeliveries(); n != 1 {
+		t.Fatalf("PendingDeliveries = %d before Close, want 1", n)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if n := tr.PendingDeliveries(); n != 0 {
+		t.Errorf("PendingDeliveries = %d after Close, want 0", n)
+	}
+	if got := tr.Faults().TransportDrops; got != 1 {
+		t.Errorf("TransportDrops = %d, want 1 abandoned delivery", got)
+	}
+	// The timer goroutine must be gone promptly, not after the hour.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after Close: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestChaosCrashRecoveryPushPull checks crash-recovery end to end: a node
+// that crashes mid-run and rejoins with cleared state gets re-informed by
+// push-pull, and the run completes counting it as a reachable survivor.
+func TestChaosCrashRecoveryPushPull(t *testing.T) {
+	g := graph.Clique(6, 1)
+	tr := NewChanTransport(g.N(), 0)
+	defer tr.Close()
+	res, err := Run(g, ppProto{source: 0}, tr, Options{
+		Seed:    5,
+		Tick:    testTick,
+		Crashes: map[graph.NodeID]CrashPlan{3: {At: 2, RecoverAt: 12}},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run with a recovering node did not complete")
+	}
+	if !res.Recovered[3] {
+		t.Error("node 3 not marked recovered")
+	}
+	if res.Crashed[3] {
+		t.Error("recovered node still marked crashed")
+	}
+	if !res.Done[3] {
+		t.Error("recovered node not re-informed")
+	}
+	if len(res.Faults.InformedOverTime) == 0 {
+		t.Error("informed-over-time series not recorded")
+	}
+
+	// An invalid plan (recovery not after crash) must be rejected.
+	if _, err := Run(g, ppProto{source: 0}, tr, Options{
+		Seed:    5,
+		Tick:    testTick,
+		Crashes: map[graph.NodeID]CrashPlan{3: {At: 5, RecoverAt: 5}},
+	}); err == nil {
+		t.Error("want error for RecoverAt <= At")
+	}
+}
+
+// TestFaultTransportClosePropagates checks the decorator's lifecycle: closing
+// the FaultTransport closes the inner transport.
+func TestFaultTransportClosePropagates(t *testing.T) {
+	inner := NewChanTransport(2, 8)
+	ft := NewFaultTransport(inner, FaultConfig{})
+	if err := ft.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := inner.Send(Message{To: 1}, 0); err == nil {
+		t.Error("inner transport still open after decorator Close")
+	}
+}

@@ -39,9 +39,18 @@ const DefaultTick = time.Millisecond
 // DefaultMaxTicks bounds runs whose completion goal never fires.
 const DefaultMaxTicks = 30_000
 
-// ErrMaxTicks reports that every hosted node spent its tick budget before
-// the local completion goal fired.
-var ErrMaxTicks = errors.New("live: tick budget exhausted before completion")
+// ErrMaxTicks reports that every hosted node stopped — tick budget spent or
+// fixed schedule finished — before the local completion goal fired.
+var ErrMaxTicks = errors.New("live: all nodes stopped before completion")
+
+// CrashPlan schedules a crash-recovery epoch for one node: fail-stop at
+// wall tick At; if RecoverAt > 0, rejoin at that tick with cleared protocol
+// state (as a process restarted from scratch would), keeping its seeded
+// random stream. RecoverAt == 0 means the crash is permanent.
+type CrashPlan struct {
+	At        int
+	RecoverAt int
+}
 
 // Options configures a live run. The zero value hosts every node of the
 // graph with default tick duration and budget.
@@ -60,9 +69,13 @@ type Options struct {
 	// is several runtimes with disjoint node sets sharing a transport
 	// topology.
 	Nodes []graph.NodeID
-	// Crashes schedules fail-stop failures: Crashes[v] = t halts node v at
-	// tick t — it stops ticking and drops incoming messages unanswered.
-	Crashes map[graph.NodeID]int
+	// Crashes schedules crash-recovery epochs: Crashes[v] halts node v at
+	// its At tick — it stops ticking and drops incoming messages
+	// unanswered — and, when RecoverAt is set, rejoins it with cleared
+	// state. A node scheduled to recover still counts toward completion; a
+	// permanently crashed node does not (Completed is defined among
+	// reachable survivors).
+	Crashes map[graph.NodeID]CrashPlan
 	// Linger keeps the runtime serving incoming requests for this long
 	// after local completion, so slower peer runtimes can still pull from
 	// us. Multi-runtime deployments should set it; single-runtime runs
@@ -104,13 +117,24 @@ func (m Metrics) Sim() sim.Metrics {
 // Result reports a live run over this runtime's hosted nodes.
 type Result struct {
 	Metrics Metrics
-	// Completed is true when every hosted, non-crashed node reached the
+	// Completed is true when every reachable survivor — every hosted node
+	// not fail-stopped without a scheduled recovery — reached the
 	// protocol's local goal.
 	Completed bool
 	// Done[v] reports node v's local goal at shutdown (hosted nodes only).
 	Done []bool
-	// Crashed[v] reports whether node v fail-stopped (hosted nodes only).
+	// Crashed[v] reports whether node v is down at shutdown (hosted nodes
+	// only); a node that crashed and recovered reports false here and true
+	// in Recovered.
 	Crashed []bool
+	// Recovered[v] reports whether node v crashed and rejoined with
+	// cleared state (hosted nodes only).
+	Recovered []bool
+	// Faults is the run's fault ledger: injected and real message losses,
+	// duplication, retransmissions, partition epochs, and the
+	// informed-fraction trajectory. Zero-valued when the transport stack
+	// keeps no fault accounting.
+	Faults FaultReport
 	// Handlers exposes the final protocol state machines of hosted nodes
 	// for inspection; they must not be used concurrently with another run.
 	Handlers map[graph.NodeID]sim.Handler
@@ -180,7 +204,11 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		if inbox == nil {
 			return Result{}, fmt.Errorf("live: transport does not host node %d", u)
 		}
-		n := &node{rt: rt, id: u, h: proto.NewHandler(u), inbox: inbox, crashAt: opts.Crashes[u]}
+		plan := opts.Crashes[u]
+		if plan.RecoverAt > 0 && plan.RecoverAt <= plan.At {
+			return Result{}, fmt.Errorf("live: node %d recovery tick %d not after crash tick %d", u, plan.RecoverAt, plan.At)
+		}
+		n := &node{rt: rt, id: u, h: proto.NewHandler(u), inbox: inbox, crashAt: plan.At, recoverAt: plan.RecoverAt}
 		n.ctx = sim.NewContext(n)
 		rt.local = append(rt.local, n)
 	}
@@ -194,7 +222,7 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		go n.run()
 	}
 
-	completed := rt.watch()
+	completed, informedOverTime := rt.watch()
 	wall := time.Since(start)
 	if completed && opts.Linger > 0 {
 		// Keep answering peers' pulls; our own nodes are done but a slower
@@ -208,47 +236,65 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 
 	res := rt.collect(wall)
 	res.Completed = completed
+	if fr, ok := tr.(FaultReporter); ok {
+		res.Faults = fr.Faults()
+	}
+	res.Faults.InformedOverTime = informedOverTime
 	if !completed {
 		return res, fmt.Errorf("%w (%d ticks, %d nodes done)", ErrMaxTicks, res.Metrics.Ticks, countTrue(res.Done))
 	}
 	return res, nil
 }
 
-// watch polls the nodes' outward flags once per tick until every non-crashed
-// hosted node is done (true) or every hosted node is out of budget or
-// crashed (false).
-func (rt *Runtime) watch() bool {
+// watch polls the nodes' outward flags once per tick until every reachable
+// survivor is done (true) or every one of them has stopped — tick budget
+// spent or schedule finished (false). Permanently crashed nodes are
+// excluded; a node with a scheduled recovery still counts, so completion
+// waits for it to rejoin and catch up. The per-tick informed fraction among
+// the counted nodes is returned alongside.
+func (rt *Runtime) watch() (bool, []float64) {
 	ticker := time.NewTicker(rt.opts.Tick)
 	defer ticker.Stop()
+	var series []float64
 	for range ticker.C {
+		doneCount, total := 0, 0
 		allDone, allStopped := true, true
 		for _, n := range rt.local {
-			if n.crashed.Load() {
-				continue
+			if n.crashed.Load() && n.recoverAt == 0 {
+				continue // permanently crashed: not a reachable survivor
 			}
-			if !n.done.Load() {
+			total++
+			if n.done.Load() {
+				doneCount++
+			} else {
 				allDone = false
 			}
 			if !n.exhausted.Load() {
 				allStopped = false
 			}
 		}
+		if total == 0 {
+			series = append(series, 1)
+		} else {
+			series = append(series, float64(doneCount)/float64(total))
+		}
 		if allDone {
-			return true
+			return true, series
 		}
 		if allStopped {
-			return false
+			return false, series
 		}
 	}
-	return false
+	return false, series
 }
 
 // collect aggregates per-node state after every node goroutine has joined.
 func (rt *Runtime) collect(wall time.Duration) Result {
 	res := Result{
-		Done:     make([]bool, rt.g.N()),
-		Crashed:  make([]bool, rt.g.N()),
-		Handlers: make(map[graph.NodeID]sim.Handler, len(rt.local)),
+		Done:      make([]bool, rt.g.N()),
+		Crashed:   make([]bool, rt.g.N()),
+		Recovered: make([]bool, rt.g.N()),
+		Handlers:  make(map[graph.NodeID]sim.Handler, len(rt.local)),
 	}
 	for _, n := range rt.local {
 		res.Metrics.Requests += n.m.Requests
@@ -260,6 +306,7 @@ func (rt *Runtime) collect(wall time.Duration) Result {
 		}
 		res.Done[n.id] = n.done.Load()
 		res.Crashed[n.id] = n.crashed.Load()
+		res.Recovered[n.id] = n.recovered.Load()
 		res.Handlers[n.id] = n.h
 	}
 	res.Metrics.Wall = wall

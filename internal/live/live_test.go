@@ -124,7 +124,7 @@ func TestCrashInjection(t *testing.T) {
 		Seed:     3,
 		Tick:     testTick,
 		MaxTicks: 60,
-		Crashes:  map[graph.NodeID]int{2: 1},
+		Crashes:  map[graph.NodeID]CrashPlan{2: {At: 1}},
 	})
 	if !errors.Is(err, ErrMaxTicks) {
 		t.Fatalf("want ErrMaxTicks, got %v (completed=%v)", err, res.Completed)
@@ -147,7 +147,7 @@ func TestAllCrashedCompletesVacuously(t *testing.T) {
 	res, err := Run(g, ppProto{source: 0}, tr, Options{
 		Seed:    1,
 		Tick:    testTick,
-		Crashes: map[graph.NodeID]int{0: 1, 1: 1, 2: 1},
+		Crashes: map[graph.NodeID]CrashPlan{0: {At: 1}, 1: {At: 1}, 2: {At: 1}},
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)

@@ -23,15 +23,18 @@ type node struct {
 	ctx   *sim.Context
 	inbox <-chan Message
 
-	tick      int
+	tick      int  // protocol round counter (frozen while halted)
+	wall      int  // wall-clock tick counter (advances even while halted)
 	initiated bool // initiated an exchange this tick
 	nextExch  uint64
-	crashAt   int // fail-stop at this tick (0 = never)
+	crashAt   int // fail-stop at this wall tick (0 = never)
+	recoverAt int // rejoin with cleared state at this wall tick (0 = never)
 	halted    bool
 
 	done      atomic.Bool // local protocol goal reached
 	crashed   atomic.Bool
-	exhausted atomic.Bool // tick budget spent
+	recovered atomic.Bool
+	exhausted atomic.Bool // tick budget spent or handler locally terminated
 
 	m Metrics // node-local counters, aggregated after the goroutine joins
 }
@@ -85,6 +88,7 @@ func (n *node) Initiate(idx int, payload sim.Payload) (uint64, error) {
 // answering so remote peers can still pull from it.
 func (n *node) run() {
 	defer n.rt.wg.Done()
+	defer n.stopHandler()
 	n.h.Start(n.ctx)
 	n.updateDone()
 	ticker := time.NewTicker(n.rt.opts.Tick)
@@ -110,14 +114,18 @@ func (n *node) run() {
 }
 
 // onTick advances the node's round counter and runs the handler's Tick, the
-// live analogue of the simulator's phase B.
+// live analogue of the simulator's phase B. The wall counter keeps advancing
+// while the node is down so a scheduled recovery knows when to fire.
 func (n *node) onTick() {
+	n.wall++
 	if n.halted {
+		if n.recoverAt > 0 && n.wall >= n.recoverAt {
+			n.rejoin()
+		}
 		return
 	}
-	if n.crashAt > 0 && n.tick+1 >= n.crashAt {
-		n.halted = true
-		n.crashed.Store(true)
+	if n.crashAt > 0 && n.wall >= n.crashAt {
+		n.halt()
 		return
 	}
 	if n.rt.quiesced.Load() {
@@ -131,13 +139,55 @@ func (n *node) onTick() {
 	}
 	if n.h.Done() {
 		// Locally terminated handlers are no longer ticked (as in the round
-		// engine); they still answer requests.
+		// engine); they still answer requests, but can make no further
+		// progress of their own, so the watcher counts them as stopped —
+		// a fixed-schedule protocol that missed its window fails closed
+		// instead of hanging until the tick budget runs dry.
+		n.exhausted.Store(true)
 		return
 	}
 	n.tick++
 	n.initiated = false
 	n.h.Tick(n.ctx)
 	n.updateDone()
+}
+
+// halt fail-stops the node: it stops ticking, drops incoming messages, and
+// loses its local state (the outward done flag clears — a crashed node has
+// no goal to report).
+func (n *node) halt() {
+	n.halted = true
+	n.crashed.Store(true)
+	n.done.Store(false)
+	n.stopHandler()
+}
+
+// rejoin brings a crashed node back at its scheduled recovery tick with a
+// fresh handler — cleared protocol state, as a process restarted from disk
+// would have — while keeping its seeded random stream and round budget.
+func (n *node) rejoin() {
+	n.halted = false
+	n.crashed.Store(false)
+	n.recovered.Store(true)
+	n.exhausted.Store(false)
+	// The plan is consumed: without this the crash condition would re-fire
+	// on the very next tick (wall is already past crashAt). recoverAt is
+	// left untouched — the watcher goroutine reads it, and with crashAt
+	// cleared the recovery branch is unreachable anyway.
+	n.crashAt = 0
+	n.h = n.rt.proto.NewHandler(n.id)
+	n.initiated = false
+	n.h.Start(n.ctx)
+	n.updateDone()
+}
+
+// stopHandler unwinds coroutine handlers (sim.Proc) so a crashed or
+// shut-down node never leaks a parked proc goroutine. Plain state-machine
+// handlers have nothing to stop.
+func (n *node) stopHandler() {
+	if s, ok := n.h.(interface{ Stop() }); ok {
+		s.Stop()
+	}
 }
 
 // handle delivers one arrival to the handler — the live analogue of the
@@ -183,5 +233,8 @@ func (n *node) handle(msg Message) {
 }
 
 func (n *node) updateDone() {
-	n.done.Store(n.h.Done() || n.rt.proto.LocalDone(n.id, n.h))
+	// Only the protocol's goal counts: a handler's Done() merely says its
+	// schedule ended (it stops ticking — see onTick), which for a
+	// fixed-schedule protocol can happen without the goal being reached.
+	n.done.Store(n.rt.proto.LocalDone(n.id, n.h))
 }

@@ -1,7 +1,6 @@
 package live
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -13,9 +12,11 @@ import (
 )
 
 // wireMessage is the JSON line format of the TCP transport. Payloads travel
-// as (registered type name, raw bytes) pairs — see codec.go.
+// as (registered type name, raw bytes) pairs — see codec.go. Seq is the
+// sender-assigned reliable-delivery sequence number; an ack echoes it back.
 type wireMessage struct {
 	Kind        uint8           `json:"k"`
+	Seq         uint64          `json:"q,omitempty"`
 	From        int             `json:"f"`
 	To          int             `json:"t"`
 	EdgeID      int             `json:"e"`
@@ -25,11 +26,32 @@ type wireMessage struct {
 	Payload     json.RawMessage `json:"p,omitempty"`
 }
 
+// wireAck is the Kind of an acknowledgement frame (only Kind and Seq are
+// meaningful); it never collides with MsgRequest/MsgResponse.
+const wireAck uint8 = 0xFF
+
+// Reliable-delivery defaults: the first retransmission fires after
+// DefaultRetransmitRTO, each subsequent one doubles the wait (capped at
+// 16×RTO), and after DefaultMaxRetransmits unacknowledged retransmissions
+// the message is abandoned and counted as dropped.
+const (
+	DefaultRetransmitRTO  = 250 * time.Millisecond
+	DefaultMaxRetransmits = 4
+)
+
 // TCPTransport moves messages between processes as JSON lines over TCP.
 // Each process hosts a subset of the graph's nodes behind one listener;
 // SetPeers maps every remote node to the listen address of the process
 // hosting it. Messages between two locally hosted nodes short-circuit the
 // socket and are delivered in memory.
+//
+// Remote delivery is reliable up to a retransmission budget: every remote
+// message carries a sequence number, the receiver acks it on the same
+// connection, and unacked messages are retransmitted with exponential
+// backoff (a write failure evicts the broken connection so the retry
+// redials). A message still unacked after the budget is abandoned and
+// counted as dropped. Receivers deduplicate on (EdgeID, From, SentTick,
+// Kind), so retransmissions and network duplicates are idempotent.
 //
 // Outbound connections are dialed lazily (with retries, so a cluster's
 // processes may start in any order) and pooled per destination address.
@@ -39,24 +61,69 @@ type TCPTransport struct {
 
 	mu      sync.Mutex
 	peers   map[graph.NodeID]string
-	outs    map[string]*outConn
-	accepts []net.Conn
+	outs    map[string]*connState
+	accepts []*connState
 
 	dialTimeout time.Duration
-	dropped     atomic.Int64
-	closed      chan struct{}
-	closeOnce   sync.Once
-	wg          sync.WaitGroup
+	rto         time.Duration
+	maxRetrans  int
+
+	seq     atomic.Uint64
+	pendMu  sync.Mutex
+	pending map[uint64]*pendingSend
+
+	dedupMu sync.Mutex
+	dedup   map[dedupKey]struct{}
+
+	timers         timerSet     // armed latency-delay timers for not-yet-sent messages
+	dropsGiveUp    atomic.Int64 // retransmission budget exhausted
+	dropsClosed    atomic.Int64 // unacked or undelivered at Close
+	dropsDecode    atomic.Int64 // undecodable wire payloads
+	dropsMisroute  atomic.Int64 // wire messages for nodes not hosted here
+	retransmits    atomic.Int64
+	dupsSuppressed atomic.Int64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 var _ Transport = (*TCPTransport)(nil)
+var _ FaultReporter = (*TCPTransport)(nil)
 
-// outConn is one pooled outbound connection; its mutex serializes writers so
-// a slow peer only stalls traffic to that peer.
-type outConn struct {
+// connState is one connection (pooled outbound or accepted inbound); its
+// write mutex serializes our frames — data one way, acks the other — so a
+// slow peer only stalls traffic on its own connection.
+type connState struct {
 	mu  sync.Mutex
 	c   net.Conn
 	enc *json.Encoder
+}
+
+// writeFrame encodes one frame on the connection.
+func (cs *connState) writeFrame(w *wireMessage) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.enc.Encode(w)
+}
+
+// pendingSend is one unacknowledged remote message awaiting ack; retry is
+// the armed retransmission timer (stopped on ack or Close).
+type pendingSend struct {
+	addr     string
+	w        wireMessage
+	attempts int
+	retry    *time.Timer
+}
+
+// dedupKey identifies a message for receiver-side deduplication: the node
+// pair and tick of the exchange half. From disambiguates the two endpoints
+// initiating on the same edge in the same tick.
+type dedupKey struct {
+	edge     int
+	from     graph.NodeID
+	sentTick int
+	kind     MsgKind
 }
 
 // NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") and hosts the
@@ -74,8 +141,12 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 		ln:          ln,
 		inboxes:     make(map[graph.NodeID]chan Message, len(local)),
 		peers:       make(map[graph.NodeID]string),
-		outs:        make(map[string]*outConn),
+		outs:        make(map[string]*connState),
 		dialTimeout: 10 * time.Second,
+		rto:         DefaultRetransmitRTO,
+		maxRetrans:  DefaultMaxRetransmits,
+		pending:     make(map[uint64]*pendingSend),
+		dedup:       make(map[dedupKey]struct{}),
 		closed:      make(chan struct{}),
 	}
 	for _, u := range local {
@@ -99,18 +170,51 @@ func (t *TCPTransport) SetPeers(addrs map[graph.NodeID]string) {
 	}
 }
 
-// SetDialTimeout bounds how long a remote Send retries dialing an
-// unreachable peer before dropping the message (default 10s — generous so a
+// SetDialTimeout bounds how long a remote write retries dialing an
+// unreachable peer before failing the attempt (default 10s — generous so a
 // cluster's processes may start in any order).
 func (t *TCPTransport) SetDialTimeout(d time.Duration) { t.dialTimeout = d }
 
-// Dropped returns the number of messages abandoned on dial or write
-// failures since the transport started.
-func (t *TCPTransport) Dropped() int64 { return t.dropped.Load() }
+// SetRetransmit tunes reliable delivery: rto is the wait before the first
+// retransmission (doubling per attempt), maxRetransmits the budget before a
+// message is abandoned and counted as dropped. Zero values keep defaults;
+// maxRetransmits < 0 disables retransmission entirely.
+func (t *TCPTransport) SetRetransmit(rto time.Duration, maxRetransmits int) {
+	if rto > 0 {
+		t.rto = rto
+	}
+	if maxRetransmits != 0 {
+		t.maxRetrans = maxRetransmits
+	}
+}
+
+// Dropped returns the number of messages lost for any terminal reason since
+// the transport started: retransmission give-ups, messages unacked or
+// undelivered at Close, undecodable payloads, and misroutes. Suppressed
+// duplicates are not drops (their content arrived).
+func (t *TCPTransport) Dropped() int64 {
+	return t.dropsGiveUp.Load() + t.dropsClosed.Load() + t.dropsDecode.Load() + t.dropsMisroute.Load()
+}
+
+// Retransmits returns the number of reliable-delivery retransmissions.
+func (t *TCPTransport) Retransmits() int64 { return t.retransmits.Load() }
+
+// DupsSuppressed returns the number of duplicate arrivals the receiver-side
+// dedup swallowed.
+func (t *TCPTransport) DupsSuppressed() int64 { return t.dupsSuppressed.Load() }
+
+// Faults implements FaultReporter with the transport's real-network ledger.
+func (t *TCPTransport) Faults() FaultReport {
+	return FaultReport{FaultCounts: FaultCounts{
+		TransportDrops: t.Dropped(),
+		Retransmits:    t.retransmits.Load(),
+		DupsSuppressed: t.dupsSuppressed.Load(),
+	}}
+}
 
 // Send implements Transport. Local destinations are delivered in memory;
 // remote destinations are encoded eagerly (so codec errors surface here)
-// and written to the peer after the latency delay.
+// and handed to reliable delivery after the latency delay.
 func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	select {
 	case <-t.closed:
@@ -118,7 +222,10 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	default:
 	}
 	if inbox, ok := t.inboxes[msg.To]; ok {
-		deliverAfter(inbox, msg, delay, t.closed)
+		if !deliverAfter(&t.timers, inbox, msg, delay, t.closed) {
+			t.dropsClosed.Add(1)
+			return ErrTransportClosed
+		}
 		return nil
 	}
 	t.mu.Lock()
@@ -133,6 +240,7 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	}
 	w := wireMessage{
 		Kind:        uint8(msg.Kind),
+		Seq:         t.seq.Add(1),
 		From:        int(msg.From),
 		To:          int(msg.To),
 		EdgeID:      msg.EdgeID,
@@ -141,25 +249,106 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 		PayloadType: pt,
 		Payload:     data,
 	}
-	time.AfterFunc(delay, func() { t.write(addr, w) })
+	if !t.timers.schedule(delay, func() { t.transmit(addr, w) }) {
+		t.dropsClosed.Add(1)
+		return ErrTransportClosed
+	}
 	return nil
+}
+
+// transmit performs the first wire attempt of w and registers it for
+// retransmission until acked (or the budget runs out).
+func (t *TCPTransport) transmit(addr string, w wireMessage) {
+	p := &pendingSend{addr: addr, w: w}
+	t.pendMu.Lock()
+	select {
+	case <-t.closed:
+		t.pendMu.Unlock()
+		t.dropsClosed.Add(1)
+		return
+	default:
+	}
+	t.pending[w.Seq] = p
+	t.armRetryLocked(p)
+	t.pendMu.Unlock()
+	t.write(addr, &w)
+}
+
+// armRetryLocked schedules the next retransmission for p; pendMu must be
+// held by the caller.
+func (t *TCPTransport) armRetryLocked(p *pendingSend) {
+	backoff := t.rto << uint(p.attempts)
+	if max := 16 * t.rto; backoff > max {
+		backoff = max
+	}
+	seq := p.w.Seq
+	p.retry = time.AfterFunc(backoff, func() { t.retry(seq) })
+}
+
+// retry retransmits one unacked message, or abandons it once the budget is
+// spent. A no-op if the ack arrived (or the transport closed) in the
+// meantime.
+func (t *TCPTransport) retry(seq uint64) {
+	t.pendMu.Lock()
+	p, ok := t.pending[seq]
+	if !ok {
+		t.pendMu.Unlock()
+		return
+	}
+	select {
+	case <-t.closed:
+		t.pendMu.Unlock()
+		return // Close sweeps and counts the pending map
+	default:
+	}
+	p.attempts++
+	if t.maxRetrans < 0 || p.attempts > t.maxRetrans {
+		delete(t.pending, seq)
+		t.pendMu.Unlock()
+		t.dropsGiveUp.Add(1)
+		return
+	}
+	t.armRetryLocked(p)
+	addr, w := p.addr, p.w
+	t.pendMu.Unlock()
+	t.retransmits.Add(1)
+	t.write(addr, &w)
+}
+
+// ack resolves one pending message: its retransmission timer is stopped and
+// the entry dropped.
+func (t *TCPTransport) ack(seq uint64) {
+	t.pendMu.Lock()
+	defer t.pendMu.Unlock()
+	if p, ok := t.pending[seq]; ok {
+		p.retry.Stop()
+		delete(t.pending, seq)
+	}
 }
 
 // Recv implements Transport.
 func (t *TCPTransport) Recv(u graph.NodeID) <-chan Message { return t.inboxes[u] }
 
-// Close implements Transport: it stops the listener, all connections, and
-// abandons undelivered messages.
+// Close implements Transport: it stops the listener, all connections and
+// delivery timers, and counts undelivered or unacked messages as dropped.
 func (t *TCPTransport) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
 		t.ln.Close()
-		t.mu.Lock()
-		for _, oc := range t.outs {
-			oc.c.Close()
+		t.dropsClosed.Add(t.timers.close())
+		t.pendMu.Lock()
+		for seq, p := range t.pending {
+			p.retry.Stop()
+			delete(t.pending, seq)
+			t.dropsClosed.Add(1)
 		}
-		for _, c := range t.accepts {
-			c.Close()
+		t.pendMu.Unlock()
+		t.mu.Lock()
+		for _, cs := range t.outs {
+			cs.c.Close()
+		}
+		for _, cs := range t.accepts {
+			cs.c.Close()
 		}
 		t.mu.Unlock()
 	})
@@ -174,33 +363,64 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		cs := &connState{c: c, enc: json.NewEncoder(c)}
 		t.mu.Lock()
-		t.accepts = append(t.accepts, c)
-		t.mu.Unlock()
+		select {
+		case <-t.closed:
+			// Accepted in the middle of Close after it swept the conn
+			// lists; drop the connection instead of leaking it.
+			t.mu.Unlock()
+			c.Close()
+			continue
+		default:
+		}
+		t.accepts = append(t.accepts, cs)
 		t.wg.Add(1)
-		go t.readLoop(c)
+		t.mu.Unlock()
+		go t.readLoop(cs)
 	}
 }
 
-// readLoop decodes JSON lines from one inbound connection and routes them to
-// the local inboxes.
-func (t *TCPTransport) readLoop(c net.Conn) {
+// readLoop decodes JSON frames from one connection: acks resolve pending
+// sends, data messages are acked back on the same connection, deduplicated,
+// and routed to the local inboxes.
+func (t *TCPTransport) readLoop(cs *connState) {
 	defer t.wg.Done()
-	defer c.Close()
-	dec := json.NewDecoder(bufio.NewReader(c))
+	defer cs.c.Close()
+	dec := json.NewDecoder(cs.c)
 	for {
 		var w wireMessage
 		if err := dec.Decode(&w); err != nil {
 			return // EOF or closed
 		}
+		if w.Kind == wireAck {
+			t.ack(w.Seq)
+			continue
+		}
+		if w.Seq != 0 {
+			// Ack first — even duplicates — so the sender stops retransmitting.
+			// Best effort: a lost ack only costs another (deduplicated) retry.
+			_ = cs.writeFrame(&wireMessage{Kind: wireAck, Seq: w.Seq})
+		}
 		inbox, ok := t.inboxes[graph.NodeID(w.To)]
 		if !ok {
-			t.dropped.Add(1) // misrouted: not hosted here
+			t.dropsMisroute.Add(1) // misrouted: not hosted here
+			continue
+		}
+		key := dedupKey{edge: w.EdgeID, from: graph.NodeID(w.From), sentTick: w.SentTick, kind: MsgKind(w.Kind)}
+		t.dedupMu.Lock()
+		_, dup := t.dedup[key]
+		if !dup {
+			t.dedup[key] = struct{}{}
+		}
+		t.dedupMu.Unlock()
+		if dup {
+			t.dupsSuppressed.Add(1)
 			continue
 		}
 		payload, err := decodePayload(w.PayloadType, w.Payload)
 		if err != nil {
-			t.dropped.Add(1)
+			t.dropsDecode.Add(1)
 			continue
 		}
 		msg := Message{
@@ -220,31 +440,27 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 	}
 }
 
-// write delivers one encoded message to addr, dialing if needed. Failures
-// drop the message — the live model's answer to a crashed or partitioned
-// peer — and evict the broken connection so the next write redials.
-func (t *TCPTransport) write(addr string, w wireMessage) {
-	oc, err := t.conn(addr)
+// write delivers one frame to addr, dialing if needed. A failure evicts the
+// broken connection so the next attempt (the message's retransmission)
+// redials; the message itself stays pending, so nothing is silently lost
+// here.
+func (t *TCPTransport) write(addr string, w *wireMessage) {
+	cs, err := t.conn(addr)
 	if err != nil {
-		t.dropped.Add(1)
-		return
+		return // retransmission will redial
 	}
-	oc.mu.Lock()
-	err = oc.enc.Encode(&w)
-	oc.mu.Unlock()
-	if err != nil {
-		t.evict(addr, oc)
-		t.dropped.Add(1)
+	if err := cs.writeFrame(w); err != nil {
+		t.evict(addr, cs)
 	}
 }
 
 // conn returns the pooled connection to addr, dialing with retries until
 // dialTimeout so peers may come up after us.
-func (t *TCPTransport) conn(addr string) (*outConn, error) {
+func (t *TCPTransport) conn(addr string) (*connState, error) {
 	t.mu.Lock()
-	if oc, ok := t.outs[addr]; ok {
+	if cs, ok := t.outs[addr]; ok {
 		t.mu.Unlock()
-		return oc, nil
+		return cs, nil
 	}
 	t.mu.Unlock()
 
@@ -266,30 +482,37 @@ func (t *TCPTransport) conn(addr string) (*outConn, error) {
 		}
 	}
 
-	oc := &outConn{c: c, enc: json.NewEncoder(c)}
+	cs := &connState{c: c, enc: json.NewEncoder(c)}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if prior, ok := t.outs[addr]; ok {
 		// Lost a dial race; keep the first connection.
+		t.mu.Unlock()
 		c.Close()
 		return prior, nil
 	}
 	select {
 	case <-t.closed:
+		t.mu.Unlock()
 		c.Close()
 		return nil, ErrTransportClosed
 	default:
 	}
-	t.outs[addr] = oc
-	return oc, nil
+	t.outs[addr] = cs
+	// Outbound connections carry the peer's acks back to us. The wg.Add sits
+	// inside the lock: Close checks closed, sweeps conns, and only then
+	// waits, all behind the same mutex, so it cannot miss this registration.
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go t.readLoop(cs)
+	return cs, nil
 }
 
 // evict removes a broken pooled connection so the next write redials.
-func (t *TCPTransport) evict(addr string, oc *outConn) {
+func (t *TCPTransport) evict(addr string, cs *connState) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.outs[addr] == oc {
+	if t.outs[addr] == cs {
 		delete(t.outs, addr)
 	}
-	oc.c.Close()
+	cs.c.Close()
 }

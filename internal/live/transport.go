@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"gossip/internal/graph"
@@ -56,11 +57,74 @@ type Transport interface {
 	Close() error
 }
 
-// deliverAfter delivers msg to inbox after delay on a timer goroutine,
-// abandoning the delivery if closed is signalled first (so a full inbox of a
-// stopped runtime cannot leak the goroutine forever).
-func deliverAfter(inbox chan<- Message, msg Message, delay time.Duration, closed <-chan struct{}) {
-	time.AfterFunc(delay, func() {
+// timerSet tracks a transport's pending delivery timers so Close can stop
+// every one of them instead of letting armed timers linger (and fire into a
+// dead transport) for up to a full latency delay after shutdown. schedule
+// after close is a no-op; close returns how many deliveries it abandoned so
+// transports can count them as drops.
+type timerSet struct {
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	pending map[int]*time.Timer
+}
+
+// schedule arms fire after delay. It reports false when the set is already
+// closed (the delivery is abandoned, never armed).
+func (s *timerSet) schedule(delay time.Duration, fire func()) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.pending == nil {
+		s.pending = make(map[int]*time.Timer)
+	}
+	id := s.nextID
+	s.nextID++
+	// The callback runs on its own timer goroutine; holding mu through
+	// registration means even a zero-delay callback observes its entry.
+	s.pending[id] = time.AfterFunc(delay, func() {
+		s.mu.Lock()
+		if _, armed := s.pending[id]; !armed {
+			// close stopped us between firing and locking: abandon.
+			s.mu.Unlock()
+			return
+		}
+		delete(s.pending, id)
+		s.mu.Unlock()
+		fire()
+	})
+	return true
+}
+
+// close stops every pending timer and returns the number of deliveries
+// abandoned. Timers mid-fire observe their missing entry and abandon too.
+func (s *timerSet) close() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	n := int64(len(s.pending))
+	for id, t := range s.pending {
+		t.Stop()
+		delete(s.pending, id)
+	}
+	return n
+}
+
+// len returns the number of armed timers (tests use it to verify hygiene).
+func (s *timerSet) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// deliverAfter arms a delivery of msg to inbox after delay via the timer
+// set, abandoning the delivery if closed is signalled first (so a full inbox
+// of a stopped runtime cannot leak the goroutine forever). It reports false
+// when the delivery was abandoned before being armed.
+func deliverAfter(ts *timerSet, inbox chan<- Message, msg Message, delay time.Duration, closed <-chan struct{}) bool {
+	return ts.schedule(delay, func() {
 		select {
 		case inbox <- msg:
 		case <-closed:

@@ -205,6 +205,12 @@ func blockKey(edgeIdx, round int) uint64 {
 // Done implements Handler.
 func (p *Proc) Done() bool { return p.finished }
 
+// Stop shuts the proc goroutine down from outside the round engine. The
+// live runtime calls it for crashed or shut-down nodes so a parked proc
+// goroutine never outlives its node; it must be called with the proc parked
+// (i.e. from the goroutine that drives the handler), and is idempotent.
+func (p *Proc) Stop() { p.stop() }
+
 // stop shuts the proc goroutine down and waits for it to exit. Called by
 // Network.Close with the proc parked.
 func (p *Proc) stop() {

@@ -139,7 +139,7 @@ func TestRunLiveCrashInjection(t *testing.T) {
 		Seed:     2,
 		Tick:     500 * time.Microsecond,
 		MaxTicks: 100,
-		Crashes:  map[NodeID]int{bridge: 1},
+		Crashes:  map[NodeID]LiveCrash{bridge: {At: 1}},
 	})
 	if err == nil && res.Completed {
 		t.Fatal("run completed across a crashed bridge")

@@ -1,0 +1,285 @@
+// Command benchreport runs the repository's benchmark suite (or parses a
+// saved `go test -bench` transcript) and writes the results as a
+// schema-stable BENCH_<label>.json, so benchmark numbers can be committed,
+// diffed, and compared across revisions.
+//
+// Usage:
+//
+//	benchreport -label seed                        # run benches, write BENCH_seed.json
+//	benchreport -label pr3 -input bench.txt        # parse a saved transcript instead
+//	benchreport -input new.txt -compare BENCH_seed.json -threshold 0.30
+//
+// In -compare mode the command exits nonzero when any benchmark's ns/op
+// regressed by more than the threshold fraction against the baseline — the
+// CI regression gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// schemaVersion identifies the BENCH_*.json layout; bump only on
+// incompatible changes so downstream diff tooling can rely on it.
+const schemaVersion = "gossip-bench/v1"
+
+// Benchmark is one benchmark result. NsPerOp/BytesPerOp/AllocsPerOp mirror
+// the standard testing outputs; Metrics holds custom b.ReportMetric units
+// (rounds/op, msgs/op, ticks/op, ...).
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Package     string             `json:"package"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_<label>.json document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Label      string      `json:"label"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		label     = fs.String("label", "current", "label embedded in the report and the output file name")
+		input     = fs.String("input", "", "parse this saved `go test -bench` transcript instead of running")
+		benchRe   = fs.String("bench", ".", "benchmark regex passed to go test -bench")
+		pkgs      = fs.String("packages", "./...", "space-separated package patterns to benchmark")
+		benchtime = fs.String("benchtime", "", "passed through as go test -benchtime")
+		count     = fs.Int("count", 1, "passed through as go test -count")
+		outDir    = fs.String("out", ".", "directory for BENCH_<label>.json")
+		baseline  = fs.String("compare", "", "baseline BENCH_*.json to compare against (regression gate)")
+		threshold = fs.Float64("threshold", 0.30, "max tolerated fractional ns/op regression in -compare mode")
+		noWrite   = fs.Bool("nowrite", false, "skip writing BENCH_<label>.json (compare only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var raw io.Reader
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		raw = f
+	} else {
+		gotest := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-count", strconv.Itoa(*count)}
+		if *benchtime != "" {
+			gotest = append(gotest, "-benchtime", *benchtime)
+		}
+		gotest = append(gotest, strings.Fields(*pkgs)...)
+		fmt.Fprintf(out, "running: go %s\n", strings.Join(gotest, " "))
+		cmd := exec.Command("go", gotest...)
+		cmd.Stderr = os.Stderr
+		buf, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w", err)
+		}
+		out.Write(buf)
+		raw = strings.NewReader(string(buf))
+	}
+
+	rep, err := Parse(raw, *label)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results found")
+	}
+
+	if !*noWrite {
+		path := filepath.Join(*outDir, "BENCH_"+*label+".json")
+		if err := writeReport(path, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	}
+
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		return Compare(out, base, rep, *threshold)
+	}
+	return nil
+}
+
+// Parse reads `go test -bench` output into a Report. Benchmarks are sorted
+// by (package, name) so reports diff cleanly regardless of run order.
+func Parse(r io.Reader, label string) (*Report, error) {
+	rep := &Report{Schema: schemaVersion, Label: label}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line, pkg)
+			if !ok {
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		a, b := rep.Benchmarks[i], rep.Benchmarks[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		return a.Name < b.Name
+	})
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFoo-8   324   6969124 ns/op   7.673 rounds/op   4188169 B/op   5357 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		// Strip the -<GOMAXPROCS> suffix so reports from machines with
+		// different core counts stay comparable.
+		Name:       strings.SplitN(fields[0], "-", 2)[0],
+		Package:    pkg,
+		Iterations: iters,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// Compare prints a per-benchmark delta table and returns an error if any
+// benchmark present in both reports regressed its ns/op by more than the
+// threshold fraction. Benchmarks present on only one side are reported but
+// never fail the gate (suites are allowed to grow and shrink).
+func Compare(out io.Writer, base, cur *Report, threshold float64) error {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Package+"."+b.Name] = b
+	}
+	var regressed []string
+	fmt.Fprintf(out, "comparing against %q (threshold +%.0f%% ns/op)\n", base.Label, threshold*100)
+	fmt.Fprintf(out, "%-45s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, b := range cur.Benchmarks {
+		key := b.Package + "." + b.Name
+		prev, ok := baseBy[key]
+		if !ok {
+			fmt.Fprintf(out, "%-45s %14s %14.0f %8s\n", key, "-", b.NsPerOp, "new")
+			continue
+		}
+		delete(baseBy, key)
+		delta := b.NsPerOp/prev.NsPerOp - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressed = append(regressed, key)
+		}
+		fmt.Fprintf(out, "%-45s %14.0f %14.0f %+7.1f%%%s\n", key, prev.NsPerOp, b.NsPerOp, delta*100, mark)
+	}
+	missing := make([]string, 0, len(baseBy))
+	for key := range baseBy {
+		missing = append(missing, key)
+	}
+	sort.Strings(missing)
+	for _, key := range missing {
+		fmt.Fprintf(out, "%-45s %14.0f %14s %8s\n", key, baseBy[key].NsPerOp, "-", "gone")
+	}
+	if len(regressed) > 0 {
+		sort.Strings(regressed)
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintln(out, "no regressions above threshold")
+	return nil
+}
+
+func writeReport(path string, rep *Report) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schemaVersion)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gossip
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExpT12PushPull        	     115	  21890132 ns/op	10630461 B/op	   45980 allocs/op
+BenchmarkPushPullClique256-8   	     324	   6969124 ns/op	         7.673 rounds/op	 4188169 B/op	    5357 allocs/op
+PASS
+ok  	gossip	16.369s
+pkg: gossip/internal/sim
+BenchmarkEngineRounds 	     744	   1607221 ns/op	 1110648 B/op	    7308 allocs/op
+PASS
+ok  	gossip/internal/sim	3.170s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != schemaVersion || rep.Label != "seed" {
+		t.Fatalf("header = %q/%q", rep.Schema, rep.Label)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("environment not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	// Sorted by (package, name): gossip.* before gossip/internal/sim.*.
+	clique := rep.Benchmarks[1]
+	if clique.Name != "BenchmarkPushPullClique256" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", clique.Name)
+	}
+	if clique.Package != "gossip" || clique.Iterations != 324 {
+		t.Errorf("clique = %+v", clique)
+	}
+	if clique.NsPerOp != 6969124 || clique.BytesPerOp != 4188169 || clique.AllocsPerOp != 5357 {
+		t.Errorf("standard units wrong: %+v", clique)
+	}
+	if clique.Metrics["rounds/op"] != 7.673 {
+		t.Errorf("custom metric rounds/op = %v, want 7.673", clique.Metrics["rounds/op"])
+	}
+	if rep.Benchmarks[2].Package != "gossip/internal/sim" {
+		t.Errorf("package tracking wrong: %+v", rep.Benchmarks[2])
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Report{Schema: schemaVersion, Label: "base", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 1000},
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 1000},
+		{Name: "BenchmarkGone", Package: "p", NsPerOp: 500},
+	}}
+	cur := &Report{Schema: schemaVersion, Label: "new", Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 1200}, // +20%: within threshold
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 1400}, // +40%: regression
+		{Name: "BenchmarkNew", Package: "p", NsPerOp: 100},
+	}}
+	var sb strings.Builder
+	err := Compare(&sb, base, cur, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "p.BenchmarkB") {
+		t.Fatalf("err = %v, want regression on p.BenchmarkB", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("BenchmarkA within threshold must not fail the gate: %v", err)
+	}
+	for _, want := range []string{"new", "gone", "REGRESSION"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// Improvement and within-threshold drift pass.
+	cur.Benchmarks[1].NsPerOp = 800
+	sb.Reset()
+	if err := Compare(&sb, base, cur, 0.30); err != nil {
+		t.Fatalf("no regression expected, got %v", err)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok x 1s\n"), "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("want no benchmarks, got %+v", rep.Benchmarks)
+	}
+}

@@ -42,16 +42,20 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		id     = fs.String("run", "all", "experiment ID or 'all'")
-		scale  = fs.String("scale", "quick", "quick or full")
-		seed   = fs.Uint64("seed", 1, "deterministic seed")
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
-		format = fs.String("format", "table", "output format: table or tsv")
-		verify = fs.Bool("verify", false, "assert each experiment's expected shape (exit nonzero on violation)")
-		outDir = fs.String("out", "", "also write one <ID>.tsv per experiment into this directory")
+		id       = fs.String("run", "all", "experiment ID or 'all'")
+		scale    = fs.String("scale", "quick", "quick or full")
+		seed     = fs.Uint64("seed", 1, "deterministic seed")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		format   = fs.String("format", "table", "output format: table or tsv")
+		verify   = fs.Bool("verify", false, "assert each experiment's expected shape (exit nonzero on violation)")
+		outDir   = fs.String("out", "", "also write one <ID>.tsv per experiment into this directory")
+		parallel = fs.Bool("parallel", true, "fan trial cells across CPU cores (output is identical either way)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !*parallel {
+		exp.SetMaxWorkers(1)
 	}
 	if *list {
 		for _, e := range exp.IDs() {

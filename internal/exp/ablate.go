@@ -28,20 +28,31 @@ func AblationDelivery(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-ABL-DELIVERY  split vs full-RTT delivery (push-pull broadcast)",
 		"graph", "split rounds", "full-RTT rounds", "full/split")
-	for _, f := range fams {
-		var split, full []float64
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(fams))
+	type trial struct{ split, full float64 }
+	rows, err := parMap(len(fams), func(fi int) ([]trial, error) {
+		f := fams[fi]
+		return parMap(trials, func(i int) (trial, error) {
 			a, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("ablation split %s: %w", f.name, err)
+				return trial{}, fmt.Errorf("ablation split %s: %w", f.name, err)
 			}
 			b, err := core.PushPull(f.g, 0, core.ModePushPull,
 				sim.Config{Seed: seed + uint64(i), FullRTTDelivery: true})
 			if err != nil {
-				return nil, fmt.Errorf("ablation full %s: %w", f.name, err)
+				return trial{}, fmt.Errorf("ablation full %s: %w", f.name, err)
 			}
-			split = append(split, float64(a.Metrics.Rounds))
-			full = append(full, float64(b.Metrics.Rounds))
+			return trial{split: float64(a.Metrics.Rounds), full: float64(b.Metrics.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, ts := range rows {
+		f := fams[fi]
+		split, full := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			split[i], full[i] = tr.split, tr.full
 		}
 		ss, sf := Summarize(split), Summarize(full)
 		t.Add(f.name, ss.Mean, sf.Mean, sf.Mean/ss.Mean)
@@ -63,20 +74,31 @@ func AblationPushOnly(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-ABL-PUSHONLY  footnote 2: push-only needs Ω(n) on a star",
 		"n", "push-pull rounds", "push-only rounds", "push-only/n", "push-pull/log n")
-	for _, n := range ns {
+	t.Rows = make([][]string, 0, len(ns))
+	type trial struct{ pp, po float64 }
+	rows, err := parMap(len(ns), func(ni int) ([]trial, error) {
+		n := ns[ni]
 		g := graph.Star(n, 1)
-		var pp, po []float64
-		for i := 0; i < trials; i++ {
+		return parMap(trials, func(i int) (trial, error) {
 			a, err := core.PushPull(g, 1, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("push-pull star n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("push-pull star n=%d: %w", n, err)
 			}
 			b, err := core.PushPull(g, 1, core.ModePushOnly, sim.Config{Seed: seed + uint64(i), MaxRounds: 1000 * n})
 			if err != nil {
-				return nil, fmt.Errorf("push-only star n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("push-only star n=%d: %w", n, err)
 			}
-			pp = append(pp, float64(a.Metrics.Rounds))
-			po = append(po, float64(b.Metrics.Rounds))
+			return trial{pp: float64(a.Metrics.Rounds), po: float64(b.Metrics.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, ts := range rows {
+		n := ns[ni]
+		pp, po := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			pp[i], po[i] = tr.pp, tr.po
 		}
 		sp, so := Summarize(pp), Summarize(po)
 		t.Add(n, sp.Mean, so.Mean, so.Mean/float64(n), sp.Mean/math.Log2(float64(n)))
@@ -107,19 +129,30 @@ func AblationBiasedSelection(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-ABL-BIAS  uniform vs 1/latency-biased neighbor selection (push-pull)",
 		"graph", "uniform rounds", "biased rounds", "biased/uniform")
-	for _, f := range fams {
-		var un, bi []float64
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(fams))
+	type trial struct{ un, bi float64 }
+	rows, err := parMap(len(fams), func(fi int) ([]trial, error) {
+		f := fams[fi]
+		return parMap(trials, func(i int) (trial, error) {
 			a, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("ABL-BIAS uniform %s: %w", f.name, err)
+				return trial{}, fmt.Errorf("ABL-BIAS uniform %s: %w", f.name, err)
 			}
 			b, err := core.PushPull(f.g, 0, core.ModeLatencyBiased, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("ABL-BIAS biased %s: %w", f.name, err)
+				return trial{}, fmt.Errorf("ABL-BIAS biased %s: %w", f.name, err)
 			}
-			un = append(un, float64(a.Metrics.Rounds))
-			bi = append(bi, float64(b.Metrics.Rounds))
+			return trial{un: float64(a.Metrics.Rounds), bi: float64(b.Metrics.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, ts := range rows {
+		f := fams[fi]
+		un, bi := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			un[i], bi[i] = tr.un, tr.bi
 		}
 		su, sb := Summarize(un), Summarize(bi)
 		t.Add(f.name, su.Mean, sb.Mean, sb.Mean/su.Mean)
@@ -150,23 +183,34 @@ func AblationLocalBroadcast(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-ABL-LB  deterministic DTG vs randomized local broadcast",
 		"graph", "ℓ", "DTG rounds", "randomized rounds", "rand/DTG")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type trial struct{ dt, rn float64 }
+	rows, err := parMap(len(fams), func(fi int) ([]trial, error) {
+		f := fams[fi]
 		ell := f.g.MaxLatency()
-		var dt, rn []float64
-		for i := 0; i < trials; i++ {
+		return parMap(trials, func(i int) (trial, error) {
 			a, err := core.LocalBroadcastDTG(f.g, ell, sim.Config{Seed: seed + uint64(i)})
 			if err != nil || !a.Completed {
-				return nil, fmt.Errorf("ABL-LB DTG %s: %v", f.name, err)
+				return trial{}, fmt.Errorf("ABL-LB DTG %s: %v", f.name, err)
 			}
 			b, err := core.LocalBroadcastRandom(f.g, ell, sim.Config{Seed: seed + uint64(i)})
 			if err != nil || !b.Completed {
-				return nil, fmt.Errorf("ABL-LB rand %s: %v", f.name, err)
+				return trial{}, fmt.Errorf("ABL-LB rand %s: %v", f.name, err)
 			}
-			dt = append(dt, float64(a.Metrics.Rounds))
-			rn = append(rn, float64(b.Metrics.Rounds))
+			return trial{dt: float64(a.Metrics.Rounds), rn: float64(b.Metrics.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, ts := range rows {
+		f := fams[fi]
+		dt, rn := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			dt[i], rn[i] = tr.dt, tr.rn
 		}
 		sd, sr := Summarize(dt), Summarize(rn)
-		t.Add(f.name, ell, sd.Mean, sr.Mean, sr.Mean/sd.Mean)
+		t.Add(f.name, f.g.MaxLatency(), sd.Mean, sr.Mean, sr.Mean/sd.Mean)
 	}
 	t.Note = "both solve local broadcast; DTG's deterministic pipelining also gives the fixed budget " +
 		"that keeps multi-phase protocols aligned"
@@ -192,24 +236,37 @@ func AblationTreeVsSpanner(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-ABL-TREE  shortest-path tree vs oriented spanner (all-to-all)",
 		"graph", "n", "tree Δout", "tree schedule", "tree done@", "spanner Δout", "spanner schedule", "spanner done@")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		tr core.TreeBroadcastResult
+		sp core.RRBroadcastResult
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		tr, err := core.TreeBroadcast(f.g, 0, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("tree ablation %s: %w", f.name, err)
+			return row{}, fmt.Errorf("tree ablation %s: %w", f.name, err)
 		}
 		if !tr.Completed {
-			return nil, fmt.Errorf("tree ablation %s: incomplete", f.name)
+			return row{}, fmt.Errorf("tree ablation %s: incomplete", f.name)
 		}
 		sp, err := core.RRBroadcast(f.g, d, 0, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("spanner ablation %s: %w", f.name, err)
+			return row{}, fmt.Errorf("spanner ablation %s: %w", f.name, err)
 		}
 		if !sp.Completed {
-			return nil, fmt.Errorf("spanner ablation %s: incomplete", f.name)
+			return row{}, fmt.Errorf("spanner ablation %s: incomplete", f.name)
 		}
-		t.Add(f.name, f.g.N(), tr.MaxOutDegree, tr.Metrics.Rounds, tr.RoundsToComplete,
-			sp.MaxOutDegree, sp.Metrics.Rounds, sp.RoundsToComplete)
+		return row{tr: tr, sp: sp}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
+		t.Add(f.name, f.g.N(), r.tr.MaxOutDegree, r.tr.Metrics.Rounds, r.tr.RoundsToComplete,
+			r.sp.MaxOutDegree, r.sp.Metrics.Rounds, r.sp.RoundsToComplete)
 	}
 	t.Note = "the *guaranteed* schedule is kRR·Δout+kRR: tree fan-out (star root = n−1) blows it up " +
 		"even when this run finished early; the spanner keeps the a-priori budget O(D·log² n)"
@@ -229,15 +286,24 @@ func AblationSpannerK(scale Scale, seed uint64) (*Table, error) {
 	lgk := int(math.Ceil(math.Log2(float64(g.N()))))
 	t := NewTable(fmt.Sprintf("E-ABL-SPANNERK  spanner parameter k trade-off (n=%d, D=%d)", g.N(), d),
 		"k", "spanner edges", "max out-deg", "stretch", "RR completed@")
-	for _, k := range []int{2, 3, lgk} {
+	ks := []int{2, 3, lgk}
+	t.Rows = make([][]string, 0, len(ks))
+	rows, err := parMap(len(ks), func(ki int) (core.RRBroadcastResult, error) {
+		k := ks[ki]
 		res, err := core.RRBroadcast(g, d, k, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("spanner-k ablation k=%d: %w", k, err)
+			return core.RRBroadcastResult{}, fmt.Errorf("spanner-k ablation k=%d: %w", k, err)
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("spanner-k ablation k=%d: incomplete", k)
+			return core.RRBroadcastResult{}, fmt.Errorf("spanner-k ablation k=%d: incomplete", k)
 		}
-		t.Add(k, res.SpannerSize, res.MaxOutDegree, res.Stretch, res.RoundsToComplete)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, res := range rows {
+		t.Add(ks[ki], res.SpannerSize, res.MaxOutDegree, res.Stretch, res.RoundsToComplete)
 	}
 	t.Note = "small k: denser spanner, lower stretch; k=log n: sparse with O(log n) out-degree (EID's choice)"
 	return t, nil

@@ -31,14 +31,26 @@ func InformedCurve(scale Scale, seed uint64) (*Table, error) {
 	t := NewTable("E-CURVE  push-pull informed-fraction milestones (mean rounds)",
 		"graph", "n", "25%", "50%", "75%", "95%", "100%", "tail share")
 	quantiles := []float64{0.25, 0.50, 0.75, 0.95, 1.00}
-	for _, f := range fams {
-		sums := make([]float64, len(quantiles))
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(fams))
+	rows, err := parMap(len(fams), func(fi int) ([][]int, error) {
+		f := fams[fi]
+		return parMap(trials, func(i int) ([]int, error) {
 			res, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
 				return nil, fmt.Errorf("CURVE %s: %w", f.name, err)
 			}
-			ms := milestones(res.InformedAt, quantiles)
+			return milestones(res.InformedAt, quantiles), nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, trialMs := range rows {
+		f := fams[fi]
+		// Sum in trial order so the floating-point result matches a
+		// sequential run bit-for-bit.
+		sums := make([]float64, len(quantiles))
+		for _, ms := range trialMs {
 			for j, m := range ms {
 				sums[j] += float64(m) / float64(trials)
 			}

@@ -90,7 +90,6 @@ func (t *Table) Fprint(w io.Writer) error {
 	for i := range t.Cols {
 		b.WriteString(strings.Repeat("-", widths[i]))
 		b.WriteString("  ")
-		_ = i
 	}
 	b.WriteByte('\n')
 	for _, row := range t.Rows {

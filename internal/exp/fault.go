@@ -27,31 +27,56 @@ func FaultTolerance(scale Scale, seed uint64) (*Table, error) {
 	t := NewTable(fmt.Sprintf("E-FAULT  crash robustness on ring-of-cliques (n=%d, crash round 3)", g.N()),
 		"crash fraction", "crashed", "push-pull rounds", "pp completed",
 		"anti-entropy completed", "RR completed", "flood completed")
-	for _, frac := range fractions {
+	t.Rows = make([][]string, 0, len(fractions))
+	type trial struct {
+		ppOK, aeOK, rrOK, flOK bool
+		ppRounds               float64
+	}
+	rows, err := parMap(len(fractions), func(fi int) ([]trial, error) {
+		frac := fractions[fi]
 		count := int(frac * float64(g.N()))
-		var ppRounds []float64
-		ppOK, aeOK, rrOK, flOK := true, true, true, true
-		for i := 0; i < trials; i++ {
+		return parMap(trials, func(i int) (trial, error) {
 			crashes := interiorCrashSet(k, s, count, 3, seed+uint64(i))
 			cfg := sim.Config{Seed: seed + uint64(i), Crashes: crashes}
+			tr := trial{ppOK: true, aeOK: true, rrOK: true, flOK: true}
 			pp, err := core.PushPull(g, 0, core.ModePushPull, cfg)
 			if err != nil || !pp.Completed {
-				ppOK = false
+				tr.ppOK = false
 			} else {
-				ppRounds = append(ppRounds, float64(pp.Metrics.Rounds))
+				tr.ppRounds = float64(pp.Metrics.Rounds)
 			}
 			ae, err := core.PushPullAllToAll(g, cfg)
 			if err != nil || !ae.Completed {
-				aeOK = false
+				tr.aeOK = false
 			}
 			fl, err := core.Flood(g, 0, cfg)
 			if err != nil || !fl.Completed {
-				flOK = false
+				tr.flOK = false
 			}
 			rr, err := core.RRBroadcast(g, d, 0, cfg)
 			if err != nil || !rr.Completed {
-				rrOK = false
+				tr.rrOK = false
 			}
+			return tr, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, ts := range rows {
+		frac := fractions[fi]
+		count := int(frac * float64(g.N()))
+		var ppRounds []float64
+		ppOK, aeOK, rrOK, flOK := true, true, true, true
+		for _, tr := range ts {
+			if tr.ppOK {
+				ppRounds = append(ppRounds, tr.ppRounds)
+			} else {
+				ppOK = false
+			}
+			aeOK = aeOK && tr.aeOK
+			rrOK = rrOK && tr.rrOK
+			flOK = flOK && tr.flOK
 		}
 		mean := math.NaN()
 		if len(ppRounds) > 0 {
@@ -103,21 +128,30 @@ func MessageComplexity(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-MSG  message complexity for all-to-all dissemination",
 		"graph", "n", "1-bit pp bytes", "anti-entropy bytes", "EID bytes", "EID/anti-entropy")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct{ pp, ae, eid int }
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		pp, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("MSG %s push-pull: %w", f.name, err)
+			return row{}, fmt.Errorf("MSG %s push-pull: %w", f.name, err)
 		}
 		ae, err := core.PushPullAllToAll(f.g, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("MSG %s anti-entropy: %w", f.name, err)
+			return row{}, fmt.Errorf("MSG %s anti-entropy: %w", f.name, err)
 		}
 		eid, err := core.GeneralEID(f.g, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("MSG %s EID: %w", f.name, err)
+			return row{}, fmt.Errorf("MSG %s EID: %w", f.name, err)
 		}
-		t.Add(f.name, f.g.N(), pp.Metrics.Bytes, ae.Metrics.Bytes, eid.Metrics.Bytes,
-			float64(eid.Metrics.Bytes)/float64(ae.Metrics.Bytes))
+		return row{pp: pp.Metrics.Bytes, ae: ae.Metrics.Bytes, eid: eid.Metrics.Bytes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
+		t.Add(f.name, f.g.N(), r.pp, r.ae, r.eid, float64(r.eid)/float64(r.ae))
 	}
 	t.Note = "same task (all-to-all): anti-entropy ships n-bit sets with no schedule; the spanner " +
 		"algorithm additionally ships neighborhoods and status tables over long fixed schedules — " +

@@ -17,7 +17,14 @@ func Figure1(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-F1  Figure 1: guessing-game gadgets G(P) and G_sym(P)",
 		"m", "variant", "predicate", "nodes", "edges", "fast cross", "Δ", "D")
-	for _, m := range ms {
+	t.Rows = make([][]string, 0, 4*len(ms))
+	type row struct {
+		variant, pred                  string
+		nodes, edges, fast, maxDeg, di int
+	}
+	rows, err := parMap(len(ms), func(mi int) ([]row, error) {
+		m := ms[mi]
+		var out []row
 		for _, sym := range []bool{false, true} {
 			variant := "G(P)"
 			if sym {
@@ -34,9 +41,20 @@ func Figure1(scale Scale, seed uint64) (*Table, error) {
 				if err != nil {
 					return nil, fmt.Errorf("F1 m=%d: %w", m, err)
 				}
-				t.Add(m, variant, pred.name, gd.G.N(), gd.G.M(), len(pred.target),
-					gd.G.MaxDegree(), gd.G.WeightedDiameter())
+				out = append(out, row{variant: variant, pred: pred.name,
+					nodes: gd.G.N(), edges: gd.G.M(), fast: len(pred.target),
+					maxDeg: gd.G.MaxDegree(), di: gd.G.WeightedDiameter()})
 			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, out := range rows {
+		m := ms[mi]
+		for _, r := range out {
+			t.Add(m, r.variant, r.pred, r.nodes, r.edges, r.fast, r.maxDeg, r.di)
 		}
 	}
 	t.Note = "m² cross edges; fast = target set; slow latency 2m; G_sym adds the R clique " +
@@ -59,18 +77,30 @@ func Figure2(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-F2  Figure 2: the Theorem 8 layered ring",
 		"α", "ℓ", "layers k", "layer size s", "nodes", "degree (3s-1)", "fast edges", "D", "1/α", "φ_ℓ(C)")
-	for _, c := range cfgs {
+	t.Rows = make([][]string, 0, len(cfgs))
+	type row struct {
+		k, s, nodes, deg, fast, di int
+		phiC                       float64
+	}
+	rows, err := parMap(len(cfgs), func(ci int) (row, error) {
+		c := cfgs[ci]
 		rn, err := graph.NewRingNetwork(c.n, c.alpha, c.ell, seed)
 		if err != nil {
-			return nil, fmt.Errorf("F2 α=%g: %w", c.alpha, err)
+			return row{}, fmt.Errorf("F2 α=%g: %w", c.alpha, err)
 		}
-		deg := rn.G.Degree(0)
 		phiC, err := cut.PhiCut(rn.G, rn.HalfCut(), c.ell)
 		if err != nil {
-			return nil, fmt.Errorf("F2 cut: %w", err)
+			return row{}, fmt.Errorf("F2 cut: %w", err)
 		}
-		t.Add(c.alpha, c.ell, rn.K, rn.S, rn.G.N(), deg, len(rn.Fast),
-			rn.G.WeightedDiameter(), 1/c.alpha, phiC)
+		return row{k: rn.K, s: rn.S, nodes: rn.G.N(), deg: rn.G.Degree(0),
+			fast: len(rn.Fast), di: rn.G.WeightedDiameter(), phiC: phiC}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, r := range rows {
+		c := cfgs[ci]
+		t.Add(c.alpha, c.ell, r.k, r.s, r.nodes, r.deg, r.fast, r.di, 1/c.alpha, r.phiC)
 	}
 	t.Note = "every node has degree 3s−1 (Observation 23); one hidden fast edge per layer pair; " +
 		"D tracks 1/α; φ_ℓ(C) ≈ α (Lemma 9)"

@@ -25,10 +25,14 @@ func L3Reduction(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L3  Lemma 3: gossip execution → guessing game protocol",
 		"m", "gossip rounds", "game-from-trace rounds", "game <= gossip", "direct adaptive game")
-	for _, m := range ms {
-		var gossipR, gameR, directR []float64
-		holds := true
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(ms))
+	type trial struct {
+		gossip, game, direct float64
+		holds                bool
+	}
+	rows, err := parMap(len(ms), func(mi int) ([]trial, error) {
+		m := ms[mi]
+		return parMap(trials, func(i int) (trial, error) {
 			target := graph.SingletonTarget(m, seed+uint64(i))
 			// Slow latency far above the algorithm's runtime, as in the
 			// paper's construction (latency n): within the measured horizon
@@ -36,29 +40,41 @@ func L3Reduction(scale Scale, seed uint64) (*Table, error) {
 			// completed run must have activated it.
 			gd, err := graph.NewGadget(m, target, true, 64*m)
 			if err != nil {
-				return nil, fmt.Errorf("L3 gadget m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L3 gadget m=%d: %w", m, err)
 			}
 			script, rounds, err := traceToScript(gd, seed+uint64(i))
 			if err != nil {
-				return nil, fmt.Errorf("L3 trace m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L3 trace m=%d: %w", m, err)
 			}
 			res, err := guess.PlayScripted(m, target, script)
 			if err != nil {
-				return nil, fmt.Errorf("L3 replay m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L3 replay m=%d: %w", m, err)
 			}
 			if !res.Solved {
-				return nil, fmt.Errorf("L3 m=%d trial %d: completed gossip run did not solve the game", m, i)
-			}
-			if res.Rounds > rounds {
-				holds = false
+				return trial{}, fmt.Errorf("L3 m=%d trial %d: completed gossip run did not solve the game", m, i)
 			}
 			direct, err := guess.Play(m, target, guess.NewAdaptiveStrategy(seed+uint64(i)), 100*m)
 			if err != nil {
-				return nil, fmt.Errorf("L3 direct m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L3 direct m=%d: %w", m, err)
 			}
-			gossipR = append(gossipR, float64(rounds))
-			gameR = append(gameR, float64(res.Rounds))
-			directR = append(directR, float64(direct.Rounds))
+			return trial{
+				gossip: float64(rounds),
+				game:   float64(res.Rounds),
+				direct: float64(direct.Rounds),
+				holds:  res.Rounds <= rounds,
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, ts := range rows {
+		m := ms[mi]
+		gossipR, gameR, directR := make([]float64, trials), make([]float64, trials), make([]float64, trials)
+		holds := true
+		for i, tr := range ts {
+			gossipR[i], gameR[i], directR[i] = tr.gossip, tr.game, tr.direct
+			holds = holds && tr.holds
 		}
 		t.Add(m, Summarize(gossipR).Mean, Summarize(gameR).Mean, holds, Summarize(directR).Mean)
 	}
@@ -106,21 +122,32 @@ func Congestion(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-CONG  bounded in-degree (1 response/round) on a star",
 		"n", "unbounded rounds", "bounded rounds", "bounded/n", "unbounded/log n")
-	for _, n := range ns {
+	t.Rows = make([][]string, 0, len(ns))
+	type trial struct{ ub, bd float64 }
+	rows, err := parMap(len(ns), func(ni int) ([]trial, error) {
+		n := ns[ni]
 		g := graph.Star(n, 1)
-		var ub, bd []float64
-		for i := 0; i < trials; i++ {
+		return parMap(trials, func(i int) (trial, error) {
 			a, err := core.PushPull(g, 1, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("CONG unbounded n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("CONG unbounded n=%d: %w", n, err)
 			}
 			b, err := core.PushPull(g, 1, core.ModePushPull,
 				sim.Config{Seed: seed + uint64(i), MaxResponsesPerRound: 1, MaxRounds: 1000 * n})
 			if err != nil {
-				return nil, fmt.Errorf("CONG bounded n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("CONG bounded n=%d: %w", n, err)
 			}
-			ub = append(ub, float64(a.Metrics.Rounds))
-			bd = append(bd, float64(b.Metrics.Rounds))
+			return trial{ub: float64(a.Metrics.Rounds), bd: float64(b.Metrics.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, ts := range rows {
+		n := ns[ni]
+		ub, bd := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			ub[i], bd[i] = tr.ub, tr.bd
 		}
 		su, sb := Summarize(ub), Summarize(bd)
 		t.Add(n, su.Mean, sb.Mean, sb.Mean/float64(n), su.Mean/math.Log2(float64(n)))

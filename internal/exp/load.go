@@ -26,14 +26,19 @@ func LoadBalance(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-LOAD  per-node traffic: push-pull vs tree broadcast",
 		"graph", "n", "pp max/mean load", "tree max/mean load", "tree hotspot share")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		ppMax, ppMean, trMax, trMean, hotShare float64
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		pp, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("LOAD push-pull %s: %w", f.name, err)
+			return row{}, fmt.Errorf("LOAD push-pull %s: %w", f.name, err)
 		}
 		tr, err := core.TreeBroadcast(f.g, 0, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("LOAD tree %s: %w", f.name, err)
+			return row{}, fmt.Errorf("LOAD tree %s: %w", f.name, err)
 		}
 		ppMax, ppMean := loadStats(pp.Loads)
 		trMax, trMean := loadStats(tr.Loads)
@@ -45,7 +50,14 @@ func LoadBalance(scale Scale, seed uint64) (*Table, error) {
 		if trTotal > 0 {
 			hotShare = trMax / trTotal
 		}
-		t.Add(f.name, f.g.N(), ppMax/ppMean, trMax/trMean, hotShare)
+		return row{ppMax: ppMax, ppMean: ppMean, trMax: trMax, trMean: trMean, hotShare: hotShare}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
+		t.Add(f.name, f.g.N(), r.ppMax/r.ppMean, r.trMax/r.trMean, r.hotShare)
 	}
 	t.Note = "on (near-)regular topologies push-pull's load is almost uniform (max/mean ≈ 1) while the " +
 		"tree concentrates traffic on internal nodes; on hub graphs both are degree-bound, the tree worse"

@@ -24,24 +24,35 @@ func L4Guessing(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L4  Lemma 4: Guessing(2m, |T|=1) costs Θ(m) rounds",
 		"m", "adaptive rounds", "adaptive/m", "random rounds", "random/m")
-	var xs, ys []float64
-	for _, m := range ms {
-		var ad, rd []float64
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(ms))
+	type trial struct{ a, r float64 }
+	rows, err := parMap(len(ms), func(mi int) ([]trial, error) {
+		m := ms[mi]
+		return parMap(trials, func(i int) (trial, error) {
 			target := graph.SingletonTarget(m, seed+uint64(i))
 			ra, err := guess.Play(m, target, guess.NewAdaptiveStrategy(seed+uint64(i)), 100*m)
 			if err != nil {
-				return nil, fmt.Errorf("L4 adaptive m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L4 adaptive m=%d: %w", m, err)
 			}
 			rr, err := guess.Play(m, target, guess.NewRandomStrategy(seed+uint64(i)), 100*m)
 			if err != nil {
-				return nil, fmt.Errorf("L4 random m=%d: %w", m, err)
+				return trial{}, fmt.Errorf("L4 random m=%d: %w", m, err)
 			}
 			if !ra.Solved || !rr.Solved {
-				return nil, fmt.Errorf("L4 m=%d trial %d unsolved", m, i)
+				return trial{}, fmt.Errorf("L4 m=%d trial %d unsolved", m, i)
 			}
-			ad = append(ad, float64(ra.Rounds))
-			rd = append(rd, float64(rr.Rounds))
+			return trial{a: float64(ra.Rounds), r: float64(rr.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for mi, ts := range rows {
+		m := ms[mi]
+		ad, rd := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			ad[i], rd[i] = tr.a, tr.r
 		}
 		sa, sr := Summarize(ad), Summarize(rd)
 		t.Add(m, sa.Mean, sa.Mean/float64(m), sr.Mean, sr.Mean/float64(m))
@@ -66,24 +77,35 @@ func L5GuessingRandomP(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L5  Lemma 5: Guessing(2m, Random_p) round complexity",
 		"p", "adaptive rounds", "adaptive·p", "random rounds", "random·p", "random·p/ln m")
+	t.Rows = make([][]string, 0, len(ps))
 	lnm := math.Log(float64(m))
-	for _, p := range ps {
-		var ad, rd []float64
-		for i := 0; i < trials; i++ {
+	type trial struct{ a, r float64 }
+	rows, err := parMap(len(ps), func(pi int) ([]trial, error) {
+		p := ps[pi]
+		return parMap(trials, func(i int) (trial, error) {
 			target := graph.RandomTarget(m, p, seed+uint64(i))
 			ra, err := guess.Play(m, target, guess.NewAdaptiveStrategy(seed+uint64(i)), int(2000/p))
 			if err != nil {
-				return nil, fmt.Errorf("L5 adaptive p=%g: %w", p, err)
+				return trial{}, fmt.Errorf("L5 adaptive p=%g: %w", p, err)
 			}
 			rr, err := guess.Play(m, target, guess.NewRandomStrategy(seed+uint64(i)), int(2000/p))
 			if err != nil {
-				return nil, fmt.Errorf("L5 random p=%g: %w", p, err)
+				return trial{}, fmt.Errorf("L5 random p=%g: %w", p, err)
 			}
 			if !ra.Solved || !rr.Solved {
-				return nil, fmt.Errorf("L5 p=%g trial %d unsolved", p, i)
+				return trial{}, fmt.Errorf("L5 p=%g trial %d unsolved", p, i)
 			}
-			ad = append(ad, float64(ra.Rounds))
-			rd = append(rd, float64(rr.Rounds))
+			return trial{a: float64(ra.Rounds), r: float64(rr.Rounds)}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, ts := range rows {
+		p := ps[pi]
+		ad, rd := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			ad[i], rd[i] = tr.a, tr.r
 		}
 		sa, sr := Summarize(ad), Summarize(rd)
 		t.Add(p, sa.Mean, sa.Mean*p, sr.Mean, sr.Mean*p, sr.Mean*p/lnm)
@@ -104,32 +126,47 @@ func T6DeltaLowerBound(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T6  Theorem 6: Ω(Δ) on the gadget network H",
 		"Δ", "n", "D", "push-pull rounds", "pp/Δ", "flood rounds", "flood/Δ")
-	var xs, ys []float64
-	for _, delta := range deltas {
+	t.Rows = make([][]string, 0, len(deltas))
+	type trial struct {
+		pp, fl float64
+		d      int
+	}
+	rows, err := parMap(len(deltas), func(di int) ([]trial, error) {
+		delta := deltas[di]
 		n := 2*delta + 8
-		var pps, fls []float64
-		var d int
-		for i := 0; i < trials; i++ {
+		return parMap(trials, func(i int) (trial, error) {
 			h, err := graph.NewTheoremSixNetwork(n, delta, seed+uint64(i))
 			if err != nil {
-				return nil, fmt.Errorf("T6 Δ=%d: %w", delta, err)
+				return trial{}, fmt.Errorf("T6 Δ=%d: %w", delta, err)
 			}
+			var d int
 			if i == 0 {
 				d = h.G.WeightedDiameter()
 			}
 			pp, err := core.PushPull(h.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T6 push-pull Δ=%d: %w", delta, err)
+				return trial{}, fmt.Errorf("T6 push-pull Δ=%d: %w", delta, err)
 			}
 			fl, err := core.Flood(h.G, 0, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T6 flood Δ=%d: %w", delta, err)
+				return trial{}, fmt.Errorf("T6 flood Δ=%d: %w", delta, err)
 			}
-			pps = append(pps, float64(pp.Metrics.Rounds))
-			fls = append(fls, float64(fl.Metrics.Rounds))
+			return trial{pp: float64(pp.Metrics.Rounds), fl: float64(fl.Metrics.Rounds), d: d}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for di, ts := range rows {
+		delta := deltas[di]
+		n := 2*delta + 8
+		pps, fls := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			pps[i], fls[i] = tr.pp, tr.fl
 		}
 		sp, sf := Summarize(pps), Summarize(fls)
-		t.Add(delta, n, d, sp.Mean, sp.Mean/float64(delta), sf.Mean, sf.Mean/float64(delta))
+		t.Add(delta, n, ts[0].d, sp.Mean, sp.Mean/float64(delta), sf.Mean, sf.Mean/float64(delta))
 		xs = append(xs, float64(delta))
 		ys = append(ys, sp.Mean)
 	}
@@ -158,28 +195,44 @@ func T7Conductance(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T7  Theorem 7: Ω(log n/φ + ℓ) on G(Random_φ), D = O(ℓ)",
 		"φ", "2n", "D (O(ℓ), ℓ="+fmt.Sprint(ell)+")", "measured φ_ℓ", "push-pull rounds", "rounds·φ/ln n")
+	t.Rows = make([][]string, 0, len(phis))
 	lnn := math.Log(float64(2 * n))
-	for _, phi := range phis {
-		var rounds []float64
-		var d int
-		var measured float64
-		for i := 0; i < trials; i++ {
+	type trial struct {
+		rounds   float64
+		d        int
+		measured float64
+	}
+	rows, err := parMap(len(phis), func(pi int) ([]trial, error) {
+		phi := phis[pi]
+		return parMap(trials, func(i int) (trial, error) {
 			tn, err := graph.NewTheoremSevenNetwork(n, phi, ell, seed+uint64(i))
 			if err != nil {
-				return nil, fmt.Errorf("T7 φ=%g: %w", phi, err)
+				return trial{}, fmt.Errorf("T7 φ=%g: %w", phi, err)
 			}
+			var tr trial
 			if i == 0 {
-				d = tn.G.WeightedDiameterApprox()
-				measured = cut.PhiHeuristic(tn.G, ell, seed)
+				tr.d = tn.G.WeightedDiameterApprox()
+				tr.measured = cut.PhiHeuristic(tn.G, ell, seed)
 			}
 			pp, err := core.PushPull(tn.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T7 push-pull φ=%g: %w", phi, err)
+				return trial{}, fmt.Errorf("T7 push-pull φ=%g: %w", phi, err)
 			}
-			rounds = append(rounds, float64(pp.Metrics.Rounds))
+			tr.rounds = float64(pp.Metrics.Rounds)
+			return tr, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, ts := range rows {
+		phi := phis[pi]
+		rounds := make([]float64, trials)
+		for i, tr := range ts {
+			rounds[i] = tr.rounds
 		}
 		s := Summarize(rounds)
-		t.Add(phi, 2*n, d, measured, s.Mean, s.Mean*phi/lnn)
+		t.Add(phi, 2*n, ts[0].d, ts[0].measured, s.Mean, s.Mean*phi/lnn)
 	}
 	t.Note = "rounds·φ/ln n roughly constant => rounds = Θ(log n/φ); measured φ_ℓ tracks the construction's φ"
 	return t, nil
@@ -201,30 +254,46 @@ func T8TradeOff(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T8  Theorem 8: Ω(min(Δ+D, ℓ/φ)) trade-off on the layered ring",
 		"ℓ", "nodes", "Δ", "D", "push-pull rounds", "flood rounds", "min(Δ+D, ℓ/α)")
-	for _, ell := range ells {
-		var pps, fls []float64
-		var deg, d, nodes int
-		for i := 0; i < trials; i++ {
+	t.Rows = make([][]string, 0, len(ells))
+	type trial struct {
+		pp, fl        float64
+		deg, d, nodes int
+	}
+	rows, err := parMap(len(ells), func(ei int) ([]trial, error) {
+		ell := ells[ei]
+		return parMap(trials, func(i int) (trial, error) {
 			rn, err := graph.NewRingNetwork(n, alpha, ell, seed+uint64(i))
 			if err != nil {
-				return nil, fmt.Errorf("T8 ℓ=%d: %w", ell, err)
+				return trial{}, fmt.Errorf("T8 ℓ=%d: %w", ell, err)
 			}
+			var tr trial
 			if i == 0 {
-				deg = rn.G.MaxDegree()
-				nodes = rn.G.N()
-				d = rn.K / 2
+				tr.deg = rn.G.MaxDegree()
+				tr.nodes = rn.G.N()
+				tr.d = rn.K / 2
 			}
 			pp, err := core.PushPull(rn.G, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T8 push-pull ℓ=%d: %w", ell, err)
+				return trial{}, fmt.Errorf("T8 push-pull ℓ=%d: %w", ell, err)
 			}
 			fl, err := core.Flood(rn.G, 0, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T8 flood ℓ=%d: %w", ell, err)
+				return trial{}, fmt.Errorf("T8 flood ℓ=%d: %w", ell, err)
 			}
-			pps = append(pps, float64(pp.Metrics.Rounds))
-			fls = append(fls, float64(fl.Metrics.Rounds))
+			tr.pp, tr.fl = float64(pp.Metrics.Rounds), float64(fl.Metrics.Rounds)
+			return tr, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ei, ts := range rows {
+		ell := ells[ei]
+		pps, fls := make([]float64, trials), make([]float64, trials)
+		for i, tr := range ts {
+			pps[i], fls[i] = tr.pp, tr.fl
 		}
+		deg, d, nodes := ts[0].deg, ts[0].d, ts[0].nodes
 		bound := float64(deg + d)
 		if alt := float64(ell) / alpha; alt < bound {
 			bound = alt
@@ -250,21 +319,36 @@ func L9RingConductance(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L9/L10/L11  Ring network conductance: φ_ℓ(C)=α, φ_ℓ=Θ(α), ℓ*=ℓ",
 		"α", "ℓ", "nodes", "φ_ℓ(C) (Lemma 9 ≈ α)", "heuristic φ_ℓ (Θ(α))", "ℓ* (Lemma 11 = ℓ)")
-	for _, c := range cfgs {
+	t.Rows = make([][]string, 0, len(cfgs))
+	type row struct {
+		nodes   int
+		phiCut  float64
+		heur    float64
+		ellStar int
+	}
+	rows, err := parMap(len(cfgs), func(ci int) (row, error) {
+		c := cfgs[ci]
 		rn, err := graph.NewRingNetwork(c.n, c.alpha, c.ell, seed)
 		if err != nil {
-			return nil, fmt.Errorf("L9 α=%g: %w", c.alpha, err)
+			return row{}, fmt.Errorf("L9 α=%g: %w", c.alpha, err)
 		}
 		phiCut, err := cut.PhiCut(rn.G, rn.HalfCut(), c.ell)
 		if err != nil {
-			return nil, fmt.Errorf("L9 cut: %w", err)
+			return row{}, fmt.Errorf("L9 cut: %w", err)
 		}
 		heur := cut.PhiHeuristic(rn.G, c.ell, seed)
 		wc, err := cut.WeightedConductance(rn.G, seed)
 		if err != nil {
-			return nil, fmt.Errorf("L11: %w", err)
+			return row{}, fmt.Errorf("L11: %w", err)
 		}
-		t.Add(c.alpha, c.ell, rn.G.N(), phiCut, heur, wc.EllStar)
+		return row{nodes: rn.G.N(), phiCut: phiCut, heur: heur, ellStar: wc.EllStar}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, r := range rows {
+		c := cfgs[ci]
+		t.Add(c.alpha, c.ell, r.nodes, r.phiCut, r.heur, r.ellStar)
 	}
 	return t, nil
 }

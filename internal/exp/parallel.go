@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment harness fans the independent (seed, scale-point) cells of
+// each sweep across a worker pool. Every cell owns its seed (seed+trial) and
+// its own Network, so cells never share mutable state; results are merged in
+// index order, which keeps the rendered Table byte-identical to a sequential
+// run. Determinism is per-cell, not per-schedule.
+
+// maxWorkers caps the number of concurrent cells per parMap call.
+// 1 disables parallelism entirely.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetMaxWorkers sets the per-sweep worker cap (n <= 1 forces sequential
+// execution) and returns the previous value.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// MaxWorkers returns the current per-sweep worker cap.
+func MaxWorkers() int { return int(maxWorkers.Load()) }
+
+// parMap evaluates fn for every index in [0, n) — concurrently when the
+// worker cap allows — and returns the results in index order. On failure it
+// returns the error of the lowest failing index, matching what a sequential
+// loop would surface. Nested calls are safe: each call bounds only its own
+// goroutines, so an outer sweep blocked in parMap never starves its inner
+// trial loops.
+func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	w := MaxWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parTrials runs the per-trial measurement fn for trials independent cells
+// and returns the measured values in trial order.
+func parTrials(trials int, fn func(i int) (float64, error)) ([]float64, error) {
+	return parMap(trials, fn)
+}

@@ -24,26 +24,44 @@ func SocialNetworks(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-SOCIAL  related work: push-pull on power-law (Chung-Lu, β=2.5) graphs",
 		"n", "avg deg", "unit-latency rounds", "rounds/log n", fmt.Sprintf("latency[1..%d] rounds", maxLat), "weighted/unit")
-	var xs, ys []float64
-	for _, n := range ns {
+	t.Rows = make([][]string, 0, len(ns))
+	type trial struct{ unit, weighted float64 }
+	type cell struct {
+		ts     []trial
+		avgDeg float64
+	}
+	rows, err := parMap(len(ns), func(ni int) (cell, error) {
+		n := ns[ni]
 		g1 := graph.ChungLu(n, 2.5, 10, 1, seed)
 		gw := graph.RandomLatencies(g1, 1, maxLat, seed+1)
-		var unit, weighted []float64
-		for i := 0; i < trials; i++ {
+		ts, err := parMap(trials, func(i int) (trial, error) {
 			a, err := core.PushPull(g1, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("SOCIAL unit n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("SOCIAL unit n=%d: %w", n, err)
 			}
 			b, err := core.PushPull(gw, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("SOCIAL weighted n=%d: %w", n, err)
+				return trial{}, fmt.Errorf("SOCIAL weighted n=%d: %w", n, err)
 			}
-			unit = append(unit, float64(a.Metrics.Rounds))
-			weighted = append(weighted, float64(b.Metrics.Rounds))
+			return trial{unit: float64(a.Metrics.Rounds), weighted: float64(b.Metrics.Rounds)}, nil
+		})
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{ts: ts, avgDeg: 2 * float64(g1.M()) / float64(n)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for ni, c := range rows {
+		n := ns[ni]
+		unit, weighted := make([]float64, trials), make([]float64, trials)
+		for i, tr := range c.ts {
+			unit[i], weighted[i] = tr.unit, tr.weighted
 		}
 		su, sw := Summarize(unit), Summarize(weighted)
-		avgDeg := 2 * float64(g1.M()) / float64(n)
-		t.Add(n, avgDeg, su.Mean, su.Mean/math.Log2(float64(n)), sw.Mean, sw.Mean/su.Mean)
+		t.Add(n, c.avgDeg, su.Mean, su.Mean/math.Log2(float64(n)), sw.Mean, sw.Mean/su.Mean)
 		xs = append(xs, float64(n))
 		ys = append(ys, su.Mean)
 	}

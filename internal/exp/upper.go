@@ -40,28 +40,43 @@ func T12PushPull(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T12  Theorem 12: push-pull = O((ℓ*/φ*)·log n)",
 		"graph", "n", "φ*", "ℓ*", "(ℓ*/φ*)ln n", "rounds", "rounds/driver")
-	var xs, ys []float64
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		wc     cut.Result
+		driver float64
+		s      Stats
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		wc, err := cut.WeightedConductance(f.g, seed)
 		if err != nil {
-			return nil, fmt.Errorf("T12 %s conductance: %w", f.name, err)
+			return row{}, fmt.Errorf("T12 %s conductance: %w", f.name, err)
 		}
 		if wc.PhiStar <= 0 {
-			return nil, fmt.Errorf("T12 %s: φ* = 0", f.name)
+			return row{}, fmt.Errorf("T12 %s: φ* = 0", f.name)
 		}
 		driver := float64(wc.EllStar) / wc.PhiStar * math.Log(float64(f.g.N()))
-		var rounds []float64
-		for i := 0; i < trials; i++ {
+		rounds, err := parTrials(trials, func(i int) (float64, error) {
 			pp, err := core.PushPull(f.g, 0, core.ModePushPull, sim.Config{Seed: seed + uint64(i)})
 			if err != nil {
-				return nil, fmt.Errorf("T12 %s: %w", f.name, err)
+				return 0, fmt.Errorf("T12 %s: %w", f.name, err)
 			}
-			rounds = append(rounds, float64(pp.Metrics.Rounds))
+			return float64(pp.Metrics.Rounds), nil
+		})
+		if err != nil {
+			return row{}, err
 		}
-		s := Summarize(rounds)
-		t.Add(f.name, f.g.N(), wc.PhiStar, wc.EllStar, driver, s.Mean, s.Mean/driver)
-		xs = append(xs, driver)
-		ys = append(ys, s.Mean)
+		return row{wc: wc, driver: driver, s: Summarize(rounds)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for fi, r := range rows {
+		f := fams[fi]
+		t.Add(f.name, f.g.N(), r.wc.PhiStar, r.wc.EllStar, r.driver, r.s.Mean, r.s.Mean/r.driver)
+		xs = append(xs, r.driver)
+		ys = append(ys, r.s.Mean)
 	}
 	t.Note = fmt.Sprintf("rounds/driver <= 1 on every row: the O((ℓ*/φ*)·log n) bound holds "+
 		"(log-log slope vs driver = %.2f; tightness of the bound is the E-T7 experiment)", LogLogSlope(xs, ys))
@@ -78,17 +93,29 @@ func T14Spanner(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T14  Lemma 13/Theorem 14: spanner size, out-degree, stretch at k=log n",
 		"n", "k", "edges", "edges/(n·log n)", "max out-deg", "outdeg/log n", "stretch", "2k-1")
-	for _, n := range ns {
+	t.Rows = make([][]string, 0, len(ns))
+	type row struct {
+		k, size, outDeg int
+		stretch         float64
+	}
+	rows, err := parMap(len(ns), func(ni int) (row, error) {
+		n := ns[ni]
 		g := graph.GNP(n, math.Min(1, 8*math.Log(float64(n))/float64(n)), 1, true, seed)
 		k := int(math.Ceil(math.Log2(float64(n))))
 		sp, err := spanner.Build(g, k, n, seed)
 		if err != nil {
-			return nil, fmt.Errorf("T14 n=%d: %w", n, err)
+			return row{}, fmt.Errorf("T14 n=%d: %w", n, err)
 		}
+		return row{k: k, size: sp.Size(), outDeg: sp.MaxOutDegree(), stretch: spanner.Stretch(g, sp)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, r := range rows {
+		n := ns[ni]
 		lg := math.Log2(float64(n))
-		t.Add(n, k, sp.Size(), float64(sp.Size())/(float64(n)*lg),
-			sp.MaxOutDegree(), float64(sp.MaxOutDegree())/lg,
-			spanner.Stretch(g, sp), 2*k-1)
+		t.Add(n, r.k, r.size, float64(r.size)/(float64(n)*lg),
+			r.outDeg, float64(r.outDeg)/lg, r.stretch, 2*r.k-1)
 	}
 	t.Note = "edges/(n log n) and outdeg/log n bounded; stretch within 2k-1"
 	return t, nil
@@ -111,21 +138,33 @@ func L15RRBroadcast(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L15  Lemma 15/Corollary 16: RR Broadcast over the oriented spanner",
 		"graph", "n", "D", "Δout", "completed@", "Lemma 15 bound", "D·log²n", "done/bound")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		d, outDeg, done int
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		res, err := core.RRBroadcast(f.g, d, 0, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("L15 %s: %w", f.name, err)
+			return row{}, fmt.Errorf("L15 %s: %w", f.name, err)
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("L15 %s: dissemination incomplete", f.name)
+			return row{}, fmt.Errorf("L15 %s: dissemination incomplete", f.name)
 		}
+		return row{d: d, outDeg: res.MaxOutDegree, done: res.RoundsToComplete}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
 		ks := int(math.Ceil(math.Log2(float64(f.g.N()))))
-		kRR := (2*ks - 1) * d
-		bound := kRR*res.MaxOutDegree + kRR
+		kRR := (2*ks - 1) * r.d
+		bound := kRR*r.outDeg + kRR
 		lg := math.Log2(float64(f.g.N()))
-		t.Add(f.name, f.g.N(), d, res.MaxOutDegree, res.RoundsToComplete, bound,
-			float64(d)*lg*lg, float64(res.RoundsToComplete)/float64(bound))
+		t.Add(f.name, f.g.N(), r.d, r.outDeg, r.done, bound,
+			float64(r.d)*lg*lg, float64(r.done)/float64(bound))
 	}
 	t.Note = "done/bound <= 1 everywhere: completion within the Lemma 15 schedule"
 	return t, nil
@@ -147,21 +186,33 @@ func L17EID(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L17  Lemma 17: EID (known D) = O(D log³ n)",
 		"graph", "n", "D", "rounds", "D·log³n", "rounds/(D·log³n)")
-	var xs, ys []float64
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		d, rounds int
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		res, err := core.EID(f.g, d, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("L17 %s: %w", f.name, err)
+			return row{}, fmt.Errorf("L17 %s: %w", f.name, err)
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("L17 %s: dissemination incomplete", f.name)
+			return row{}, fmt.Errorf("L17 %s: dissemination incomplete", f.name)
 		}
+		return row{d: d, rounds: res.Metrics.Rounds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var xs, ys []float64
+	for fi, r := range rows {
+		f := fams[fi]
 		lg := math.Log2(float64(f.g.N()))
-		driver := float64(d) * lg * lg * lg
-		t.Add(f.name, f.g.N(), d, res.Metrics.Rounds, driver, float64(res.Metrics.Rounds)/driver)
+		driver := float64(r.d) * lg * lg * lg
+		t.Add(f.name, f.g.N(), r.d, r.rounds, driver, float64(r.rounds)/driver)
 		xs = append(xs, driver)
-		ys = append(ys, float64(res.Metrics.Rounds))
+		ys = append(ys, float64(r.rounds))
 	}
 	t.Note = fmt.Sprintf("rounds/(D·log³n) bounded (non-increasing) — log-log slope of rounds vs the "+
 		"driver D·log³n = %.2f (Lemma 17 predicts <= 1)", LogLogSlope(xs, ys))
@@ -184,14 +235,20 @@ func T19GeneralEID(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-T19  Theorem 19/Lemma 18: General EID (unknown D)",
 		"graph", "n", "D", "rounds", "final estimate", "same-round termination")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		d, rounds, estimate int
+		same                bool
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		res, err := core.GeneralEID(f.g, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("T19 %s: %w", f.name, err)
+			return row{}, fmt.Errorf("T19 %s: %w", f.name, err)
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("T19 %s: dissemination incomplete", f.name)
+			return row{}, fmt.Errorf("T19 %s: dissemination incomplete", f.name)
 		}
 		same := true
 		for _, r := range res.TerminatedAt {
@@ -199,7 +256,14 @@ func T19GeneralEID(scale Scale, seed uint64) (*Table, error) {
 				same = false
 			}
 		}
-		t.Add(f.name, f.g.N(), d, res.Metrics.Rounds, res.FinalEstimate, same)
+		return row{d: d, rounds: res.Metrics.Rounds, estimate: res.FinalEstimate, same: same}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
+		t.Add(f.name, f.g.N(), r.d, r.rounds, r.estimate, r.same)
 	}
 	t.Note = "Lemma 18 requires same-round termination = true on every row"
 	return t, nil
@@ -224,23 +288,36 @@ func T20Unified(scale Scale, seed uint64) (*Table, error) {
 	t := NewTable("E-T20  Theorem 20: unified = 2·min(push-pull, spanner algorithm)",
 		"graph", "n", "pp rounds", "spanner rounds", "unified rounds", "winner",
 		"(ℓ*/φ*)ln n", "D·log³n")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		res core.UnifiedResult
+		wc  cut.Result
+		d   int
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		res, err := core.Unified(f.g, 0, true, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("T20 %s: %w", f.name, err)
+			return row{}, fmt.Errorf("T20 %s: %w", f.name, err)
 		}
 		wc, err := cut.WeightedConductance(f.g, seed)
 		if err != nil {
-			return nil, fmt.Errorf("T20 %s conductance: %w", f.name, err)
+			return row{}, fmt.Errorf("T20 %s conductance: %w", f.name, err)
 		}
-		d := f.g.WeightedDiameter()
+		return row{res: res, wc: wc, d: f.g.WeightedDiameter()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
 		lg := math.Log2(float64(f.g.N()))
 		ppDriver := math.Inf(1)
-		if wc.PhiStar > 0 {
-			ppDriver = float64(wc.EllStar) / wc.PhiStar * math.Log(float64(f.g.N()))
+		if r.wc.PhiStar > 0 {
+			ppDriver = float64(r.wc.EllStar) / r.wc.PhiStar * math.Log(float64(f.g.N()))
 		}
-		t.Add(f.name, f.g.N(), res.PushPull.Metrics.Rounds, res.Spanner.Metrics.Rounds,
-			res.Rounds, res.Winner, ppDriver, float64(d)*lg*lg*lg)
+		t.Add(f.name, f.g.N(), r.res.PushPull.Metrics.Rounds, r.res.Spanner.Metrics.Rounds,
+			r.res.Rounds, r.res.Winner, ppDriver, float64(r.d)*lg*lg*lg)
 	}
 	t.Note = "unified = 2·min of the two components (deterministic 1:1 interleaving)"
 	return t, nil
@@ -262,21 +339,29 @@ func L24PathDiscovery(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-L24  Lemmas 24-26: T(D) and Path Discovery",
 		"graph", "n", "D", "T(D) rounds", "PathDiscovery rounds", "D·log²n·logD", "same-round term")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		d        int
+		tsRounds int
+		pdRounds int
+		same     bool
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		ts, err := core.TSequence(f.g, d, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("L24 T(D) %s: %w", f.name, err)
+			return row{}, fmt.Errorf("L24 T(D) %s: %w", f.name, err)
 		}
 		if !ts.Completed {
-			return nil, fmt.Errorf("L24 %s: T(D) incomplete", f.name)
+			return row{}, fmt.Errorf("L24 %s: T(D) incomplete", f.name)
 		}
 		pd, err := core.PathDiscovery(f.g, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("L24 PD %s: %w", f.name, err)
+			return row{}, fmt.Errorf("L24 PD %s: %w", f.name, err)
 		}
 		if !pd.Completed {
-			return nil, fmt.Errorf("L24 %s: Path Discovery incomplete", f.name)
+			return row{}, fmt.Errorf("L24 %s: Path Discovery incomplete", f.name)
 		}
 		same := true
 		for _, r := range pd.TerminatedAt {
@@ -284,9 +369,16 @@ func L24PathDiscovery(scale Scale, seed uint64) (*Table, error) {
 				same = false
 			}
 		}
+		return row{d: d, tsRounds: ts.Metrics.Rounds, pdRounds: pd.Metrics.Rounds, same: same}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
 		lg := math.Log2(float64(f.g.N()))
-		driver := float64(d) * lg * lg * math.Max(1, math.Log2(float64(d)+1))
-		t.Add(f.name, f.g.N(), d, ts.Metrics.Rounds, pd.Metrics.Rounds, driver, same)
+		driver := float64(r.d) * lg * lg * math.Max(1, math.Log2(float64(r.d)+1))
+		t.Add(f.name, f.g.N(), r.d, r.tsRounds, r.pdRounds, driver, r.same)
 	}
 	return t, nil
 }
@@ -307,19 +399,32 @@ func DiscoveryEID(scale Scale, seed uint64) (*Table, error) {
 	}
 	t := NewTable("E-DISC  Section 4.2: latency discovery + EID (unknown latencies)",
 		"graph", "n", "D", "Δ", "rounds", "(D+Δ)·log³n", "rounds/driver")
-	for _, f := range fams {
+	t.Rows = make([][]string, 0, len(fams))
+	type row struct {
+		d      int
+		rounds int
+	}
+	rows, err := parMap(len(fams), func(fi int) (row, error) {
+		f := fams[fi]
 		d := f.g.WeightedDiameter()
 		res, err := core.DiscoverEID(f.g, sim.Config{Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("DISC %s: %w", f.name, err)
+			return row{}, fmt.Errorf("DISC %s: %w", f.name, err)
 		}
 		if !res.Completed {
-			return nil, fmt.Errorf("DISC %s: dissemination incomplete", f.name)
+			return row{}, fmt.Errorf("DISC %s: dissemination incomplete", f.name)
 		}
+		return row{d: d, rounds: res.Metrics.Rounds}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, r := range rows {
+		f := fams[fi]
 		lg := math.Log2(float64(f.g.N()))
-		driver := float64(d+f.g.MaxDegree()) * lg * lg * lg
-		t.Add(f.name, f.g.N(), d, f.g.MaxDegree(), res.Metrics.Rounds, driver,
-			float64(res.Metrics.Rounds)/driver)
+		driver := float64(r.d+f.g.MaxDegree()) * lg * lg * lg
+		t.Add(f.name, f.g.N(), r.d, f.g.MaxDegree(), r.rounds, driver,
+			float64(r.rounds)/driver)
 	}
 	return t, nil
 }

@@ -17,9 +17,8 @@ func (g *Graph) HopDistances(src NodeID) []int {
 	dist[src] = 0
 	queue := make([]NodeID, 0, g.n)
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, he := range g.adj[u] {
 			if dist[he.To] == Inf {
 				dist[he.To] = dist[u] + 1
@@ -54,11 +53,20 @@ func (h *distHeap) Pop() interface{} {
 // (Inf if unreachable).
 func (g *Graph) Distances(src NodeID) []int {
 	dist := make([]int, g.n)
+	var h distHeap
+	g.distancesInto(src, dist, &h)
+	return dist
+}
+
+// distancesInto runs Dijkstra from src into the caller's dist slice (length
+// n) and scratch heap, so all-pairs sweeps reuse one allocation per buffer.
+// The heap is reset; dist is fully overwritten.
+func (g *Graph) distancesInto(src NodeID, dist []int, h *distHeap) {
 	for i := range dist {
 		dist[i] = Inf
 	}
 	dist[src] = 0
-	h := &distHeap{{node: src, dist: 0}}
+	*h = append((*h)[:0], distItem{node: src, dist: 0})
 	for h.Len() > 0 {
 		it := heap.Pop(h).(distItem)
 		if it.dist > dist[it.node] {
@@ -72,7 +80,6 @@ func (g *Graph) Distances(src NodeID) []int {
 			}
 		}
 	}
-	return dist
 }
 
 // DistancesWithin returns latency-weighted distances from src, exploring only
@@ -126,12 +133,18 @@ func (g *Graph) Eccentricity(src NodeID) int {
 }
 
 // WeightedDiameter returns D, the maximum latency-weighted distance between
-// any pair of nodes (Inf if disconnected). O(n · m log n).
+// any pair of nodes (Inf if disconnected). O(n · m log n). The dist and heap
+// buffers are shared across the n Dijkstra sweeps.
 func (g *Graph) WeightedDiameter() int {
 	d := 0
+	dist := make([]int, g.n)
+	var h distHeap
 	for u := 0; u < g.n; u++ {
-		if e := g.Eccentricity(u); e > d {
-			d = e
+		g.distancesInto(u, dist, &h)
+		for _, e := range dist {
+			if e > d {
+				d = e
+			}
 		}
 	}
 	return d

@@ -12,7 +12,10 @@
 //     regardless of goroutine scheduling or iteration order.
 package rng
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // splitmix64 advances the SplitMix64 state and returns the next output.
 // Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
@@ -50,13 +53,54 @@ func Coin(p float64, seed uint64, vals ...uint64) bool {
 	return u < p
 }
 
+// source is a SplitMix64-backed rand.Source64. Seeding is O(1) — against the
+// ~600-word table initialization of math/rand's default source — which
+// matters because the simulator derives one stream per node per run, and at
+// benchmark scale source seeding otherwise dominates the profile.
+type source struct{ state uint64 }
+
+func (s *source) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (s *source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
 // Stream returns a deterministic *rand.Rand derived from (seed, id). Distinct
 // ids yield independent-looking streams.
 func Stream(seed uint64, id uint64) *rand.Rand {
-	return rand.New(rand.NewSource(int64(Hash(seed, id)))) //nolint:gosec // deterministic simulation, not crypto
+	return rand.New(&source{state: Hash(seed, id)})
 }
 
 // New returns a deterministic *rand.Rand for a bare seed.
 func New(seed uint64) *rand.Rand {
 	return Stream(seed, 0)
+}
+
+// streamPool recycles *rand.Rand values so short-lived networks (benchmark
+// iterations, experiment trials) do not allocate one Rand + source per node
+// per run.
+var streamPool = sync.Pool{
+	New: func() interface{} {
+		return rand.New(&source{})
+	},
+}
+
+// Acquire returns a pooled *rand.Rand reseeded to the (seed, id) stream —
+// the sequence is identical to Stream(seed, id)'s. Release it when the run
+// finishes; the caller must not use it after Release.
+func Acquire(seed uint64, id uint64) *rand.Rand {
+	r := streamPool.Get().(*rand.Rand)
+	r.Seed(int64(Hash(seed, id))) //nolint:gosec // deterministic simulation, not crypto
+	return r
+}
+
+// Release returns an Acquired stream to the pool.
+func Release(r *rand.Rand) {
+	streamPool.Put(r)
 }

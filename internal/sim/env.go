@@ -73,11 +73,14 @@ func (e *nodeEnv) Initiate(idx int, payload Payload) (uint64, error) {
 	if nw.cfg.FullRTTDelivery {
 		reqDelay = he.Latency
 	}
-	ev := &event{
+	ev := nw.getEvent()
+	*ev = event{
 		kind:        evRequest,
 		from:        e.node.id,
 		to:          he.To,
 		edgeID:      he.ID,
+		toIdx:       nw.peerIdx[nw.nodeOff[e.node.id]+int32(idx)],
+		backIdx:     int32(idx),
 		payload:     payload,
 		initiatedAt: nw.round,
 		latency:     he.Latency,
@@ -88,6 +91,8 @@ func (e *nodeEnv) Initiate(idx int, payload Payload) (uint64, error) {
 	nw.metrics.EdgeActivations++
 	nw.loads[e.node.id].Initiated++
 	nw.metrics.Bytes += PayloadSize(payload)
-	nw.trace(TraceEvent{Kind: TraceInitiate, Round: nw.round, From: e.node.id, To: he.To, EdgeID: he.ID, Latency: he.Latency})
+	if nw.cfg.Trace != nil {
+		nw.cfg.Trace(TraceEvent{Kind: TraceInitiate, Round: nw.round, From: e.node.id, To: he.To, EdgeID: he.ID, Latency: he.Latency})
+	}
 	return nw.nextExch, nil
 }

@@ -150,6 +150,8 @@ type event struct {
 	kind        eventKind
 	from, to    graph.NodeID
 	edgeID      int
+	toIdx       int32 // index of the edge in the destination's neighbor list
+	backIdx     int32 // index of the edge at the initiator (for the response hop)
 	payload     Payload
 	initiatedAt int
 	latency     int
@@ -159,25 +161,44 @@ type event struct {
 type nodeState struct {
 	id        graph.NodeID
 	handler   Handler
+	env       nodeEnv
 	ctx       Context
 	initiated bool // initiated an exchange this round
 	served    int  // requests answered this round (MaxResponsesPerRound)
 	crashed   bool
 }
 
+// eventBlockSize is how many pooled events are allocated at once when the
+// free list runs dry.
+const eventBlockSize = 64
+
 // Network drives a set of handlers over a latency-weighted graph.
 type Network struct {
-	g         *graph.Graph
-	cfg       Config
-	nodes     []*nodeState
-	pending   map[int][]*event // completion round -> events
-	inFlight  int
-	round     int
-	metrics   Metrics
-	nextExch  uint64
-	edgeIdxAt map[int64]int // (node, edgeID) -> index in node's neighbor list
-	loads     []NodeLoad
-	closed    bool
+	g   *graph.Graph
+	cfg Config
+	// nodes is indexed by NodeID; states are stored contiguously so that
+	// per-node engine structures cost one allocation, not n.
+	nodes []nodeState
+	// ring is the event calendar: ring[r % len(ring)] holds the events that
+	// complete at absolute round r. Its size covers the largest possible
+	// delivery delay (maxLatency under FullRTTDelivery, ⌈maxLatency/2⌉
+	// otherwise) plus the +1 congestion requeue, and grows on demand if a
+	// latency is raised after construction.
+	ring [][]*event
+	// free is the event free list: delivered events return here and are
+	// reused by later initiations, so steady-state delivery does not allocate.
+	free     []*event
+	inFlight int
+	round    int
+	metrics  Metrics
+	nextExch uint64
+	// peerIdx[nodeOff[u]+i] is the index, in the neighbor list of the peer
+	// across u's i-th incident edge, of that same edge — the dense
+	// replacement for the (node, edgeID) -> index map on the delivery path.
+	peerIdx []int32
+	nodeOff []int32
+	loads   []NodeLoad
+	closed  bool
 }
 
 // NewNetwork creates a network over g. Attach handlers with SetHandler (or
@@ -189,20 +210,76 @@ func NewNetwork(g *graph.Graph, cfg Config) *Network {
 	if cfg.NHint <= 0 {
 		cfg.NHint = g.N()
 	}
-	nw := &Network{
-		g:         g,
-		cfg:       cfg,
-		nodes:     make([]*nodeState, g.N()),
-		pending:   make(map[int][]*event),
-		edgeIdxAt: make(map[int64]int, 2*g.M()),
-		loads:     make([]NodeLoad, g.N()),
+	ringSize := g.MaxLatency() + 2
+	if ringSize < 4 {
+		ringSize = 4
 	}
+	nw := &Network{
+		g:     g,
+		cfg:   cfg,
+		nodes: make([]nodeState, g.N()),
+		ring:  make([][]*event, ringSize),
+		loads: make([]NodeLoad, g.N()),
+	}
+	nw.buildPeerIndex()
+	return nw
+}
+
+// buildPeerIndex precomputes, for every half-edge (u, i), the index of the
+// same edge in the peer's neighbor list. Two passes over the adjacency lists
+// replace the old map[int64]int with two dense slices.
+func (nw *Network) buildPeerIndex() {
+	g := nw.g
+	edges := g.Edges()
+	m := g.M()
+	// posU[id] / posV[id]: position of edge id in the neighbor list of its U
+	// and V endpoints respectively (temporaries for the build).
+	posU := make([]int32, m)
+	posV := make([]int32, m)
+	nw.nodeOff = make([]int32, g.N()+1)
 	for u := 0; u < g.N(); u++ {
+		nw.nodeOff[u+1] = nw.nodeOff[u] + int32(g.Degree(u))
 		for idx, he := range g.Neighbors(u) {
-			nw.edgeIdxAt[int64(u)<<32|int64(he.ID)] = idx
+			if edges[he.ID].U == u {
+				posU[he.ID] = int32(idx)
+			} else {
+				posV[he.ID] = int32(idx)
+			}
 		}
 	}
-	return nw
+	nw.peerIdx = make([]int32, 2*m)
+	for u := 0; u < g.N(); u++ {
+		off := nw.nodeOff[u]
+		for idx, he := range g.Neighbors(u) {
+			if edges[he.ID].U == he.To {
+				nw.peerIdx[off+int32(idx)] = posU[he.ID]
+			} else {
+				nw.peerIdx[off+int32(idx)] = posV[he.ID]
+			}
+		}
+	}
+}
+
+// getEvent pops a pooled event, allocating a fresh block when the pool is
+// empty. All fields are overwritten by the caller.
+func (nw *Network) getEvent() *event {
+	if n := len(nw.free); n > 0 {
+		ev := nw.free[n-1]
+		nw.free = nw.free[:n-1]
+		return ev
+	}
+	blk := make([]event, eventBlockSize)
+	for i := 1; i < len(blk); i++ {
+		nw.free = append(nw.free, &blk[i])
+	}
+	return &blk[0]
+}
+
+// putEvent returns a delivered event to the pool. The payload reference is
+// dropped so protocol state can be collected.
+func (nw *Network) putEvent(ev *event) {
+	ev.payload = nil
+	nw.free = append(nw.free, ev)
 }
 
 // Graph returns the underlying graph.
@@ -226,9 +303,11 @@ func (nw *Network) Loads() []NodeLoad {
 
 // SetHandler attaches a handler to node u.
 func (nw *Network) SetHandler(u graph.NodeID, h Handler) {
-	st := &nodeState{id: u, handler: h}
-	st.ctx = Context{env: &nodeEnv{nw: nw, node: st}}
-	nw.nodes[u] = st
+	st := &nw.nodes[u]
+	st.id = u
+	st.handler = h
+	st.env = nodeEnv{nw: nw, node: st}
+	st.ctx = Context{env: &st.env}
 }
 
 // Handler returns the handler attached to node u.
@@ -239,8 +318,9 @@ func (nw *Network) Handler(u graph.NodeID) Handler { return nw.nodes[u].handler 
 // Env backend (see env.go), so any runtime that implements Env can drive
 // the same Handler protocols.
 type Context struct {
-	env  Env
-	rand *rand.Rand
+	env   Env
+	rand  *rand.Rand
+	views []EdgeView // lazily built, reused by Neighbors
 }
 
 // ID returns the node's identifier.
@@ -266,22 +346,29 @@ func (c *Context) Neighbor(idx int) EdgeView {
 	return ev
 }
 
-// Neighbors returns all incident edges (see Neighbor for latency rules).
+// Neighbors returns all incident edges (see Neighbor for latency rules). The
+// returned slice is cached and reused across calls (topology and latencies
+// are fixed for the duration of a run); callers must treat it as read-only
+// and must not retain it past the current callback.
 func (c *Context) Neighbors() []EdgeView {
 	hes := c.env.Graph().Neighbors(c.env.NodeID())
-	out := make([]EdgeView, len(hes))
-	for i := range hes {
-		out[i] = c.Neighbor(i)
+	if c.views == nil {
+		c.views = make([]EdgeView, len(hes))
+		for i := range hes {
+			c.views[i] = c.Neighbor(i)
+		}
 	}
-	return out
+	return c.views
 }
 
 // Rand returns the node's deterministic random stream. The stream depends
 // only on (seed, node), so a protocol makes identical random choices under
-// every runtime that preserves its tick count.
+// every runtime that preserves its tick count. The *rand.Rand comes from a
+// pool (reseeded on acquisition, so the stream is unaffected) and must not be
+// retained after the run.
 func (c *Context) Rand() *rand.Rand {
 	if c.rand == nil {
-		c.rand = rng.Stream(c.env.Seed(), uint64(c.env.NodeID())+1)
+		c.rand = rng.Acquire(c.env.Seed(), uint64(c.env.NodeID())+1)
 	}
 	return c.rand
 }
@@ -302,9 +389,37 @@ func PayloadSize(p Payload) int {
 	return 1
 }
 
+// schedule places ev on the ring calendar for absolute round at. The ring is
+// sized for the graph's maximum latency at construction; it grows (rarely)
+// if a latency was raised after the network was built.
 func (nw *Network) schedule(at int, ev *event) {
-	nw.pending[at] = append(nw.pending[at], ev)
+	if at-nw.round >= len(nw.ring) {
+		nw.growRing(at - nw.round + 1)
+	}
+	i := at % len(nw.ring)
+	nw.ring[i] = append(nw.ring[i], ev)
 	nw.inFlight++
+}
+
+// growRing resizes the calendar to hold at least need future rounds,
+// rehashing live slots by their absolute round. All live events sit in
+// rounds [nw.round, nw.round+len(ring)), which makes the absolute round of
+// slot i recoverable.
+func (nw *Network) growRing(need int) {
+	old := nw.ring
+	size := len(old) * 2
+	for size < need {
+		size *= 2
+	}
+	fresh := make([][]*event, size)
+	for i, evs := range old {
+		if len(evs) == 0 {
+			continue
+		}
+		r := nw.round + ((i-nw.round%len(old))+len(old))%len(old)
+		fresh[r%size] = evs
+	}
+	nw.ring = fresh
 }
 
 // Predicate inspects global state each round; Run stops when it returns
@@ -325,13 +440,14 @@ func (nw *Network) Run(pred Predicate) (RunResult, error) {
 	if nw.closed {
 		return RunResult{}, errors.New("sim: network already closed")
 	}
-	for u, st := range nw.nodes {
-		if st == nil {
+	for u := range nw.nodes {
+		if nw.nodes[u].handler == nil {
 			return RunResult{}, fmt.Errorf("sim: node %d has no handler", u)
 		}
 	}
 	defer nw.Close()
-	for _, st := range nw.nodes {
+	for u := range nw.nodes {
+		st := &nw.nodes[u]
 		st.handler.Start(&st.ctx)
 	}
 	if pred != nil && pred(nw) {
@@ -340,8 +456,8 @@ func (nw *Network) Run(pred Predicate) (RunResult, error) {
 	for nw.round = 1; nw.round <= nw.cfg.MaxRounds; nw.round++ {
 		nw.applyCrashes()
 		if nw.cfg.MaxResponsesPerRound > 0 {
-			for _, st := range nw.nodes {
-				st.served = 0
+			for u := range nw.nodes {
+				nw.nodes[u].served = 0
 			}
 		}
 		nw.deliver()
@@ -363,80 +479,97 @@ func (nw *Network) Run(pred Predicate) (RunResult, error) {
 
 // deliver processes phase A of the round: request arrivals (which generate
 // response events, possibly delivered in this same round when the remaining
-// delay is zero) and response arrivals.
+// delay is zero) and response arrivals. Zero-delay responses are appended to
+// the current slot during the scan and flushed by the same loop, preserving
+// the old map-based engine's event order exactly. The slot is re-read every
+// iteration because a handler callback may grow either the slot (zero-delay
+// response) or the whole ring (an Initiate that outgrows it).
 func (nw *Network) deliver() {
-	for {
-		evs := nw.pending[nw.round]
-		if len(evs) == 0 {
-			delete(nw.pending, nw.round)
-			return
+	traced := nw.cfg.Trace != nil
+	for k := 0; ; k++ {
+		slot := nw.ring[nw.round%len(nw.ring)]
+		if k >= len(slot) {
+			break
 		}
-		delete(nw.pending, nw.round)
-		for _, ev := range evs {
-			nw.inFlight--
-			if nw.nodes[ev.to].crashed {
-				// Fail-stop: a crashed node neither answers requests nor
-				// consumes responses; the message is lost.
+		ev := slot[k]
+		nw.inFlight--
+		if nw.nodes[ev.to].crashed {
+			// Fail-stop: a crashed node neither answers requests nor
+			// consumes responses; the message is lost.
+			nw.putEvent(ev)
+			continue
+		}
+		switch ev.kind {
+		case evRequest:
+			st := &nw.nodes[ev.to]
+			if nw.cfg.MaxResponsesPerRound > 0 && st.served >= nw.cfg.MaxResponsesPerRound {
+				// In-degree bound reached: the request waits in the
+				// responder's queue until a later round (not traced —
+				// only the eventual delivery is an observable event).
+				nw.schedule(nw.round+1, ev)
 				continue
 			}
-			switch ev.kind {
-			case evRequest:
-				st := nw.nodes[ev.to]
-				if nw.cfg.MaxResponsesPerRound > 0 && st.served >= nw.cfg.MaxResponsesPerRound {
-					// In-degree bound reached: the request waits in the
-					// responder's queue until a later round (not traced —
-					// only the eventual delivery is an observable event).
-					nw.schedule(nw.round+1, ev)
-					continue
-				}
-				st.served++
-				nw.loads[ev.to].Answered++
-				nw.trace(TraceEvent{Kind: TraceRequest, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
-				idx := nw.edgeIdxAt[int64(ev.to)<<32|int64(ev.edgeID)]
-				respPayload := st.handler.OnRequest(&st.ctx, Request{
-					From:      ev.from,
-					EdgeIndex: idx,
-					Payload:   ev.payload,
-				})
-				respDelay := ev.latency - (ev.latency+1)/2
-				if nw.cfg.FullRTTDelivery {
-					respDelay = 0
-				}
-				nw.schedule(nw.round+respDelay, &event{
-					kind:        evResponse,
-					from:        ev.to,
-					to:          ev.from,
-					edgeID:      ev.edgeID,
-					payload:     respPayload,
-					initiatedAt: ev.initiatedAt,
-					latency:     ev.latency,
-					exchangeID:  ev.exchangeID,
-				})
-				nw.metrics.Responses++
-				nw.metrics.Bytes += PayloadSize(respPayload)
-			case evResponse:
-				st := nw.nodes[ev.to]
-				nw.trace(TraceEvent{Kind: TraceResponse, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
-				idx := nw.edgeIdxAt[int64(ev.to)<<32|int64(ev.edgeID)]
-				st.handler.OnResponse(&st.ctx, Response{
-					From:        ev.from,
-					EdgeIndex:   idx,
-					Payload:     ev.payload,
-					Latency:     ev.latency,
-					InitiatedAt: ev.initiatedAt,
-				})
+			st.served++
+			nw.loads[ev.to].Answered++
+			if traced {
+				nw.cfg.Trace(TraceEvent{Kind: TraceRequest, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
 			}
+			respPayload := st.handler.OnRequest(&st.ctx, Request{
+				From:      ev.from,
+				EdgeIndex: int(ev.toIdx),
+				Payload:   ev.payload,
+			})
+			respDelay := ev.latency - (ev.latency+1)/2
+			if nw.cfg.FullRTTDelivery {
+				respDelay = 0
+			}
+			resp := nw.getEvent()
+			*resp = event{
+				kind:        evResponse,
+				from:        ev.to,
+				to:          ev.from,
+				edgeID:      ev.edgeID,
+				toIdx:       ev.backIdx,
+				payload:     respPayload,
+				initiatedAt: ev.initiatedAt,
+				latency:     ev.latency,
+				exchangeID:  ev.exchangeID,
+			}
+			nw.schedule(nw.round+respDelay, resp)
+			nw.metrics.Responses++
+			nw.metrics.Bytes += PayloadSize(respPayload)
+			nw.putEvent(ev)
+		case evResponse:
+			st := &nw.nodes[ev.to]
+			if traced {
+				nw.cfg.Trace(TraceEvent{Kind: TraceResponse, Round: nw.round, From: ev.from, To: ev.to, EdgeID: ev.edgeID, Latency: ev.latency})
+			}
+			st.handler.OnResponse(&st.ctx, Response{
+				From:        ev.from,
+				EdgeIndex:   int(ev.toIdx),
+				Payload:     ev.payload,
+				Latency:     ev.latency,
+				InitiatedAt: ev.initiatedAt,
+			})
+			nw.putEvent(ev)
 		}
-		// Responses with zero remaining delay were appended for this round;
-		// loop to flush them.
 	}
+	// Reset the slot, keeping its backing array for a future round. Entries
+	// are nilled so the only live references to pooled events are the pool's.
+	i := nw.round % len(nw.ring)
+	slot := nw.ring[i]
+	for j := range slot {
+		slot[j] = nil
+	}
+	nw.ring[i] = slot[:0]
 }
 
 // tick runs phase B: every non-done handler gets a Tick. It reports whether
 // any handler is still active (not done).
 func (nw *Network) tick() bool {
 	active := false
-	for _, st := range nw.nodes {
+	for u := range nw.nodes {
+		st := &nw.nodes[u]
 		st.initiated = false
 		if st.crashed || st.handler.Done() {
 			continue
@@ -464,7 +597,8 @@ func (nw *Network) applyCrashes() {
 func (nw *Network) Crashed(v graph.NodeID) bool { return nw.nodes[v].crashed }
 
 func (nw *Network) allDone() bool {
-	for _, st := range nw.nodes {
+	for u := range nw.nodes {
+		st := &nw.nodes[u]
 		if st.crashed {
 			continue
 		}
@@ -475,19 +609,22 @@ func (nw *Network) allDone() bool {
 	return true
 }
 
-// Close releases engine resources; in particular it stops all coroutine
-// handlers and waits for their goroutines to exit. Safe to call twice.
+// Close releases engine resources: it stops all coroutine handlers (waiting
+// for their goroutines to exit) and returns the nodes' pooled random streams.
+// Safe to call twice.
 func (nw *Network) Close() {
 	if nw.closed {
 		return
 	}
 	nw.closed = true
-	for _, st := range nw.nodes {
-		if st == nil {
-			continue
-		}
+	for u := range nw.nodes {
+		st := &nw.nodes[u]
 		if p, ok := st.handler.(*Proc); ok {
 			p.stop()
+		}
+		if st.ctx.rand != nil {
+			rng.Release(st.ctx.rand)
+			st.ctx.rand = nil
 		}
 	}
 }

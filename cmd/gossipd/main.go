@@ -17,6 +17,13 @@
 // -load FILE (.json as graphio JSON, anything else as an edge list).
 // Protocols: pushpull, flood, rr.
 //
+// Frames go out as the compact binary wire format by default; -wire json
+// switches to the legacy JSON lines for debugging (inbound frames are
+// auto-detected per connection, so daemons with different -wire settings
+// interoperate). -flushwindow widens write batches by waiting that long
+// after the first queued frame before flushing — more messages per syscall
+// at the cost of up to that much added delivery latency.
+//
 // Chaos flags inject deterministic faults (same -seed + same flags = same
 // faults on every daemon): -drop and -dup are per-message probabilities,
 // -jitter adds up to that many ticks of extra delay, -crash takes
@@ -76,6 +83,8 @@ func run(args []string, out io.Writer) error {
 		partSpec  = fs.String("partition", "", "link cuts, e.g. 50:150:0-31/32-63 (from:until:setA/setB; until 0 = never heal; ';' separates epochs)")
 		faultSeed = fs.Uint64("faultseed", 0, "fault-decision seed (0 = use -seed)")
 		rrK       = fs.Int("rrk", 0, "RR broadcast latency bound k (0 = the graph's max edge latency)")
+		wire      = fs.String("wire", "binary", "wire format for outgoing frames: binary or json (inbound is auto-detected)")
+		flushWin  = fs.Duration("flushwindow", 0, "wait this long after the first queued frame before flushing, widening write batches (0 = flush when the queue drains)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,11 +111,21 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-partition: %w", err)
 	}
 
+	wf, err := gossip.ParseLiveWireFormat(*wire)
+	if err != nil {
+		return fmt.Errorf("-wire: %w", err)
+	}
+	if *flushWin < 0 {
+		return fmt.Errorf("-flushwindow: must be >= 0")
+	}
+
 	tr, err := gossip.NewLiveTCPTransport(*listen, hosted)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
 	defer tr.Close()
+	tr.SetWireFormat(wf)
+	tr.SetFlushWindow(*flushWin)
 	// Hosted nodes route in-process; map them to our own address so peer
 	// validation below only flags genuinely unreachable nodes.
 	for _, u := range hosted {
@@ -170,8 +189,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown protocol %q (want pushpull, flood or rr)", *proto)
 	}
 
-	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v\n",
-		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick)
+	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v wire=%s\n",
+		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick, wf)
 
 	res, err := gossip.RunLiveTransport(g, lp, tr, opts)
 	informed := 0

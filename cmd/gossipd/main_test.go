@@ -29,43 +29,69 @@ func TestSingleDaemonHostsAll(t *testing.T) {
 }
 
 // TestTwoDaemonCluster runs a real two-daemon push-pull cluster over TCP
-// loopback: each daemon hosts one side of a dumbbell.
+// loopback under every wire-format pairing — including mixed, since inbound
+// frames are auto-detected per connection — plus a batched-writes variant
+// with a -flushwindow. Each daemon hosts one side of a dumbbell.
 func TestTwoDaemonCluster(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP cluster run is not -short friendly")
 	}
-	addrs := reservePorts(t, 2)
-	peers := fmt.Sprintf("0-3=%s,4-7=%s", addrs[0], addrs[1])
-	common := []string{
-		"-graph", "dumbbell", "-s", "4", "-latency", "2",
-		"-proto", "pushpull", "-seed", "7",
-		"-tick", "1ms", "-linger", "2s",
-		"-peers", peers,
+	cases := []struct {
+		name   string
+		extra0 []string // daemon 0's extra flags
+		extra1 []string // daemon 1's
+	}{
+		{name: "binary"},
+		{name: "json",
+			extra0: []string{"-wire", "json"},
+			extra1: []string{"-wire", "json"}},
+		{name: "mixed",
+			extra0: []string{"-wire", "binary"},
+			extra1: []string{"-wire", "json"}},
+		{name: "flushwindow",
+			extra0: []string{"-flushwindow", "200us"},
+			extra1: []string{"-flushwindow", "200us"}},
 	}
-	var wg sync.WaitGroup
-	outs := make([]strings.Builder, 2)
-	errs := make([]error, 2)
-	for i, spec := range []struct{ listen, nodes string }{
-		{addrs[0], "0-3"},
-		{addrs[1], "4-7"},
-	} {
-		wg.Add(1)
-		go func(i int, listen, nodes string) {
-			defer wg.Done()
-			errs[i] = run(append([]string{"-listen", listen, "-nodes", nodes}, common...), &outs[i])
-		}(i, spec.listen, spec.nodes)
-	}
-	wg.Wait()
-	for i := range outs {
-		if errs[i] != nil {
-			t.Fatalf("daemon %d: %v\n%s", i, errs[i], outs[i].String())
-		}
-		out := outs[i].String()
-		for _, w := range []string{"completed=true", "informed=4/4"} {
-			if !strings.Contains(out, w) {
-				t.Errorf("daemon %d output missing %q:\n%s", i, w, out)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addrs := reservePorts(t, 2)
+			peers := fmt.Sprintf("0-3=%s,4-7=%s", addrs[0], addrs[1])
+			common := []string{
+				"-graph", "dumbbell", "-s", "4", "-latency", "2",
+				"-proto", "pushpull", "-seed", "7",
+				"-tick", "1ms", "-linger", "2s",
+				"-peers", peers,
 			}
-		}
+			var wg sync.WaitGroup
+			outs := make([]strings.Builder, 2)
+			errs := make([]error, 2)
+			for i, spec := range []struct {
+				listen, nodes string
+				extra         []string
+			}{
+				{addrs[0], "0-3", tc.extra0},
+				{addrs[1], "4-7", tc.extra1},
+			} {
+				wg.Add(1)
+				go func(i int, listen, nodes string, extra []string) {
+					defer wg.Done()
+					args := append([]string{"-listen", listen, "-nodes", nodes}, common...)
+					errs[i] = run(append(args, extra...), &outs[i])
+				}(i, spec.listen, spec.nodes, spec.extra)
+			}
+			wg.Wait()
+			for i := range outs {
+				if errs[i] != nil {
+					t.Fatalf("daemon %d: %v\n%s", i, errs[i], outs[i].String())
+				}
+				out := outs[i].String()
+				for _, w := range []string{"completed=true", "informed=4/4"} {
+					if !strings.Contains(out, w) {
+						t.Errorf("daemon %d output missing %q:\n%s", i, w, out)
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -115,6 +141,16 @@ func TestFlagErrors(t *testing.T) {
 			name: "bad-crash-entry",
 			args: []string{"-graph", "clique", "-n", "4", "-crash", "1=0"},
 			want: "must be >= 1",
+		},
+		{
+			name: "bad-wire-format",
+			args: []string{"-graph", "clique", "-n", "4", "-wire", "protobuf"},
+			want: "-wire",
+		},
+		{
+			name: "negative-flushwindow",
+			args: []string{"-graph", "clique", "-n", "4", "-flushwindow", "-1ms"},
+			want: "-flushwindow",
 		},
 	}
 	for _, tt := range tests {

@@ -434,12 +434,32 @@ func RunLiveTransport(g *Graph, proto LiveProtocol, tr LiveTransport, opts LiveO
 	return live.Run(g, proto, opts.faultWrap(tr), opts.liveOptions())
 }
 
-// LiveTCPTransport is the multi-process transport: JSON lines over TCP,
-// one listener per process.
+// LiveTCPTransport is the multi-process transport: length-prefixed binary
+// frames over TCP (JSON lines behind SetWireFormat(LiveWireJSON)), batched
+// writes, one listener per process.
 type LiveTCPTransport = live.TCPTransport
 
-// NewLiveTCPTransport returns a TCP/JSON transport listening on listenAddr
-// and hosting the given nodes; map the remaining nodes to their processes'
+// LiveWireFormat selects the TCP transport's frame encoding; receivers
+// auto-detect the sender's format per connection, so daemons with different
+// settings interoperate.
+type LiveWireFormat = live.WireFormat
+
+const (
+	// LiveWireBinary is the compact varint frame format (the default).
+	LiveWireBinary = live.WireBinary
+	// LiveWireJSON is the legacy JSON line format, kept for debugging and
+	// wire-level inspection (gossipd -wire json).
+	LiveWireJSON = live.WireJSON
+)
+
+// ParseLiveWireFormat parses a wire format name ("binary" or "json"), as
+// accepted by the gossipd -wire flag.
+func ParseLiveWireFormat(s string) (LiveWireFormat, error) {
+	return live.ParseWireFormat(s)
+}
+
+// NewLiveTCPTransport returns a TCP transport listening on listenAddr and
+// hosting the given nodes; map the remaining nodes to their processes'
 // addresses with SetPeers before running. See cmd/gossipd for the CLI.
 func NewLiveTCPTransport(listenAddr string, local []NodeID) (*LiveTCPTransport, error) {
 	return live.NewTCPTransport(listenAddr, local, 0)

@@ -21,7 +21,7 @@ const DefaultInboxBuffer = 1024
 // gossip.RunLive.
 type ChanTransport struct {
 	inboxes     []chan Message
-	timers      timerSet
+	timers      timerShards  // sharded by destination so senders don't serialize
 	dropsClosed atomic.Int64 // deliveries abandoned at Close
 	closed      chan struct{}
 	closeOnce   sync.Once
@@ -56,7 +56,7 @@ func (t *ChanTransport) Send(msg Message, delay time.Duration) error {
 	if msg.To < 0 || int(msg.To) >= len(t.inboxes) {
 		return fmt.Errorf("live: destination %d out of range [0,%d)", msg.To, len(t.inboxes))
 	}
-	if !deliverAfter(&t.timers, t.inboxes[msg.To], msg, delay, t.closed) {
+	if !deliverAfter(t.timers.shard(uint64(msg.To)), t.inboxes[msg.To], msg, delay, t.closed) {
 		t.dropsClosed.Add(1)
 		return ErrTransportClosed
 	}

@@ -17,7 +17,9 @@ import (
 // registered type (the registry then tries the next encoder).
 type PayloadEncoder func(p sim.Payload) (data []byte, ok bool)
 
-// PayloadDecoder rebuilds a payload from its wire bytes.
+// PayloadDecoder rebuilds a payload from its wire bytes. The transport's
+// read loop reuses its frame buffers between messages, so data is only valid
+// for the duration of the call: a decoder must copy any bytes it keeps.
 type PayloadDecoder func(data []byte) (sim.Payload, error)
 
 type wireCodec struct {

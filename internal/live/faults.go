@@ -19,7 +19,10 @@ import (
 // where a message's identity is the tuple (EdgeID, Kind, From, SentTick,
 // attempt). Goroutine scheduling therefore cannot change which messages are
 // dropped, duplicated, or jittered: two runs whose protocols emit the same
-// messages experience byte-identical faults.
+// messages experience byte-identical faults. The decision is also made
+// before the message reaches any wire codec, so it is independent of the
+// encoding: a run behaves identically under the binary and JSON wire
+// formats (and over the in-process channel transport, which never encodes).
 
 // FaultConfig configures deterministic fault injection. The zero value
 // injects nothing (a pure pass-through that only counts traffic).

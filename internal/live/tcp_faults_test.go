@@ -51,9 +51,9 @@ func TestFaultTCPRetransmitRecoversConnLoss(t *testing.T) {
 	recvWithin(t, b.Recv(1), 5*time.Second) // connection now pooled
 
 	// Sever the pooled connection out from under the transport.
-	a.mu.Lock()
+	a.connMu.Lock()
 	cs := a.outs[b.Addr().String()]
-	a.mu.Unlock()
+	a.connMu.Unlock()
 	if cs == nil {
 		t.Fatal("no pooled connection after first delivery")
 	}
@@ -161,19 +161,10 @@ func TestFaultTCPAckClearsPending(t *testing.T) {
 	recvWithin(t, b.Recv(1), 5*time.Second)
 
 	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		a.pendMu.Lock()
-		n := len(a.pending)
-		a.pendMu.Unlock()
-		if n == 0 {
-			break
-		}
+	for a.pendingCount() != 0 && time.Now().Before(deadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
-	a.pendMu.Lock()
-	n := len(a.pending)
-	a.pendMu.Unlock()
-	if n != 0 {
+	if n := a.pendingCount(); n != 0 {
 		t.Fatalf("%d sends still pending after ack", n)
 	}
 	// Long enough for several RTOs: an unacked entry would retransmit.
@@ -183,6 +174,126 @@ func TestFaultTCPAckClearsPending(t *testing.T) {
 	}
 	if a.Dropped() != 0 {
 		t.Errorf("Dropped = %d on the happy path", a.Dropped())
+	}
+}
+
+// runScriptedTCPFaults feeds a deterministic schedule through per-side
+// FaultTransports over a two-transport TCP cluster speaking wire format wf,
+// waits for the reliable-delivery layer to drain, and returns the arrival
+// multiset plus the summed injected-fault counters.
+func runScriptedTCPFaults(t *testing.T, g *graph.Graph, feed []Message, cfg FaultConfig, wf WireFormat) (map[arrivalKey]int, FaultCounts) {
+	t.Helper()
+	half := g.N() / 2
+	side := func(u graph.NodeID) int {
+		if int(u) < half {
+			return 0
+		}
+		return 1
+	}
+	var hosted [2][]graph.NodeID
+	for u := 0; u < g.N(); u++ {
+		hosted[side(graph.NodeID(u))] = append(hosted[side(graph.NodeID(u))], graph.NodeID(u))
+	}
+	var tcps [2]*TCPTransport
+	var fts [2]*FaultTransport
+	addrs := make(map[graph.NodeID]string, g.N())
+	for i := range tcps {
+		tr, err := NewTCPTransport("127.0.0.1:0", hosted[i], 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.SetWireFormat(wf)
+		tr.SetRetransmit(time.Second, 8)
+		tcps[i] = tr
+		for _, u := range hosted[i] {
+			addrs[u] = tr.Addr().String()
+		}
+	}
+	for i := range tcps {
+		tcps[i].SetPeers(addrs)
+		fts[i] = NewFaultTransport(tcps[i], cfg)
+		defer fts[i].Close()
+	}
+	for _, m := range feed {
+		if err := fts[side(m.From)].Send(m, 0); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	// Wait for jittered deliveries to be scheduled and the reliable layer to
+	// drain every surviving send.
+	time.Sleep(50*time.Millisecond + time.Duration(2*(cfg.JitterTicks+1))*cfg.Tick)
+	deadline := time.Now().Add(10 * time.Second)
+	for (tcps[0].pendingCount() != 0 || tcps[1].pendingCount() != 0) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	got := make(map[arrivalKey]int)
+	for u := 0; u < g.N(); u++ {
+		ch := fts[side(graph.NodeID(u))].Recv(graph.NodeID(u))
+		for {
+			select {
+			case m := <-ch:
+				got[arrivalKey{edge: m.EdgeID, from: m.From, sentTick: m.SentTick}]++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	var sum FaultCounts
+	for i := range fts {
+		rep := fts[i].Faults()
+		sum.InjectedDrops += rep.InjectedDrops
+		sum.InjectedDups += rep.InjectedDups
+		sum.Jittered += rep.Jittered
+		sum.PartitionDrops += rep.PartitionDrops
+	}
+	return got, sum
+}
+
+// TestFaultTCPDeterministicAcrossWireFormats is the chaos determinism check
+// across encodings: the same fault plan over the same message schedule must
+// drop, duplicate and jitter exactly the same messages whether the frames on
+// the wire are binary or JSON. Fault decisions are a PRF of message identity
+// taken before any codec runs, so the wire format cannot perturb them.
+func TestFaultTCPDeterministicAcrossWireFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster run is not -short friendly")
+	}
+	g := graph.Dumbbell(4, 2)
+	var left, right []graph.NodeID
+	for u := 0; u < g.N(); u++ {
+		if u < g.N()/2 {
+			left = append(left, graph.NodeID(u))
+		} else {
+			right = append(right, graph.NodeID(u))
+		}
+	}
+	cfg := FaultConfig{
+		Seed:        77,
+		Drop:        0.10,
+		Duplicate:   0.05,
+		JitterTicks: 2,
+		Tick:        time.Millisecond,
+		Partitions:  []Partition{{From: 2, Until: 4, Edges: CutBetween(g, left, right)}},
+	}
+	feed := scriptedFeed(g, 6)
+
+	gotBin, repBin := runScriptedTCPFaults(t, g, feed, cfg, WireBinary)
+	gotJSON, repJSON := runScriptedTCPFaults(t, g, feed, cfg, WireJSON)
+
+	if repBin != repJSON {
+		t.Errorf("injected fault counters differ across wire formats:\nbinary: %+v\njson:   %+v", repBin, repJSON)
+	}
+	if repBin.InjectedDrops == 0 || repBin.Jittered == 0 || repBin.PartitionDrops == 0 {
+		t.Errorf("fault plan injected nothing on some axis: %+v", repBin)
+	}
+	if len(gotBin) != len(gotJSON) {
+		t.Fatalf("arrival multisets differ in size: binary=%d json=%d", len(gotBin), len(gotJSON))
+	}
+	for k, n := range gotBin {
+		if gotJSON[k] != n {
+			t.Errorf("arrival %+v: binary=%d json=%d deliveries", k, n, gotJSON[k])
+		}
 	}
 }
 

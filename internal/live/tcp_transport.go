@@ -1,7 +1,9 @@
 package live
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -11,9 +13,11 @@ import (
 	"gossip/internal/graph"
 )
 
-// wireMessage is the JSON line format of the TCP transport. Payloads travel
-// as (registered type name, raw bytes) pairs — see codec.go. Seq is the
-// sender-assigned reliable-delivery sequence number; an ack echoes it back.
+// wireMessage is the frame shape shared by both wire formats: the JSON line
+// protocol marshals it directly, the binary codec (wire.go) encodes the same
+// fields as varints. Payloads travel as (registered type name, raw bytes)
+// pairs — see codec.go. Seq is the sender-assigned reliable-delivery
+// sequence number; an ack echoes it back.
 type wireMessage struct {
 	Kind        uint8           `json:"k"`
 	Seq         uint64          `json:"q,omitempty"`
@@ -26,8 +30,9 @@ type wireMessage struct {
 	Payload     json.RawMessage `json:"p,omitempty"`
 }
 
-// wireAck is the Kind of an acknowledgement frame (only Kind and Seq are
-// meaningful); it never collides with MsgRequest/MsgResponse.
+// wireAck is the Kind of a standalone JSON acknowledgement frame (only Kind
+// and Seq are meaningful); it never collides with MsgRequest/MsgResponse.
+// The binary format carries acks in each frame's ack section instead.
 const wireAck uint8 = 0xFF
 
 // Reliable-delivery defaults: the first retransmission fires after
@@ -39,19 +44,45 @@ const (
 	DefaultMaxRetransmits = 4
 )
 
-// TCPTransport moves messages between processes as JSON lines over TCP.
-// Each process hosts a subset of the graph's nodes behind one listener;
-// SetPeers maps every remote node to the listen address of the process
-// hosting it. Messages between two locally hosted nodes short-circuit the
-// socket and are delivered in memory.
+// DefaultDedupWindowTicks is the receiver dedup retention window: an entry
+// is evicted once the newest SentTick seen by its shard has advanced past it
+// by one to two windows. At the default 1ms tick this retains entries for
+// ~8–16s, comfortably beyond the longest retransmission lifetime
+// (250ms·(1+2+4+8) ≈ 3.8s), so bounded memory never re-admits a live
+// retransmission.
+const DefaultDedupWindowTicks = 8192
+
+// pendShards and dedupShards split the reliable-delivery and dedup state so
+// concurrent connections and node goroutines don't serialize on one lock.
+const (
+	pendShards  = 16
+	dedupShards = 16
+)
+
+// TCPTransport moves messages between processes as framed messages over TCP
+// — length-prefixed binary frames by default, JSON lines behind
+// SetWireFormat(WireJSON). Each process hosts a subset of the graph's nodes
+// behind one listener; SetPeers maps every remote node to the listen address
+// of the process hosting it. Messages between two locally hosted nodes
+// short-circuit the socket and are delivered in memory. Receivers auto-detect
+// the peer's format per connection, so mixed-format clusters interoperate.
+//
+// Writes are batched: every connection has a writer goroutine draining a
+// frame queue through a buffered writer, so the many messages gossip
+// generates in one tick coalesce into one syscall, and acks ride the ack
+// section of outgoing binary frames instead of paying a frame each.
+// SetFlushWindow adds an optional delay that widens the batches further.
 //
 // Remote delivery is reliable up to a retransmission budget: every remote
 // message carries a sequence number, the receiver acks it on the same
 // connection, and unacked messages are retransmitted with exponential
-// backoff (a write failure evicts the broken connection so the retry
-// redials). A message still unacked after the budget is abandoned and
-// counted as dropped. Receivers deduplicate on (EdgeID, From, SentTick,
-// Kind), so retransmissions and network duplicates are idempotent.
+// backoff. A write failure evicts the broken connection and immediately
+// re-queues the affected messages through the retransmit path, so the first
+// retry redials at once instead of waiting out the RTO. A message still
+// unacked after the budget is abandoned and counted as dropped. Receivers
+// deduplicate on (EdgeID, From, SentTick, Kind) within a sliding tick window
+// (SetDedupWindow), so retransmissions and network duplicates are idempotent
+// and the dedup set stays bounded over arbitrarily long runs.
 //
 // Outbound connections are dialed lazily (with retries, so a cluster's
 // processes may start in any order) and pooled per destination address.
@@ -59,8 +90,16 @@ type TCPTransport struct {
 	ln      net.Listener
 	inboxes map[graph.NodeID]chan Message
 
-	mu      sync.Mutex
-	peers   map[graph.NodeID]string
+	// Atomic because connection goroutines read them while the owner may
+	// still be configuring (an eager peer can dial in before SetWireFormat).
+	wireFormat  atomic.Int32 // WireFormat
+	flushWindow atomic.Int64 // time.Duration
+	dedupWindow atomic.Int64 // ticks
+
+	peerMu sync.RWMutex
+	peers  map[graph.NodeID]string
+
+	connMu  sync.Mutex
 	outs    map[string]*connState
 	accepts []*connState
 
@@ -68,17 +107,17 @@ type TCPTransport struct {
 	rto         time.Duration
 	maxRetrans  int
 
-	seq     atomic.Uint64
-	pendMu  sync.Mutex
-	pending map[uint64]*pendingSend
+	seq   atomic.Uint64
+	pend  [pendShards]pendShard
+	dedup [dedupShards]dedupShard
 
-	dedupMu sync.Mutex
-	dedup   map[dedupKey]struct{}
-
-	timers         timerSet     // armed latency-delay timers for not-yet-sent messages
+	timers         timerShards  // armed latency-delay timers for not-yet-sent messages
+	bytesOut       atomic.Int64 // frame bytes written to sockets
+	flushes        atomic.Int64 // buffered-writer flushes (syscall batches)
+	framesOut      atomic.Int64 // frames written (binary mode; JSON counts encoder calls)
 	dropsGiveUp    atomic.Int64 // retransmission budget exhausted
 	dropsClosed    atomic.Int64 // unacked or undelivered at Close
-	dropsDecode    atomic.Int64 // undecodable wire payloads
+	dropsDecode    atomic.Int64 // undecodable wire payloads or corrupt frames
 	dropsMisroute  atomic.Int64 // wire messages for nodes not hosted here
 	retransmits    atomic.Int64
 	dupsSuppressed atomic.Int64
@@ -91,20 +130,10 @@ type TCPTransport struct {
 var _ Transport = (*TCPTransport)(nil)
 var _ FaultReporter = (*TCPTransport)(nil)
 
-// connState is one connection (pooled outbound or accepted inbound); its
-// write mutex serializes our frames — data one way, acks the other — so a
-// slow peer only stalls traffic on its own connection.
-type connState struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *json.Encoder
-}
-
-// writeFrame encodes one frame on the connection.
-func (cs *connState) writeFrame(w *wireMessage) error {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return cs.enc.Encode(w)
+// pendShard is one slice of the unacked-message map, guarded by its own lock.
+type pendShard struct {
+	mu sync.Mutex
+	m  map[uint64]*pendingSend
 }
 
 // pendingSend is one unacknowledged remote message awaiting ack; retry is
@@ -126,6 +155,58 @@ type dedupKey struct {
 	kind     MsgKind
 }
 
+// shard spreads keys over the dedup shards with a cheap integer mix.
+func (k dedupKey) shard() uint64 {
+	h := uint64(k.edge)*0x9E3779B97F4A7C15 + uint64(k.from)*0xBF58476D1CE4E5B9 +
+		uint64(uint32(k.sentTick))*0x94D049BB133111EB + uint64(k.kind)
+	return (h >> 32) & (dedupShards - 1)
+}
+
+// dedupShard holds a generation pair of dedup sets. New entries land in cur;
+// when the newest SentTick observed advances past the shard's horizon, prev
+// is discarded and cur rotates into its place, reclaiming entries one to two
+// windows old. Lookups consult both generations.
+type dedupShard struct {
+	mu      sync.Mutex
+	cur     map[dedupKey]struct{}
+	prev    map[dedupKey]struct{}
+	maxTick int
+	horizon int
+}
+
+// seen records k and reports whether it was already present (a duplicate).
+func (s *dedupShard) seen(k dedupKey, window int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.cur[k]; dup {
+		return true
+	}
+	if _, dup := s.prev[k]; dup {
+		return true
+	}
+	if s.cur == nil {
+		s.cur = make(map[dedupKey]struct{})
+		s.horizon = k.sentTick + window
+	}
+	if k.sentTick > s.maxTick {
+		s.maxTick = k.sentTick
+		if s.maxTick >= s.horizon {
+			s.prev = s.cur
+			s.cur = make(map[dedupKey]struct{})
+			s.horizon = s.maxTick + window
+		}
+	}
+	s.cur[k] = struct{}{}
+	return false
+}
+
+// size reports the shard's live entry count (tests verify eviction with it).
+func (s *dedupShard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cur) + len(s.prev)
+}
+
 // NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") and hosts the
 // given local nodes. Call Addr to learn the bound address and SetPeers to
 // install the node→address map before the first remote Send.
@@ -145,10 +226,9 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 		dialTimeout: 10 * time.Second,
 		rto:         DefaultRetransmitRTO,
 		maxRetrans:  DefaultMaxRetransmits,
-		pending:     make(map[uint64]*pendingSend),
-		dedup:       make(map[dedupKey]struct{}),
 		closed:      make(chan struct{}),
 	}
+	t.dedupWindow.Store(DefaultDedupWindowTicks)
 	for _, u := range local {
 		t.inboxes[u] = make(chan Message, buffer)
 	}
@@ -163,10 +243,42 @@ func (t *TCPTransport) Addr() net.Addr { return t.ln.Addr() }
 // SetPeers installs (or extends) the node→address map used to route remote
 // sends. Locally hosted nodes need no entry.
 func (t *TCPTransport) SetPeers(addrs map[graph.NodeID]string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
 	for u, a := range addrs {
 		t.peers[u] = a
+	}
+}
+
+// SetWireFormat selects the outgoing frame encoding (default WireBinary).
+// Call it before the first Send; inbound frames are auto-detected per
+// connection regardless, so peers may differ.
+func (t *TCPTransport) SetWireFormat(f WireFormat) { t.wireFormat.Store(int32(f)) }
+
+// WireFormat returns the transport's outgoing frame encoding.
+func (t *TCPTransport) WireFormat() WireFormat { return WireFormat(t.wireFormat.Load()) }
+
+// SetFlushWindow makes every connection's writer wait this long after the
+// first queued frame before flushing, widening write batches at the cost of
+// up to that much added delivery latency (0, the default, flushes as soon as
+// the queue drains — pure coalescing with no added latency). Call before the
+// first Send.
+func (t *TCPTransport) SetFlushWindow(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.flushWindow.Store(int64(d))
+}
+
+// SetDedupWindow bounds receiver-side dedup retention to the given number of
+// ticks (default DefaultDedupWindowTicks): entries are reclaimed once the
+// newest SentTick their shard has seen passes them by one to two windows.
+// The window must comfortably exceed the retransmission lifetime
+// (RTO·2^maxRetransmits) in ticks, or a late retransmission could be
+// delivered twice. Call before the first Send.
+func (t *TCPTransport) SetDedupWindow(ticks int) {
+	if ticks > 0 {
+		t.dedupWindow.Store(int64(ticks))
 	}
 }
 
@@ -203,6 +315,37 @@ func (t *TCPTransport) Retransmits() int64 { return t.retransmits.Load() }
 // dedup swallowed.
 func (t *TCPTransport) DupsSuppressed() int64 { return t.dupsSuppressed.Load() }
 
+// WireBytesOut returns the total frame bytes this transport wrote to its
+// sockets (data frames and acks, both formats). Benchmarks divide it by the
+// message count to report bytes per delivered message.
+func (t *TCPTransport) WireBytesOut() int64 { return t.bytesOut.Load() }
+
+// WireFlushes returns the number of end-of-batch buffered-writer flushes:
+// (frames out / flushes) is the realized batching factor. Batches larger
+// than the write buffer add internal syscalls not counted here.
+func (t *TCPTransport) WireFlushes() int64 { return t.flushes.Load() }
+
+// pendingCount returns the number of unacked reliable sends (tests).
+func (t *TCPTransport) pendingCount() int {
+	n := 0
+	for i := range t.pend {
+		t.pend[i].mu.Lock()
+		n += len(t.pend[i].m)
+		t.pend[i].mu.Unlock()
+	}
+	return n
+}
+
+// dedupSize returns the number of live dedup entries (tests verify the
+// tick-windowed eviction with it).
+func (t *TCPTransport) dedupSize() int {
+	n := 0
+	for i := range t.dedup {
+		n += t.dedup[i].size()
+	}
+	return n
+}
+
 // Faults implements FaultReporter with the transport's real-network ledger.
 func (t *TCPTransport) Faults() FaultReport {
 	return FaultReport{FaultCounts: FaultCounts{
@@ -222,15 +365,15 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	default:
 	}
 	if inbox, ok := t.inboxes[msg.To]; ok {
-		if !deliverAfter(&t.timers, inbox, msg, delay, t.closed) {
+		if !deliverAfter(t.timers.shard(uint64(msg.To)), inbox, msg, delay, t.closed) {
 			t.dropsClosed.Add(1)
 			return ErrTransportClosed
 		}
 		return nil
 	}
-	t.mu.Lock()
+	t.peerMu.RLock()
 	addr, ok := t.peers[msg.To]
-	t.mu.Unlock()
+	t.peerMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("live: no peer address for node %d", msg.To)
 	}
@@ -249,33 +392,56 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 		PayloadType: pt,
 		Payload:     data,
 	}
-	if !t.timers.schedule(delay, func() { t.transmit(addr, w) }) {
+	if delay <= 0 {
+		// Zero-latency fast path: when the connection is already pooled,
+		// enqueueing is non-blocking, so the timer goroutine (the dominant
+		// per-message cost at high rates) is skipped entirely. The first
+		// message to a peer — or a redial after a break — still takes the
+		// timer path so the dial never blocks the caller.
+		t.connMu.Lock()
+		_, pooled := t.outs[addr]
+		t.connMu.Unlock()
+		if pooled {
+			t.transmit(addr, w)
+			return nil
+		}
+	}
+	if !t.timers.shard(w.Seq).schedule(delay, func() { t.transmit(addr, w) }) {
 		t.dropsClosed.Add(1)
 		return ErrTransportClosed
 	}
 	return nil
 }
 
+// pendShard returns the shard owning seq.
+func (t *TCPTransport) pendShard(seq uint64) *pendShard {
+	return &t.pend[seq&(pendShards-1)]
+}
+
 // transmit performs the first wire attempt of w and registers it for
 // retransmission until acked (or the budget runs out).
 func (t *TCPTransport) transmit(addr string, w wireMessage) {
 	p := &pendingSend{addr: addr, w: w}
-	t.pendMu.Lock()
+	sh := t.pendShard(w.Seq)
+	sh.mu.Lock()
 	select {
 	case <-t.closed:
-		t.pendMu.Unlock()
+		sh.mu.Unlock()
 		t.dropsClosed.Add(1)
 		return
 	default:
 	}
-	t.pending[w.Seq] = p
+	if sh.m == nil {
+		sh.m = make(map[uint64]*pendingSend)
+	}
+	sh.m[w.Seq] = p
 	t.armRetryLocked(p)
-	t.pendMu.Unlock()
+	sh.mu.Unlock()
 	t.write(addr, &w)
 }
 
-// armRetryLocked schedules the next retransmission for p; pendMu must be
-// held by the caller.
+// armRetryLocked schedules the next retransmission for p; p's pend shard
+// must be locked by the caller.
 func (t *TCPTransport) armRetryLocked(p *pendingSend) {
 	backoff := t.rto << uint(p.attempts)
 	if max := 16 * t.rto; backoff > max {
@@ -289,40 +455,58 @@ func (t *TCPTransport) armRetryLocked(p *pendingSend) {
 // spent. A no-op if the ack arrived (or the transport closed) in the
 // meantime.
 func (t *TCPTransport) retry(seq uint64) {
-	t.pendMu.Lock()
-	p, ok := t.pending[seq]
+	sh := t.pendShard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
 	if !ok {
-		t.pendMu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	select {
 	case <-t.closed:
-		t.pendMu.Unlock()
+		sh.mu.Unlock()
 		return // Close sweeps and counts the pending map
 	default:
 	}
 	p.attempts++
 	if t.maxRetrans < 0 || p.attempts > t.maxRetrans {
-		delete(t.pending, seq)
-		t.pendMu.Unlock()
+		delete(sh.m, seq)
+		sh.mu.Unlock()
 		t.dropsGiveUp.Add(1)
 		return
 	}
 	t.armRetryLocked(p)
 	addr, w := p.addr, p.w
-	t.pendMu.Unlock()
+	sh.mu.Unlock()
 	t.retransmits.Add(1)
 	t.write(addr, &w)
+}
+
+// retryNow fires seq's retransmission immediately — the broken-connection
+// path: a failed write evicts the connection and calls this, so the first
+// retry redials at once instead of waiting out the RTO backoff.
+func (t *TCPTransport) retryNow(seq uint64) {
+	sh := t.pendShard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
+	if ok && p.retry != nil {
+		p.retry.Stop()
+	}
+	sh.mu.Unlock()
+	if ok {
+		t.retry(seq)
+	}
 }
 
 // ack resolves one pending message: its retransmission timer is stopped and
 // the entry dropped.
 func (t *TCPTransport) ack(seq uint64) {
-	t.pendMu.Lock()
-	defer t.pendMu.Unlock()
-	if p, ok := t.pending[seq]; ok {
+	sh := t.pendShard(seq)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p, ok := sh.m[seq]; ok {
 		p.retry.Stop()
-		delete(t.pending, seq)
+		delete(sh.m, seq)
 	}
 }
 
@@ -336,21 +520,24 @@ func (t *TCPTransport) Close() error {
 		close(t.closed)
 		t.ln.Close()
 		t.dropsClosed.Add(t.timers.close())
-		t.pendMu.Lock()
-		for seq, p := range t.pending {
-			p.retry.Stop()
-			delete(t.pending, seq)
-			t.dropsClosed.Add(1)
+		for i := range t.pend {
+			sh := &t.pend[i]
+			sh.mu.Lock()
+			for seq, p := range sh.m {
+				p.retry.Stop()
+				delete(sh.m, seq)
+				t.dropsClosed.Add(1)
+			}
+			sh.mu.Unlock()
 		}
-		t.pendMu.Unlock()
-		t.mu.Lock()
+		t.connMu.Lock()
 		for _, cs := range t.outs {
 			cs.c.Close()
 		}
 		for _, cs := range t.accepts {
 			cs.c.Close()
 		}
-		t.mu.Unlock()
+		t.connMu.Unlock()
 	})
 	t.wg.Wait()
 	return nil
@@ -363,106 +550,387 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		cs := &connState{c: c, enc: json.NewEncoder(c)}
-		t.mu.Lock()
+		cs := t.newConnState(c, "")
+		t.connMu.Lock()
 		select {
 		case <-t.closed:
 			// Accepted in the middle of Close after it swept the conn
 			// lists; drop the connection instead of leaking it.
-			t.mu.Unlock()
+			t.connMu.Unlock()
 			c.Close()
 			continue
 		default:
 		}
 		t.accepts = append(t.accepts, cs)
-		t.wg.Add(1)
-		t.mu.Unlock()
+		t.wg.Add(2)
+		t.connMu.Unlock()
 		go t.readLoop(cs)
+		go t.writeLoop(cs)
 	}
 }
 
-// readLoop decodes JSON frames from one connection: acks resolve pending
-// sends, data messages are acked back on the same connection, deduplicated,
-// and routed to the local inboxes.
-func (t *TCPTransport) readLoop(cs *connState) {
+// connState is one connection (pooled outbound or accepted inbound). Frames
+// are not written by senders directly: they are queued under qmu and drained
+// by the connection's writer goroutine (writeLoop), which batches everything
+// available — data frames and pending acks — through one buffered writer, so
+// a burst of same-tick messages costs one syscall instead of one each.
+type connState struct {
+	c    net.Conn
+	addr string // peer listen address for pooled outbound conns; "" for accepted
+
+	qmu       sync.Mutex
+	qData     []wireMessage
+	qAcks     []uint64
+	spillData []wireMessage // retired queue slices, reused to avoid reallocating
+	spillAcks []uint64
+	dead      bool
+
+	notify chan struct{} // wake the writer (capacity 1)
+	deadCh chan struct{} // closed by markDead
+
+	// Writer-goroutine-owned state: the buffered writer, the binary
+	// encoder's intern table and scratch, and the frame build buffer.
+	bw   *bufio.Writer
+	enc  wireEnc
+	jenc *json.Encoder
+	buf  []byte
+}
+
+// countingWriter counts bytes reaching the socket for WireBytesOut.
+type countingWriter struct {
+	c net.Conn
+	n *atomic.Int64
+}
+
+func (w countingWriter) Write(p []byte) (int, error) {
+	n, err := w.c.Write(p)
+	w.n.Add(int64(n))
+	return n, err
+}
+
+func (t *TCPTransport) newConnState(c net.Conn, addr string) *connState {
+	cs := &connState{
+		c:      c,
+		addr:   addr,
+		notify: make(chan struct{}, 1),
+		deadCh: make(chan struct{}),
+		bw:     bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut}, 32<<10),
+	}
+	if t.WireFormat() == WireJSON {
+		cs.jenc = json.NewEncoder(cs.bw)
+	}
+	return cs
+}
+
+// enqueue queues one data frame for the writer; false when the connection is
+// already dead (the caller redials).
+func (cs *connState) enqueue(w *wireMessage) bool {
+	cs.qmu.Lock()
+	if cs.dead {
+		cs.qmu.Unlock()
+		return false
+	}
+	cs.qData = append(cs.qData, *w)
+	cs.qmu.Unlock()
+	cs.wake()
+	return true
+}
+
+// enqueueAck queues one ack seq; best effort (a lost ack only costs the peer
+// a deduplicated retransmission).
+func (cs *connState) enqueueAck(seq uint64) {
+	cs.qmu.Lock()
+	if cs.dead {
+		cs.qmu.Unlock()
+		return
+	}
+	cs.qAcks = append(cs.qAcks, seq)
+	cs.qmu.Unlock()
+	cs.wake()
+}
+
+func (cs *connState) wake() {
+	select {
+	case cs.notify <- struct{}{}:
+	default:
+	}
+}
+
+// take swaps the queues out, recycling the previously taken slices as the
+// new queue backing so steady-state batching performs no allocations. Only
+// the writer goroutine calls it, so the retired batch is always consumed
+// before the next swap.
+func (cs *connState) take() (data []wireMessage, acks []uint64) {
+	cs.qmu.Lock()
+	data, cs.qData = cs.qData, cs.spillData[:0]
+	acks, cs.qAcks = cs.qAcks, cs.spillAcks[:0]
+	cs.spillData, cs.spillAcks = data, acks
+	cs.qmu.Unlock()
+	return data, acks
+}
+
+// markDead stops further enqueues and returns whatever data frames were
+// still queued so the caller can push them back through the retransmit path.
+// Idempotent; the second caller gets nil.
+func (cs *connState) markDead() []wireMessage {
+	cs.qmu.Lock()
+	if cs.dead {
+		cs.qmu.Unlock()
+		return nil
+	}
+	cs.dead = true
+	data := cs.qData
+	cs.qData, cs.qAcks = nil, nil
+	cs.qmu.Unlock()
+	close(cs.deadCh)
+	return data
+}
+
+// writeBatch encodes one drained batch into the buffered writer. In binary
+// mode the first data frame piggybacks every pending ack (or an ack-only
+// frame carries them when no data is queued); in JSON mode acks are
+// standalone frames, as the legacy protocol requires.
+func (t *TCPTransport) writeBatch(cs *connState, data []wireMessage, acks []uint64) error {
+	if cs.jenc != nil {
+		for _, seq := range acks {
+			if err := cs.jenc.Encode(&wireMessage{Kind: wireAck, Seq: seq}); err != nil {
+				return err
+			}
+			t.framesOut.Add(1)
+		}
+		for i := range data {
+			if err := cs.jenc.Encode(&data[i]); err != nil {
+				return err
+			}
+			t.framesOut.Add(1)
+		}
+		return nil
+	}
+	buf := cs.buf[:0]
+	if len(data) == 0 {
+		buf = cs.enc.appendFrame(buf, nil, acks)
+		t.framesOut.Add(1)
+	} else {
+		buf = cs.enc.appendFrame(buf, &data[0], acks)
+		for i := 1; i < len(data); i++ {
+			buf = cs.enc.appendFrame(buf, &data[i], nil)
+		}
+		t.framesOut.Add(int64(len(data)))
+	}
+	cs.buf = buf
+	_, err := cs.bw.Write(buf)
+	return err
+}
+
+// writeLoop drains the connection's frame queue: wait for work, optionally
+// let a flush window accumulate a wider batch, write everything queued, then
+// flush once. On a write error the connection is evicted and every possibly
+// unsent data frame is pushed straight back through the retransmit path.
+func (t *TCPTransport) writeLoop(cs *connState) {
 	defer t.wg.Done()
-	defer cs.c.Close()
-	dec := json.NewDecoder(cs.c)
 	for {
-		var w wireMessage
-		if err := dec.Decode(&w); err != nil {
-			return // EOF or closed
-		}
-		if w.Kind == wireAck {
-			t.ack(w.Seq)
-			continue
-		}
-		if w.Seq != 0 {
-			// Ack first — even duplicates — so the sender stops retransmitting.
-			// Best effort: a lost ack only costs another (deduplicated) retry.
-			_ = cs.writeFrame(&wireMessage{Kind: wireAck, Seq: w.Seq})
-		}
-		inbox, ok := t.inboxes[graph.NodeID(w.To)]
-		if !ok {
-			t.dropsMisroute.Add(1) // misrouted: not hosted here
-			continue
-		}
-		key := dedupKey{edge: w.EdgeID, from: graph.NodeID(w.From), sentTick: w.SentTick, kind: MsgKind(w.Kind)}
-		t.dedupMu.Lock()
-		_, dup := t.dedup[key]
-		if !dup {
-			t.dedup[key] = struct{}{}
-		}
-		t.dedupMu.Unlock()
-		if dup {
-			t.dupsSuppressed.Add(1)
-			continue
-		}
-		payload, err := decodePayload(w.PayloadType, w.Payload)
-		if err != nil {
-			t.dropsDecode.Add(1)
-			continue
-		}
-		msg := Message{
-			Kind:     MsgKind(w.Kind),
-			From:     graph.NodeID(w.From),
-			To:       graph.NodeID(w.To),
-			EdgeID:   w.EdgeID,
-			Latency:  w.Latency,
-			SentTick: w.SentTick,
-			Payload:  payload,
-		}
 		select {
-		case inbox <- msg:
 		case <-t.closed:
+			return
+		case <-cs.deadCh:
+			return
+		case <-cs.notify:
+		}
+		if fw := time.Duration(t.flushWindow.Load()); fw > 0 {
+			select {
+			case <-t.closed:
+				return
+			case <-cs.deadCh:
+				return
+			case <-time.After(fw):
+			}
+		}
+		for {
+			data, acks := cs.take()
+			if len(data) == 0 && len(acks) == 0 {
+				break
+			}
+			if err := t.writeBatch(cs, data, acks); err != nil {
+				t.connBroken(cs, data)
+				return
+			}
+		}
+		if cs.bw.Buffered() > 0 {
+			t.flushes.Add(1)
+		}
+		if err := cs.bw.Flush(); err != nil {
+			t.connBroken(cs, nil)
 			return
 		}
 	}
 }
 
-// write delivers one frame to addr, dialing if needed. A failure evicts the
-// broken connection so the next attempt (the message's retransmission)
-// redials; the message itself stays pending, so nothing is silently lost
-// here.
-func (t *TCPTransport) write(addr string, w *wireMessage) {
-	cs, err := t.conn(addr)
-	if err != nil {
-		return // retransmission will redial
+// connBroken handles a dead connection, from either loop: stop enqueues,
+// evict it from the pool, and hand every data frame that may not have
+// reached the wire — the failed batch plus anything still queued — to
+// retryNow, which redials immediately. Retransmission keeps the frames
+// pending, so over-retrying is safe (the receiver dedups); acks are dropped
+// (the peer retransmits and is deduplicated).
+func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
+	leftover := cs.markDead()
+	t.evict(cs)
+	var seqs []uint64
+	for _, batch := range [2][]wireMessage{inFlight, leftover} {
+		for i := range batch {
+			if batch[i].Seq != 0 && batch[i].Kind != wireAck {
+				seqs = append(seqs, batch[i].Seq)
+			}
+		}
 	}
-	if err := cs.writeFrame(w); err != nil {
-		t.evict(addr, cs)
+	if len(seqs) == 0 {
+		return
+	}
+	select {
+	case <-t.closed:
+		return // Close sweeps and counts the pending map
+	default:
+	}
+	// The redial may block in the dialer; do it off the conn's loops. The
+	// caller still holds a wg slot, so adding one here cannot race Close.
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		for _, seq := range seqs {
+			t.retryNow(seq)
+		}
+	}()
+}
+
+// readLoop sniffs the peer's wire format from the first byte — '{' opens a
+// JSON line stream, a version byte opens binary frames — then decodes
+// frames: acks resolve pending sends, data messages are acked back on the
+// same connection, deduplicated, and routed to the local inboxes.
+func (t *TCPTransport) readLoop(cs *connState) {
+	defer t.wg.Done()
+	defer t.connBroken(cs, nil)
+	defer cs.c.Close()
+	br := bufio.NewReaderSize(cs.c, 32<<10)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == '{' {
+		t.readJSON(cs, br)
+		return
+	}
+	t.readBinary(cs, br)
+}
+
+func (t *TCPTransport) readJSON(cs *connState, br *bufio.Reader) {
+	dec := json.NewDecoder(br)
+	for {
+		var w wireMessage
+		if err := dec.Decode(&w); err != nil {
+			return // EOF or closed
+		}
+		if !t.deliverWire(cs, &w, nil) {
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) readBinary(cs *connState, br *bufio.Reader) {
+	var dec wireDec
+	var w wireMessage
+	for {
+		acks, hasData, err := dec.readFrame(br, &w)
+		if err != nil {
+			if errors.Is(err, errMalformedFrame) {
+				t.dropsDecode.Add(1) // corrupt frame; io errors are teardown
+			}
+			return
+		}
+		var dataW *wireMessage
+		if hasData {
+			dataW = &w
+		}
+		if !t.deliverWire(cs, dataW, acks) {
+			return
+		}
+	}
+}
+
+// deliverWire processes one decoded frame: resolve acks, ack data back,
+// deduplicate, decode the payload, and route to the local inbox. It reports
+// false when the transport closed mid-delivery.
+func (t *TCPTransport) deliverWire(cs *connState, w *wireMessage, acks []uint64) bool {
+	for _, seq := range acks {
+		t.ack(seq)
+	}
+	if w == nil {
+		return true
+	}
+	if w.Kind == wireAck {
+		t.ack(w.Seq)
+		return true
+	}
+	if w.Seq != 0 {
+		// Ack first — even duplicates — so the sender stops retransmitting.
+		// Best effort: a lost ack only costs another (deduplicated) retry.
+		cs.enqueueAck(w.Seq)
+	}
+	inbox, ok := t.inboxes[graph.NodeID(w.To)]
+	if !ok {
+		t.dropsMisroute.Add(1) // misrouted: not hosted here
+		return true
+	}
+	key := dedupKey{edge: w.EdgeID, from: graph.NodeID(w.From), sentTick: w.SentTick, kind: MsgKind(w.Kind)}
+	if t.dedup[key.shard()].seen(key, int(t.dedupWindow.Load())) {
+		t.dupsSuppressed.Add(1)
+		return true
+	}
+	payload, err := decodePayload(w.PayloadType, w.Payload)
+	if err != nil {
+		t.dropsDecode.Add(1)
+		return true
+	}
+	msg := Message{
+		Kind:     MsgKind(w.Kind),
+		From:     graph.NodeID(w.From),
+		To:       graph.NodeID(w.To),
+		EdgeID:   w.EdgeID,
+		Latency:  w.Latency,
+		SentTick: w.SentTick,
+		Payload:  payload,
+	}
+	select {
+	case inbox <- msg:
+		return true
+	case <-t.closed:
+		return false
+	}
+}
+
+// write queues one frame toward addr, dialing if needed. If the pooled
+// connection died between lookup and enqueue, one fresh dial is attempted
+// before giving up to the retransmission timers; nothing is silently lost
+// here — the message stays pending either way.
+func (t *TCPTransport) write(addr string, w *wireMessage) {
+	for attempt := 0; attempt < 2; attempt++ {
+		cs, err := t.conn(addr)
+		if err != nil {
+			return // retransmission will redial
+		}
+		if cs.enqueue(w) {
+			return
+		}
 	}
 }
 
 // conn returns the pooled connection to addr, dialing with retries until
 // dialTimeout so peers may come up after us.
 func (t *TCPTransport) conn(addr string) (*connState, error) {
-	t.mu.Lock()
+	t.connMu.Lock()
 	if cs, ok := t.outs[addr]; ok {
-		t.mu.Unlock()
+		t.connMu.Unlock()
 		return cs, nil
 	}
-	t.mu.Unlock()
+	t.connMu.Unlock()
 
 	deadline := time.Now().Add(t.dialTimeout)
 	var c net.Conn
@@ -482,17 +950,17 @@ func (t *TCPTransport) conn(addr string) (*connState, error) {
 		}
 	}
 
-	cs := &connState{c: c, enc: json.NewEncoder(c)}
-	t.mu.Lock()
+	cs := t.newConnState(c, addr)
+	t.connMu.Lock()
 	if prior, ok := t.outs[addr]; ok {
 		// Lost a dial race; keep the first connection.
-		t.mu.Unlock()
+		t.connMu.Unlock()
 		c.Close()
 		return prior, nil
 	}
 	select {
 	case <-t.closed:
-		t.mu.Unlock()
+		t.connMu.Unlock()
 		c.Close()
 		return nil, ErrTransportClosed
 	default:
@@ -501,18 +969,29 @@ func (t *TCPTransport) conn(addr string) (*connState, error) {
 	// Outbound connections carry the peer's acks back to us. The wg.Add sits
 	// inside the lock: Close checks closed, sweeps conns, and only then
 	// waits, all behind the same mutex, so it cannot miss this registration.
-	t.wg.Add(1)
-	t.mu.Unlock()
+	t.wg.Add(2)
+	t.connMu.Unlock()
 	go t.readLoop(cs)
+	go t.writeLoop(cs)
 	return cs, nil
 }
 
-// evict removes a broken pooled connection so the next write redials.
-func (t *TCPTransport) evict(addr string, cs *connState) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.outs[addr] == cs {
-		delete(t.outs, addr)
+// evict removes a broken connection from the pool (or the accepted list) so
+// the next write redials.
+func (t *TCPTransport) evict(cs *connState) {
+	t.connMu.Lock()
+	if cs.addr != "" {
+		if t.outs[cs.addr] == cs {
+			delete(t.outs, cs.addr)
+		}
+	} else {
+		for i, other := range t.accepts {
+			if other == cs {
+				t.accepts = append(t.accepts[:i], t.accepts[i+1:]...)
+				break
+			}
+		}
 	}
+	t.connMu.Unlock()
 	cs.c.Close()
 }

@@ -119,6 +119,39 @@ func (s *timerSet) len() int {
 	return len(s.pending)
 }
 
+// timerShardCount splits a transport's delivery timers over independent
+// locks: every Send arms a timer, so a single timerSet mutex serializes all
+// sender goroutines on the transport's hottest path.
+const timerShardCount = 8
+
+// timerShards is a sharded timerSet. Callers spread load by passing any
+// stable per-message number to shard (destination node, sequence number);
+// close and len aggregate over all shards.
+type timerShards [timerShardCount]timerSet
+
+// shard returns the timerSet owning key.
+func (s *timerShards) shard(key uint64) *timerSet {
+	return &s[key&(timerShardCount-1)]
+}
+
+// close closes every shard and returns the total deliveries abandoned.
+func (s *timerShards) close() int64 {
+	var n int64
+	for i := range s {
+		n += s[i].close()
+	}
+	return n
+}
+
+// len returns the total number of armed timers across all shards.
+func (s *timerShards) len() int {
+	n := 0
+	for i := range s {
+		n += s[i].len()
+	}
+	return n
+}
+
 // deliverAfter arms a delivery of msg to inbox after delay via the timer
 // set, abandoning the delivery if closed is signalled first (so a full inbox
 // of a stopped runtime cannot leak the goroutine forever). It reports false

@@ -1,0 +1,314 @@
+package live
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the binary wire codec of the TCP transport: a length-prefixed
+// frame format that replaces the JSON line protocol on the hot path. The JSON
+// format is retained behind WireJSON for debugging (gossipd -wire json);
+// receivers auto-detect the format per connection from the first byte, so a
+// binary daemon and a JSON daemon interoperate.
+//
+// Frame layout (all integers varint-encoded unless noted):
+//
+//	frame   := header(1B) bodyLen(uvarint) body
+//	header  := version nibble (0001) | flag nibble
+//	flags   := 0x1 frame carries a data message
+//	           0x2 frame carries piggybacked acks
+//	body    := [acks] [data]
+//	acks    := count(uvarint) seq0(uvarint) delta1(uvarint) ...   // ascending
+//	data    := kind(1B) seqDelta(varint) from(varint) to(varint) edge(varint)
+//	           latency(varint) tickDelta(varint) ptype payload
+//	ptype   := 0                                  // no payload type
+//	         | 1 nameLen(uvarint) name            // define: appended to table
+//	         | n>=2                               // reference to table[n-2]
+//	payload := len(uvarint) bytes
+//
+// The header's version nibble (0x10 for v1) doubles as the format detector:
+// no JSON frame starts with 0x10..0x1F, and no binary frame starts with '{'.
+// Signed fields use zigzag varints (binary.AppendVarint) so any int
+// round-trips; acks are sorted and delta-encoded, so a batch of k
+// consecutive acks costs ~k+3 bytes instead of k frames. Payload type names
+// are interned per connection: the first frame carrying a type pays for the
+// name, every later frame references it with one byte.
+//
+// Seq and SentTick are delta-encoded against per-connection running state
+// (seqDelta is relative to lastSeq+1, tickDelta to lastTick, both with
+// two's-complement wraparound so every value round-trips): a connection's
+// sequence numbers and ticks are near-monotonic, so both usually cost one
+// byte instead of growing with the run length. Both codec halves carry
+// connection state (these deltas, the intern table), so a decoder must see a
+// connection's frames in order from the start — exactly what a TCP stream
+// provides.
+
+// WireFormat selects the TCP transport's frame encoding.
+type WireFormat uint8
+
+const (
+	// WireBinary is the length-prefixed binary format above (the default).
+	WireBinary WireFormat = iota
+	// WireJSON is the legacy JSON line format, kept for debugging and
+	// wire-level inspection (gossipd -wire json).
+	WireJSON
+)
+
+// String returns the gossipd -wire spelling of the format.
+func (f WireFormat) String() string {
+	switch f {
+	case WireBinary:
+		return "binary"
+	case WireJSON:
+		return "json"
+	}
+	return fmt.Sprintf("WireFormat(%d)", uint8(f))
+}
+
+// ParseWireFormat parses a -wire flag value.
+func ParseWireFormat(s string) (WireFormat, error) {
+	switch strings.ToLower(s) {
+	case "binary", "bin":
+		return WireBinary, nil
+	case "json":
+		return WireJSON, nil
+	}
+	return WireBinary, fmt.Errorf("live: unknown wire format %q (want binary or json)", s)
+}
+
+const (
+	wireVersion     = 0x10 // version 1 in the high nibble
+	wireVersionMask = 0xF0
+	wireFlagData    = 0x01
+	wireFlagAcks    = 0x02
+
+	// maxWireBody bounds one frame body so a corrupt length prefix cannot
+	// trigger an arbitrarily large allocation.
+	maxWireBody = 1 << 22
+)
+
+var errMalformedFrame = fmt.Errorf("live: malformed binary frame")
+
+// wireEnc is the encoder half of one connection: the payload-type intern
+// table plus a reusable body scratch buffer. It is owned by the connection's
+// writer goroutine and needs no locking.
+type wireEnc struct {
+	names    map[string]uint64
+	scratch  []byte
+	lastSeq  uint64
+	lastTick int64
+}
+
+// appendFrame appends one encoded frame to dst: the data message (nil for an
+// ack-only frame) plus any piggybacked acks. acks is sorted in place.
+func (e *wireEnc) appendFrame(dst []byte, w *wireMessage, acks []uint64) []byte {
+	body := e.scratch[:0]
+	var flags byte
+	if len(acks) > 0 {
+		flags |= wireFlagAcks
+		sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+		body = binary.AppendUvarint(body, uint64(len(acks)))
+		prev := uint64(0)
+		for i, s := range acks {
+			if i == 0 {
+				body = binary.AppendUvarint(body, s)
+			} else {
+				body = binary.AppendUvarint(body, s-prev)
+			}
+			prev = s
+		}
+	}
+	if w != nil {
+		flags |= wireFlagData
+		body = append(body, w.Kind)
+		body = binary.AppendVarint(body, int64(w.Seq-(e.lastSeq+1)))
+		e.lastSeq = w.Seq
+		body = binary.AppendVarint(body, int64(w.From))
+		body = binary.AppendVarint(body, int64(w.To))
+		body = binary.AppendVarint(body, int64(w.EdgeID))
+		body = binary.AppendVarint(body, int64(w.Latency))
+		body = binary.AppendVarint(body, int64(w.SentTick)-e.lastTick)
+		e.lastTick = int64(w.SentTick)
+		switch {
+		case w.PayloadType == "":
+			body = binary.AppendUvarint(body, 0)
+		default:
+			id, known := e.names[w.PayloadType]
+			if known {
+				body = binary.AppendUvarint(body, id+2)
+			} else {
+				if e.names == nil {
+					e.names = make(map[string]uint64)
+				}
+				e.names[w.PayloadType] = uint64(len(e.names))
+				body = binary.AppendUvarint(body, 1)
+				body = binary.AppendUvarint(body, uint64(len(w.PayloadType)))
+				body = append(body, w.PayloadType...)
+			}
+		}
+		body = binary.AppendUvarint(body, uint64(len(w.Payload)))
+		body = append(body, w.Payload...)
+	}
+	e.scratch = body
+	dst = append(dst, wireVersion|flags)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// wireDec is the decoder half of one connection: the mirrored intern table
+// plus reusable body and ack buffers. Owned by the connection's read loop.
+type wireDec struct {
+	names    []string
+	body     []byte
+	acks     []uint64
+	lastSeq  uint64
+	lastTick int64
+}
+
+// readFrame reads and decodes one frame. On hasData it fills *w; the
+// returned ack slice and w.Payload alias decoder-owned buffers that are
+// reused by the next call, so both must be consumed before then.
+func (d *wireDec) readFrame(br *bufio.Reader, w *wireMessage) (acks []uint64, hasData bool, err error) {
+	b0, err := br.ReadByte()
+	if err != nil {
+		return nil, false, err
+	}
+	if b0&wireVersionMask != wireVersion {
+		return nil, false, fmt.Errorf("%w: unknown header 0x%02x", errMalformedFrame, b0)
+	}
+	flags := b0 &^ byte(wireVersionMask)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, false, err
+	}
+	if n > maxWireBody {
+		return nil, false, fmt.Errorf("%w: body of %d bytes exceeds limit", errMalformedFrame, n)
+	}
+	if uint64(cap(d.body)) < n {
+		d.body = make([]byte, n)
+	}
+	body := d.body[:n]
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, false, err
+	}
+
+	off := 0
+	if flags&wireFlagAcks != 0 {
+		count, o, err := uvarintAt(body, off)
+		if err != nil {
+			return nil, false, err
+		}
+		off = o
+		if count > uint64(len(body)) { // each ack costs at least one byte
+			return nil, false, errMalformedFrame
+		}
+		d.acks = d.acks[:0]
+		seq := uint64(0)
+		for i := uint64(0); i < count; i++ {
+			delta, o, err := uvarintAt(body, off)
+			if err != nil {
+				return nil, false, err
+			}
+			off = o
+			seq += delta
+			d.acks = append(d.acks, seq)
+		}
+		acks = d.acks
+	}
+	if flags&wireFlagData == 0 {
+		if off != len(body) {
+			return nil, false, errMalformedFrame
+		}
+		return acks, false, nil
+	}
+
+	if off >= len(body) {
+		return nil, false, errMalformedFrame
+	}
+	*w = wireMessage{Kind: body[off]}
+	off++
+	seqDelta, off, err := varintAt(body, off)
+	if err != nil {
+		return nil, false, err
+	}
+	w.Seq = d.lastSeq + 1 + uint64(seqDelta)
+	d.lastSeq = w.Seq
+	ints := [4]*int{&w.From, &w.To, &w.EdgeID, &w.Latency}
+	for _, p := range ints {
+		v, o, err := varintAt(body, off)
+		if err != nil {
+			return nil, false, err
+		}
+		*p, off = int(v), o
+	}
+	tickDelta, off, err := varintAt(body, off)
+	if err != nil {
+		return nil, false, err
+	}
+	d.lastTick += tickDelta
+	w.SentTick = int(d.lastTick)
+	code, off, err := uvarintAt(body, off)
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case code == 0:
+		// no payload type
+	case code == 1:
+		nameLen, o, err := uvarintAt(body, off)
+		if err != nil {
+			return nil, false, err
+		}
+		off = o
+		if nameLen > uint64(len(body)-off) {
+			return nil, false, errMalformedFrame
+		}
+		name := string(body[off : off+int(nameLen)])
+		off += int(nameLen)
+		d.names = append(d.names, name)
+		w.PayloadType = name
+	default:
+		idx := code - 2
+		if idx >= uint64(len(d.names)) {
+			return nil, false, fmt.Errorf("%w: payload type ref %d beyond table of %d", errMalformedFrame, idx, len(d.names))
+		}
+		w.PayloadType = d.names[idx]
+	}
+	payLen, off, err := uvarintAt(body, off)
+	if err != nil {
+		return nil, false, err
+	}
+	if payLen > uint64(len(body)-off) {
+		return nil, false, errMalformedFrame
+	}
+	if payLen > 0 {
+		w.Payload = body[off : off+int(payLen)]
+		off += int(payLen)
+	}
+	if off != len(body) {
+		return nil, false, errMalformedFrame
+	}
+	return acks, true, nil
+}
+
+// uvarintAt decodes a uvarint at off, returning the value and the new offset.
+func uvarintAt(b []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, off, errMalformedFrame
+	}
+	return v, off + n, nil
+}
+
+// varintAt decodes a zigzag varint at off.
+func varintAt(b []byte, off int) (int64, int, error) {
+	v, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return 0, off, errMalformedFrame
+	}
+	return v, off + n, nil
+}

@@ -47,6 +47,11 @@ func TestRunProtocols(t *testing.T) {
 			args: []string{"-graph", "t6", "-n", "24", "-delta", "8", "-proto", "pushpull"},
 			want: []string{"graph=t6", "completed=true"},
 		},
+		{
+			name: "chunglu-sequential-analyze",
+			args: []string{"-graph", "chunglu", "-n", "80", "-beta", "2.5", "-avgdeg", "6", "-latmax", "4", "-proto", "pushpull", "-analyze", "-parallel=false"},
+			want: []string{"graph=chunglu", "φ* =", "completed=true"},
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -104,9 +109,14 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestBuildGraphFamilies(t *testing.T) {
-	for _, name := range []string{"clique", "star", "path", "cycle", "grid", "gnp", "ringcliques", "dumbbell", "t6", "t7", "ring8"} {
+	gp := genParams{
+		N: 24, K: 3, S: 4, Latency: 2,
+		P: 0.2, Phi: 0.2, Alpha: 0.25, Beta: 2.5, AvgDeg: 6,
+		Delta: 8, Seed: 1,
+	}
+	for _, name := range []string{"clique", "star", "path", "cycle", "grid", "gnp", "ringcliques", "dumbbell", "chunglu", "t6", "t7", "ring8"} {
 		t.Run(name, func(t *testing.T) {
-			g, err := buildGraph(name, 24, 3, 4, 2, 0.2, 0.2, 0.25, 8, 1)
+			g, err := buildGraph(name, gp)
 			if err != nil {
 				t.Fatalf("buildGraph(%s): %v", name, err)
 			}
@@ -114,6 +124,17 @@ func TestBuildGraphFamilies(t *testing.T) {
 				t.Errorf("buildGraph(%s): n=%d connected=%v", name, g.N(), g.Connected())
 			}
 		})
+	}
+}
+
+func TestChungLuLatMax(t *testing.T) {
+	gp := genParams{N: 40, Latency: 1, LatMax: 5, Beta: 2.5, AvgDeg: 6, Seed: 3}
+	g, err := buildGraph("chunglu", gp)
+	if err != nil {
+		t.Fatalf("buildGraph: %v", err)
+	}
+	if g.MaxLatency() <= 1 {
+		t.Errorf("latmax ignored: max latency %d", g.MaxLatency())
 	}
 }
 

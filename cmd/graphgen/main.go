@@ -38,8 +38,12 @@ func run(args []string, out io.Writer) error {
 		p         = fs.Float64("p", 0.1, "GNP edge probability")
 		phi       = fs.Float64("phi", 0.1, "Theorem 7 fast-edge probability")
 		alpha     = fs.Float64("alpha", 0.25, "Theorem 8 parameter α")
+		beta      = fs.Float64("beta", 2.5, "chunglu power-law degree exponent (>2)")
+		avgDeg    = fs.Float64("avgdeg", 8, "chunglu expected average degree")
+		latMax    = fs.Int("latmax", 0, "chunglu: draw latencies uniformly from [latency, latmax] (0 = uniform -latency)")
 		delta     = fs.Int("delta", 16, "Theorem 6 Δ")
 		seed      = fs.Uint64("seed", 1, "seed")
+		parallel  = fs.Bool("parallel", true, "fan the φ_ℓ ladder across CPUs; false forces one worker")
 		jsonPath  = fs.String("json", "", "write graph JSON to this file")
 		edgePath  = fs.String("edgelist", "", "write plain edge-list text to this file")
 		dotPath   = fs.String("dot", "", "write Graphviz DOT to this file")
@@ -49,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if !*parallel {
+		defer gossip.SetAnalysisWorkers(gossip.SetAnalysisWorkers(1))
+	}
 	var (
 		g   *gossip.Graph
 		err error
@@ -57,7 +64,11 @@ func run(args []string, out io.Writer) error {
 		g, err = loadGraph(*loadPath)
 		*graphName = *loadPath
 	} else {
-		g, err = buildGraph(*graphName, *n, *k, *s, *latency, *p, *phi, *alpha, *delta, *seed)
+		g, err = buildGraph(*graphName, genParams{
+			N: *n, K: *k, S: *s, Latency: *latency, LatMax: *latMax,
+			P: *p, Phi: *phi, Alpha: *alpha, Beta: *beta, AvgDeg: *avgDeg,
+			Delta: *delta, Seed: *seed,
+		})
 	}
 	if err != nil {
 		return err
@@ -119,39 +130,57 @@ func loadGraph(path string) (*gossip.Graph, error) {
 	return graphio.ReadEdgeList(f)
 }
 
+// genParams bundles the family-selector knobs shared by gossipsim and
+// graphgen.
+type genParams struct {
+	N, K, S       int
+	Latency       int
+	LatMax        int // chunglu: latencies uniform in [Latency, LatMax]
+	P, Phi, Alpha float64
+	Beta, AvgDeg  float64
+	Delta         int
+	Seed          uint64
+}
+
 // buildGraph mirrors gossipsim's family selector.
-func buildGraph(name string, n, k, s, latency int, p, phi, alpha float64, delta int, seed uint64) (*gossip.Graph, error) {
+func buildGraph(name string, gp genParams) (*gossip.Graph, error) {
 	switch name {
 	case "clique":
-		return gossip.Clique(n, latency), nil
+		return gossip.Clique(gp.N, gp.Latency), nil
 	case "star":
-		return gossip.Star(n, latency), nil
+		return gossip.Star(gp.N, gp.Latency), nil
 	case "path":
-		return gossip.Path(n, latency), nil
+		return gossip.Path(gp.N, gp.Latency), nil
 	case "cycle":
-		return gossip.Cycle(n, latency), nil
+		return gossip.Cycle(gp.N, gp.Latency), nil
 	case "grid":
-		return gossip.Grid(k, s, latency), nil
+		return gossip.Grid(gp.K, gp.S, gp.Latency), nil
 	case "gnp":
-		return gossip.GNP(n, p, latency, true, seed), nil
+		return gossip.GNP(gp.N, gp.P, gp.Latency, true, gp.Seed), nil
 	case "ringcliques":
-		return gossip.RingOfCliques(k, s, latency), nil
+		return gossip.RingOfCliques(gp.K, gp.S, gp.Latency), nil
 	case "dumbbell":
-		return gossip.Dumbbell(s, latency), nil
+		return gossip.Dumbbell(gp.S, gp.Latency), nil
+	case "chunglu":
+		g := gossip.ChungLu(gp.N, gp.Beta, gp.AvgDeg, gp.Latency, gp.Seed)
+		if gp.LatMax > gp.Latency {
+			g = gossip.RandomLatencies(g, gp.Latency, gp.LatMax, gp.Seed)
+		}
+		return g, nil
 	case "t6":
-		h, err := gossip.NewTheoremSixNetwork(n, delta, seed)
+		h, err := gossip.NewTheoremSixNetwork(gp.N, gp.Delta, gp.Seed)
 		if err != nil {
 			return nil, err
 		}
 		return h.G, nil
 	case "t7":
-		tn, err := gossip.NewTheoremSevenNetwork(n, phi, latency, seed)
+		tn, err := gossip.NewTheoremSevenNetwork(gp.N, gp.Phi, gp.Latency, gp.Seed)
 		if err != nil {
 			return nil, err
 		}
 		return tn.G, nil
 	case "ring8":
-		rn, err := gossip.NewRingNetwork(n, alpha, latency, seed)
+		rn, err := gossip.NewRingNetwork(gp.N, gp.Alpha, gp.Latency, gp.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -32,6 +32,7 @@ import (
 	"gossip/internal/cut"
 	"gossip/internal/graph"
 	"gossip/internal/live"
+	"gossip/internal/par"
 	"gossip/internal/sim"
 )
 
@@ -77,6 +78,10 @@ var (
 	RandomRegular = graph.RandomRegular
 	// Caterpillar returns a spine path with pendant leaves per spine node.
 	Caterpillar = graph.Caterpillar
+	// ChungLu returns a power-law random graph with degree exponent beta and
+	// the given expected average degree — the heavy-tailed family the
+	// conductance-engine benchmarks run on.
+	ChungLu = graph.ChungLu
 	// RandomLatencies re-draws a graph's latencies uniformly from [lo, hi].
 	RandomLatencies = graph.RandomLatencies
 )
@@ -478,3 +483,13 @@ func WeightedConductance(g *Graph, seed uint64) (Conductance, error) {
 func PhiCut(g *Graph, set []NodeID, ell int) (float64, error) {
 	return cut.PhiCut(g, set, ell)
 }
+
+// SetAnalysisWorkers caps the number of concurrent workers analysis fan-outs
+// (the φ_ℓ ladder, experiment sweeps) may use, and returns the previous cap.
+// n <= 1 forces fully sequential evaluation. Results never depend on the
+// cap: parallel runs merge in index order and are byte-identical to
+// sequential ones. The default is GOMAXPROCS.
+func SetAnalysisWorkers(n int) int { return par.SetMaxWorkers(n) }
+
+// AnalysisWorkers returns the current analysis worker cap.
+func AnalysisWorkers() int { return par.MaxWorkers() }

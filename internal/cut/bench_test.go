@@ -1,6 +1,7 @@
 package cut
 
 import (
+	"sync"
 	"testing"
 
 	"gossip/internal/graph"
@@ -29,6 +30,94 @@ func BenchmarkPhiRefined256(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := PhiRefined(g, 8, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// withBackbone lowers the latency of a BFS spanning tree's edges to 1, so
+// every G_ℓ is connected and the full φ_ℓ ladder is live — the workload the
+// ladder engine exists for (a level with disconnected G_ℓ short-circuits to
+// φ_ℓ = 0 in both implementations). This models overlay networks with a fast
+// core and heterogeneous long links.
+func withBackbone(g *graph.Graph) *graph.Graph {
+	seen := make([]bool, g.N())
+	seen[0] = true
+	queue := []graph.NodeID{0}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, he := range g.Neighbors(u) {
+			if !seen[he.To] {
+				seen[he.To] = true
+				if err := g.SetLatency(he.ID, 1); err != nil {
+					panic(err)
+				}
+				queue = append(queue, he.To)
+			}
+		}
+	}
+	return g
+}
+
+// Ladder benchmark instances are built once and shared: generation (the
+// Chung-Lu sampler is quadratic in n) must not pollute the timings.
+var (
+	benchOnce    sync.Once
+	benchChungLu *graph.Graph // n = 20k power-law graph, 8 latency classes
+	benchRing    *graph.Graph // ~1k ring of cliques, 6 latency classes
+)
+
+func benchGraphs() (*graph.Graph, *graph.Graph) {
+	benchOnce.Do(func() {
+		benchChungLu = withBackbone(graph.RandomLatencies(graph.ChungLu(20000, 2.5, 8, 1, 1), 1, 8, 1))
+		benchRing = withBackbone(graph.RandomLatencies(graph.RingOfCliques(16, 64, 6), 1, 6, 1))
+	})
+	return benchChungLu, benchRing
+}
+
+// BenchmarkWeightedConductanceChungLu20k is the headline ladder benchmark:
+// the CSR engine on a 20k-node Chung-Lu graph. Compare against the *Ref
+// variant below for the engine-vs-frozen-pipeline speedup recorded in
+// BENCH_pr5.json.
+func BenchmarkWeightedConductanceChungLu20k(b *testing.B) {
+	g, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedConductance(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedConductanceChungLu20kRef runs the frozen pre-CSR per-level
+// pipeline on the same instance.
+func BenchmarkWeightedConductanceChungLu20kRef(b *testing.B) {
+	g, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedConductanceRef(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightedConductanceRing1k is the quick-signal ladder pair for CI:
+// same comparison on a ~1k-node ring of cliques.
+func BenchmarkWeightedConductanceRing1k(b *testing.B) {
+	_, g := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedConductance(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedConductanceRing1kRef(b *testing.B) {
+	_, g := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WeightedConductanceRef(g, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

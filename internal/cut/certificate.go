@@ -3,10 +3,8 @@ package cut
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"gossip/internal/graph"
-	"gossip/internal/rng"
 )
 
 // Certificate is a cut witnessing a conductance value: PhiCut(G, Set, Ell)
@@ -18,7 +16,8 @@ type Certificate struct {
 }
 
 // PhiExactCut returns φ_ℓ(G) together with a minimizing cut, by exhaustive
-// enumeration (n <= MaxExactN).
+// enumeration. It returns ErrTooLarge for g.N() > MaxExactN rather than
+// overflowing the cut mask (see the MaxExactN <= 63 guard in cut.go).
 func PhiExactCut(g *graph.Graph, ell int) (Certificate, error) {
 	n := g.N()
 	if n < 2 {
@@ -34,9 +33,9 @@ func PhiExactCut(g *graph.Graph, ell int) (Certificate, error) {
 	edges := g.Edges()
 	volAll := 2 * g.M()
 	best := math.Inf(1)
-	var bestMask uint32
-	for mask := uint32(0); mask < 1<<(n-1)-1; mask++ {
-		full := uint32(1) | mask<<1
+	var bestMask uint64
+	for mask := uint64(0); mask < 1<<uint(n-1)-1; mask++ {
+		full := uint64(1) | mask<<1
 		volU := 0
 		for u := 0; u < n; u++ {
 			if full&(1<<uint(u)) != 0 {
@@ -75,86 +74,8 @@ func PhiExactCut(g *graph.Graph, ell int) (Certificate, error) {
 // When the latency-ℓ subgraph is disconnected, the certificate is one of
 // its components (φ_ℓ = 0).
 func PhiHeuristicCut(g *graph.Graph, ell int, seed uint64) (Certificate, error) {
-	n := g.N()
-	if n < 2 {
-		return Certificate{}, fmt.Errorf("cut: need n >= 2, got %d", n)
+	if g.N() < 2 {
+		return Certificate{}, fmt.Errorf("cut: need n >= 2, got %d", g.N())
 	}
-	if comps := g.Subgraph(ell).Components(); len(comps) > 1 {
-		small := comps[0]
-		for _, c := range comps[1:] {
-			if len(c) < len(small) {
-				small = c
-			}
-		}
-		if len(small) == n {
-			small = small[:n-1]
-		}
-		return Certificate{Set: append([]graph.NodeID(nil), small...), Ell: ell, Phi: 0}, nil
-	}
-	best := Certificate{Ell: ell, Phi: math.Inf(1)}
-	consider := func(order []graph.NodeID) {
-		set, phi := bestSweepCut(g, order, ell)
-		if phi < best.Phi {
-			best.Phi = phi
-			best.Set = set
-		}
-	}
-	consider(spectralOrder(g, ell, seed))
-	r := rng.Stream(seed, 0x6873)
-	sources := []graph.NodeID{0}
-	for i := 0; i < 3 && n > 1; i++ {
-		sources = append(sources, r.Intn(n))
-	}
-	for _, s := range sources {
-		dist := g.Distances(s)
-		order := identityOrder(n)
-		sort.SliceStable(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
-		consider(order)
-	}
-	for i := 0; i < 2; i++ {
-		order := identityOrder(n)
-		r.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
-		consider(order)
-	}
-	return best, nil
-}
-
-// bestSweepCut is bestSweep returning the minimizing prefix too.
-func bestSweepCut(g *graph.Graph, order []graph.NodeID, ell int) ([]graph.NodeID, float64) {
-	n := g.N()
-	pos := make([]int, n)
-	for i, u := range order {
-		pos[u] = i
-	}
-	volAll := 2 * g.M()
-	volU := 0
-	cutEdges := 0
-	best := math.Inf(1)
-	bestPrefix := 1
-	for i := 0; i < n-1; i++ {
-		u := order[i]
-		volU += g.Degree(u)
-		for _, he := range g.Neighbors(u) {
-			if he.Latency > ell {
-				continue
-			}
-			if pos[he.To] > i {
-				cutEdges++
-			} else {
-				cutEdges--
-			}
-		}
-		den := volU
-		if volAll-volU < den {
-			den = volAll - volU
-		}
-		if den == 0 {
-			continue
-		}
-		if phi := float64(cutEdges) / float64(den); phi < best {
-			best = phi
-			bestPrefix = i + 1
-		}
-	}
-	return append([]graph.NodeID(nil), order[:bestPrefix]...), best
+	return newView(g, seed).heuristicCert(ell, 0), nil
 }

@@ -3,20 +3,28 @@
 // latency ℓ* (Definition 2).
 //
 // Exact conductance enumerates all cuts and is exponential; it is provided
-// for small graphs (n <= 24) and used to validate the heuristic, which
-// combines spectral sweep cuts with sampled and structured cuts and returns
-// an upper bound on φ_ℓ that is empirically tight on the families used in
-// the experiments.
+// for small graphs (n <= MaxExactN) and used to validate the heuristic,
+// which combines spectral sweep cuts with sampled and structured cuts and
+// returns an upper bound on φ_ℓ that is empirically tight on the families
+// used in the experiments.
+//
+// The heuristic pipeline runs on a latency-sorted CSR view of the graph
+// (graph.BuildCSR): the edges of G_ℓ are slice prefixes of contiguous
+// neighbor rows instead of filtered scans, candidate orderings that do not
+// depend on ℓ are computed once and shared across the whole φ_ℓ ladder, the
+// spectral embedding of each level warm-starts from the previous level's
+// converged vector, and independent ladder levels are fanned across the
+// shared worker pool (internal/par) with an index-ordered merge, so results
+// are byte-identical at any worker count. See engine.go and ladder.go; the
+// pre-CSR pipeline is frozen in reference.go for the equivalence suite.
 package cut
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"gossip/internal/graph"
-	"gossip/internal/rng"
 )
 
 // ErrTooLarge is returned by exact computations on graphs beyond the
@@ -25,6 +33,12 @@ var ErrTooLarge = errors.New("cut: graph too large for exact conductance")
 
 // MaxExactN is the largest node count accepted by exact enumeration.
 const MaxExactN = 24
+
+// The exact enumerators index a 64-bit cut mask by node (1<<u), so
+// MaxExactN may never exceed 63: this conversion fails to compile if the
+// limit is raised past the mask width, and the n > MaxExactN checks below
+// turn larger inputs into ErrTooLarge instead of a silent overflow.
+const _ = uint64(63 - MaxExactN)
 
 // PhiCut returns the weight-ℓ conductance of the cut (set, V∖set):
 // |E_ℓ(U, V∖U)| / min(Vol(U), Vol(V∖U)). Volumes are taken in the full
@@ -62,7 +76,8 @@ func PhiCut(g *graph.Graph, set []graph.NodeID, ell int) (float64, error) {
 }
 
 // PhiExact returns φ_ℓ(G) = min over all cuts of the weight-ℓ conductance,
-// by exhaustive enumeration. Only feasible for g.N() <= MaxExactN.
+// by exhaustive enumeration. It returns ErrTooLarge for g.N() > MaxExactN
+// rather than overflowing the cut mask.
 func PhiExact(g *graph.Graph, ell int) (float64, error) {
 	n := g.N()
 	if n < 2 {
@@ -81,8 +96,8 @@ func PhiExact(g *graph.Graph, ell int) (float64, error) {
 	// Fix node 0 on the left to halve the enumeration; mask enumerates the
 	// membership of nodes 1..n-1 (mask 0 = the singleton cut {0}), skipping
 	// only the full set.
-	for mask := uint32(0); mask < 1<<(n-1)-1; mask++ {
-		full := uint32(1) | mask<<1
+	for mask := uint64(0); mask < 1<<uint(n-1)-1; mask++ {
+		full := uint64(1) | mask<<1
 		volU := 0
 		for u := 0; u < n; u++ {
 			if full&(1<<uint(u)) != 0 {
@@ -123,38 +138,10 @@ func PhiExact(g *graph.Graph, ell int) (float64, error) {
 // bipartite gadgets) the true minimum cut belongs to one of these families,
 // so the bound is tight there; tests validate it against PhiExact.
 func PhiHeuristic(g *graph.Graph, ell int, seed uint64) float64 {
-	n := g.N()
-	if n < 2 {
+	if g.N() < 2 {
 		return 0
 	}
-	if !g.Subgraph(ell).Connected() {
-		return 0
-	}
-	best := math.Inf(1)
-	consider := func(order []graph.NodeID) {
-		if phi := bestSweep(g, order, ell); phi < best {
-			best = phi
-		}
-	}
-	consider(spectralOrder(g, ell, seed))
-	r := rng.Stream(seed, 0x6873) // "hs"
-	sources := []graph.NodeID{0}
-	for i := 0; i < 3 && n > 1; i++ {
-		sources = append(sources, r.Intn(n))
-	}
-	for _, s := range sources {
-		dist := g.Distances(s)
-		order := identityOrder(n)
-		sort.SliceStable(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
-		consider(order)
-	}
-	// Random orderings catch degenerate embeddings.
-	for i := 0; i < 2; i++ {
-		order := identityOrder(n)
-		r.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
-		consider(order)
-	}
-	return best
+	return newView(g, seed).heuristicCert(ell, 0).Phi
 }
 
 func identityOrder(n int) []graph.NodeID {
@@ -162,115 +149,6 @@ func identityOrder(n int) []graph.NodeID {
 	for i := range order {
 		order[i] = i
 	}
-	return order
-}
-
-// bestSweep evaluates all prefix cuts of the given node ordering and returns
-// the smallest weight-ℓ conductance found.
-func bestSweep(g *graph.Graph, order []graph.NodeID, ell int) float64 {
-	n := g.N()
-	pos := make([]int, n)
-	for i, u := range order {
-		pos[u] = i
-	}
-	volAll := 2 * g.M()
-	volU := 0
-	cutEdges := 0
-	best := math.Inf(1)
-	for i := 0; i < n-1; i++ {
-		u := order[i]
-		volU += g.Degree(u)
-		for _, he := range g.Neighbors(u) {
-			if he.Latency > ell {
-				continue
-			}
-			if pos[he.To] > i {
-				cutEdges++
-			} else {
-				cutEdges--
-			}
-		}
-		den := volU
-		if volAll-volU < den {
-			den = volAll - volU
-		}
-		if den == 0 {
-			continue
-		}
-		if phi := float64(cutEdges) / float64(den); phi < best {
-			best = phi
-		}
-	}
-	return best
-}
-
-// spectralOrder orders nodes by an approximate second eigenvector of the
-// lazy random walk on G_ℓ, computed by power iteration with deflation of the
-// stationary component.
-func spectralOrder(g *graph.Graph, ell int, seed uint64) []graph.NodeID {
-	n := g.N()
-	deg := make([]float64, n)
-	total := 0.0
-	for u := 0; u < n; u++ {
-		for _, he := range g.Neighbors(u) {
-			if he.Latency <= ell {
-				deg[u]++
-			}
-		}
-		if deg[u] == 0 {
-			deg[u] = 1 // isolated in G_ℓ: self-loop only
-		}
-		total += deg[u]
-	}
-	r := rng.Stream(seed, 0x7370) // "sp"
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = r.Float64() - 0.5
-	}
-	y := make([]float64, n)
-	iters := 20 + 4*int(math.Log2(float64(n)+1))
-	for it := 0; it < iters; it++ {
-		// Deflate the stationary distribution π(u) ∝ deg(u): remove the
-		// degree-weighted mean.
-		mean := 0.0
-		for u := 0; u < n; u++ {
-			mean += deg[u] * x[u]
-		}
-		mean /= total
-		for u := 0; u < n; u++ {
-			x[u] -= mean
-		}
-		// One lazy-walk step: y = (x + P x)/2 with P = D⁻¹A on G_ℓ.
-		for u := 0; u < n; u++ {
-			sum := 0.0
-			cnt := 0.0
-			for _, he := range g.Neighbors(u) {
-				if he.Latency <= ell {
-					sum += x[he.To]
-					cnt++
-				}
-			}
-			if cnt == 0 {
-				y[u] = x[u]
-			} else {
-				y[u] = 0.5*x[u] + 0.5*sum/cnt
-			}
-		}
-		// Normalize to avoid underflow.
-		norm := 0.0
-		for _, v := range y {
-			norm += v * v
-		}
-		norm = math.Sqrt(norm)
-		if norm < 1e-300 {
-			break
-		}
-		for u := 0; u < n; u++ {
-			x[u] = y[u] / norm
-		}
-	}
-	order := identityOrder(n)
-	sort.SliceStable(order, func(i, j int) bool { return x[order[i]] < x[order[j]] })
 	return order
 }
 
@@ -287,43 +165,4 @@ type Result struct {
 	EllStar int      // ℓ*, the critical latency
 	Ladder  []Ladder // φ_ℓ for each distinct latency ℓ
 	Exact   bool     // whether φ_ℓ values are exact
-}
-
-// WeightedConductance computes φ* and ℓ* (Definition 2) by evaluating φ_ℓ at
-// every distinct edge latency and maximizing φ_ℓ/ℓ. Exact enumeration is
-// used when n <= MaxExactN, otherwise the heuristic.
-func WeightedConductance(g *graph.Graph, seed uint64) (Result, error) {
-	lats := g.Latencies()
-	if len(lats) == 0 {
-		return Result{}, fmt.Errorf("cut: graph has no edges")
-	}
-	res := Result{Exact: g.N() <= MaxExactN}
-	for _, ell := range lats {
-		var (
-			phi float64
-			err error
-		)
-		if res.Exact {
-			phi, err = PhiExact(g, ell)
-			if err != nil {
-				return Result{}, fmt.Errorf("exact φ_%d: %w", ell, err)
-			}
-		} else {
-			cert, err := PhiRefined(g, ell, seed)
-			if err != nil {
-				return Result{}, fmt.Errorf("heuristic φ_%d: %w", ell, err)
-			}
-			phi = cert.Phi
-		}
-		res.Ladder = append(res.Ladder, Ladder{Ell: ell, Phi: phi, Ratio: phi / float64(ell)})
-	}
-	bestIdx := 0
-	for i, l := range res.Ladder {
-		if l.Ratio > res.Ladder[bestIdx].Ratio {
-			bestIdx = i
-		}
-	}
-	res.PhiStar = res.Ladder[bestIdx].Phi
-	res.EllStar = res.Ladder[bestIdx].Ell
-	return res, nil
 }

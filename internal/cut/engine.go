@@ -1,0 +1,429 @@
+package cut
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"gossip/internal/graph"
+	"gossip/internal/rng"
+)
+
+// This file is the CSR-backed conductance engine shared by the single-level
+// entry points (PhiHeuristic, PhiHeuristicCut, PhiRefined, Refine) and the
+// ladder driver in ladder.go. Three ideas carry the speedup over the frozen
+// pipeline in reference.go:
+//
+//   - Prefix views. All inner loops — sweeps, refinement moves, spectral
+//     walk steps — iterate csr.Prefix(u, ends), a contiguous slice of the
+//     latency-sorted neighbor row, instead of re-filtering every adjacency
+//     list by `Latency <= ℓ`.
+//   - Shared candidates. The BFS-distance and random orderings depend only
+//     on (g, seed), never on ℓ; the per-level pipeline recomputed them (four
+//     Dijkstra sweeps, two shuffles, and their sorts) at every ladder level.
+//     Here they are computed once per view and reused.
+//   - Pooled scratch. Position maps, membership flags, and spectral vectors
+//     come from a sync.Pool, so a ladder evaluation allocates O(levels)
+//     certificates instead of O(levels · n) scratch.
+
+// view bundles the CSR snapshot of a graph with the ℓ-independent candidate
+// orderings. A view is safe for concurrent use once built; ladder workers
+// share it read-only.
+type view struct {
+	g    *graph.Graph
+	csr  *graph.CSR
+	seed uint64
+
+	sharedOnce sync.Once
+	shared     [][]graph.NodeID
+}
+
+func newView(g *graph.Graph, seed uint64) *view {
+	return &view{g: g, csr: graph.BuildCSR(g), seed: seed}
+}
+
+// sharedOrders returns the candidate orderings that do not depend on ℓ:
+// BFS distance orders from node 0 and three sampled sources, then two
+// random shuffles — the exact sequence the per-level pipeline draws from
+// rng.Stream(seed, 0x6873) at every level (the stream is re-seeded per
+// level, so each level saw identical orderings; computing them once is a
+// pure deduplication, not a behavior change).
+func (v *view) sharedOrders() [][]graph.NodeID {
+	v.sharedOnce.Do(func() {
+		n := v.csr.N()
+		r := rng.Stream(v.seed, 0x6873) // "hs"
+		sources := []graph.NodeID{0}
+		for i := 0; i < 3 && n > 1; i++ {
+			sources = append(sources, r.Intn(n))
+		}
+		dist := make([]int32, n)
+		keys := make([]uint64, n)
+		var heapBuf []int64
+		for _, s := range sources {
+			heapBuf = v.csr.DistancesFrom(s, dist, heapBuf)
+			// Sorting (dist, node) packed into one machine word equals a
+			// stable sort by distance from the identity order, minus the
+			// comparator calls. Distances are nonnegative and < 2^31.
+			for u := 0; u < n; u++ {
+				keys[u] = uint64(uint32(dist[u]))<<32 | uint64(uint32(u))
+			}
+			slices.Sort(keys)
+			order := make([]graph.NodeID, n)
+			for i, k := range keys {
+				order[i] = graph.NodeID(uint32(k))
+			}
+			v.shared = append(v.shared, order)
+		}
+		for i := 0; i < 2; i++ {
+			order := identityOrder(n)
+			r.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+			v.shared = append(v.shared, order)
+		}
+	})
+	return v.shared
+}
+
+// scratch holds the per-evaluation buffers of one worker. Every field is
+// fully overwritten before use, so pool reuse can never leak state between
+// levels (or between graphs of equal size).
+type scratch struct {
+	pos  []int32   // node -> position in the ordering under sweep
+	in   []bool    // cut membership during refinement
+	deg  []float64 // level degrees for the spectral walk
+	x, y []float64 // spectral iteration vectors
+	ends []int32   // level cursor for single-level entry points
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.pos) < n {
+		sc.pos = make([]int32, n)
+		sc.in = make([]bool, n)
+		sc.deg = make([]float64, n)
+		sc.x = make([]float64, n)
+		sc.y = make([]float64, n)
+		sc.ends = make([]int32, n)
+	}
+	sc.pos = sc.pos[:n]
+	sc.in = sc.in[:n]
+	sc.deg = sc.deg[:n]
+	sc.x = sc.x[:n]
+	sc.y = sc.y[:n]
+	sc.ends = sc.ends[:n]
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// heuristicCert is the single-level entry: it positions the cursor at ℓ,
+// takes the disconnected shortcut (φ_ℓ = 0 with the smallest component as
+// witness), cold-starts the spectral embedding, and evaluates the sweep
+// candidates with the given refinement budget.
+func (v *view) heuristicCert(ell, refinePasses int) Certificate {
+	n := v.csr.N()
+	sc := getScratch(n)
+	defer putScratch(sc)
+	ends := sc.ends
+	v.csr.ResetEnds(ends)
+	v.csr.AdvanceEnds(ends, ell)
+	if comps := v.csr.ComponentsAt(ends); len(comps) > 1 {
+		return Certificate{Set: smallestComponentSet(comps), Ell: ell, Phi: 0}
+	}
+	coldStart(sc.x, v.seed)
+	spectral := spectralAt(v.csr, ends, sc.x, sc, spectralIterBudget(n))
+	return v.levelCert(ell, ends, spectral, refinePasses, sc)
+}
+
+// levelCert evaluates one connected level: best sweep cut over the spectral
+// ordering followed by the shared orderings (strict minimum, so earlier
+// candidates win ties — the same tie-break as the per-level pipeline), then
+// greedy refinement.
+func (v *view) levelCert(ell int, ends []int32, spectral []graph.NodeID, refinePasses int, sc *scratch) Certificate {
+	best := Certificate{Ell: ell, Phi: math.Inf(1)}
+	consider := func(order []graph.NodeID) {
+		prefix, phi := bestSweepAt(v.csr, order, ends, sc)
+		if phi < best.Phi {
+			best.Phi = phi
+			best.Set = append(best.Set[:0], order[:prefix]...)
+		}
+	}
+	consider(spectral)
+	for _, o := range v.sharedOrders() {
+		consider(o)
+	}
+	if refinePasses > 0 && best.Phi > 0 {
+		best = refineAt(v.csr, best, ends, refinePasses, sc)
+	}
+	return best
+}
+
+// bestSweepAt evaluates all prefix cuts of the ordering against the G_ℓ
+// prefix view and returns the minimizing prefix length and its weight-ℓ
+// conductance.
+func bestSweepAt(csr *graph.CSR, order []graph.NodeID, ends []int32, sc *scratch) (int, float64) {
+	n := csr.N()
+	pos := sc.pos
+	for i, u := range order {
+		pos[u] = int32(i)
+	}
+	volAll := csr.VolAll()
+	volU, cutEdges := 0, 0
+	best := math.Inf(1)
+	bestPrefix := 1
+	for i := 0; i < n-1; i++ {
+		u := order[i]
+		volU += csr.Degree(u)
+		for _, to := range csr.Prefix(u, ends) {
+			if pos[to] > int32(i) {
+				cutEdges++
+			} else {
+				cutEdges--
+			}
+		}
+		den := volU
+		if volAll-volU < den {
+			den = volAll - volU
+		}
+		if den == 0 {
+			continue
+		}
+		if phi := float64(cutEdges) / float64(den); phi < best {
+			best = phi
+			bestPrefix = i + 1
+		}
+	}
+	return bestPrefix, best
+}
+
+// refineAt improves a cut by greedy single-node moves over the prefix view,
+// with arithmetic identical to the pre-CSR Refine: same visit order, same
+// move condition, same tie epsilon.
+func refineAt(csr *graph.CSR, cert Certificate, ends []int32, maxPasses int, sc *scratch) Certificate {
+	n := csr.N()
+	if len(cert.Set) == 0 || len(cert.Set) >= n {
+		return cert
+	}
+	in := sc.in
+	for i := range in {
+		in[i] = false
+	}
+	volU := 0
+	for _, u := range cert.Set {
+		in[u] = true
+		volU += csr.Degree(u)
+	}
+	size := len(cert.Set)
+	volAll := csr.VolAll()
+	cutEdges := 0
+	for u := 0; u < n; u++ {
+		if !in[u] {
+			continue
+		}
+		for _, to := range csr.Prefix(u, ends) {
+			if !in[to] {
+				cutEdges++
+			}
+		}
+	}
+	phiOf := func(cutE, vol int) float64 {
+		den := vol
+		if volAll-vol < den {
+			den = volAll - vol
+		}
+		if den <= 0 {
+			return 2 // worse than any real conductance
+		}
+		return float64(cutE) / float64(den)
+	}
+	best := phiOf(cutEdges, volU)
+
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for u := 0; u < n; u++ {
+			// Moving u across the cut flips the cut-membership of its
+			// latency-ℓ incident edges and shifts its degree between sides.
+			if size == 1 && in[u] || size == n-1 && !in[u] {
+				continue // never empty a side
+			}
+			dCut := 0
+			for _, to := range csr.Prefix(u, ends) {
+				if in[to] == in[u] {
+					dCut++ // same side now; crossing after the move
+				} else {
+					dCut--
+				}
+			}
+			dVol := csr.Degree(u)
+			if in[u] {
+				dVol = -dVol
+			}
+			if phi := phiOf(cutEdges+dCut, volU+dVol); phi < best-1e-15 {
+				best = phi
+				cutEdges += dCut
+				volU += dVol
+				if in[u] {
+					size--
+				} else {
+					size++
+				}
+				in[u] = !in[u]
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	out := Certificate{Ell: cert.Ell, Phi: best}
+	for u := 0; u < n; u++ {
+		if in[u] {
+			out.Set = append(out.Set, u)
+		}
+	}
+	return out
+}
+
+// smallestComponentSet returns the smallest component (breaking size ties
+// toward the one with the smallest minimum member, comps order) as a sorted
+// node list — the canonical φ_ℓ = 0 witness of a disconnected level.
+func smallestComponentSet(comps [][]graph.NodeID) []graph.NodeID {
+	small := comps[0]
+	for _, c := range comps[1:] {
+		if len(c) < len(small) {
+			small = c
+		}
+	}
+	out := append([]graph.NodeID(nil), small...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// coldStart fills x with the standard random start of the spectral
+// iteration: rng.Stream(seed, 0x7370), one uniform draw per coordinate —
+// the same vector the per-level pipeline draws at every level.
+func coldStart(x []float64, seed uint64) {
+	r := rng.Stream(seed, 0x7370) // "sp"
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+}
+
+// spectralIterBudget is the fixed iteration cap of a cold-started power
+// iteration, unchanged from the pre-CSR pipeline; early exit can only
+// shorten it.
+func spectralIterBudget(n int) int {
+	return 20 + 4*int(math.Log2(float64(n)+1))
+}
+
+// warmIterBudget is the continuation cap for a warm-started level of the
+// ladder chain: the start vector is the previous level's converged iterate
+// and G_ℓ grew by one latency class, so a quarter of the cold budget —
+// bounded below so tiny graphs still move — recovers the embedding. The
+// ladder chain as a whole therefore costs one cold run plus L short
+// continuations instead of L full budgets.
+func warmIterBudget(n int) int {
+	if b := spectralIterBudget(n) / 4; b > 8 {
+		return b
+	}
+	return 8
+}
+
+// spectralAt orders nodes by an approximate second eigenvector of the lazy
+// random walk on G_ℓ (the prefix view described by ends), computed by power
+// iteration with deflation of the stationary component. x seeds the
+// iteration and holds the converged vector on return: pass coldStart output
+// for a fresh embedding, or the previous ladder level's vector as a warm
+// start — G_ℓ grows monotonically in ℓ, so the previous eigenvector is a
+// near-fixpoint and the iteration converges in a handful of steps.
+//
+// The iteration stops as soon as the Rayleigh quotient of the deflated walk
+// operator is stable for two consecutive steps (relative change <= 1e-12):
+// past that point further iterations only rescale the dominant component
+// and cannot meaningfully reorder the embedding. iters is the hard cap:
+// spectralIterBudget(n) for a cold start, warmIterBudget(n) for a ladder
+// continuation.
+func spectralAt(csr *graph.CSR, ends []int32, x []float64, sc *scratch, iters int) []graph.NodeID {
+	n := csr.N()
+	deg := sc.deg
+	total := 0.0
+	for u := 0; u < n; u++ {
+		d := float64(csr.LevelDegree(u, ends))
+		if d == 0 {
+			d = 1 // isolated in G_ℓ: self-loop only
+		}
+		deg[u] = d
+		total += d
+	}
+	y := sc.y
+	prevQ := math.Inf(1)
+	stable := 0
+	for it := 0; it < iters; it++ {
+		// Deflate the stationary distribution π(u) ∝ deg(u): remove the
+		// degree-weighted mean.
+		mean := 0.0
+		for u := 0; u < n; u++ {
+			mean += deg[u] * x[u]
+		}
+		mean /= total
+		for u := 0; u < n; u++ {
+			x[u] -= mean
+		}
+		// One lazy-walk step: y = (x + P x)/2 with P = D⁻¹A on G_ℓ, plus
+		// the inner products for the Rayleigh quotient q = ⟨x,Wx⟩/⟨x,x⟩.
+		xx, xy := 0.0, 0.0
+		for u := 0; u < n; u++ {
+			row := csr.Prefix(u, ends)
+			if len(row) == 0 {
+				y[u] = x[u]
+			} else {
+				sum := 0.0
+				for _, to := range row {
+					sum += x[to]
+				}
+				y[u] = 0.5*x[u] + 0.5*sum/float64(len(row))
+			}
+			xx += x[u] * x[u]
+			xy += x[u] * y[u]
+		}
+		// Normalize to avoid underflow.
+		norm := 0.0
+		for _, v := range y {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-300 {
+			break
+		}
+		for u := 0; u < n; u++ {
+			x[u] = y[u] / norm
+		}
+		if xx > 0 {
+			q := xy / xx
+			if math.Abs(q-prevQ) <= 1e-12*math.Max(1, math.Abs(q)) {
+				if stable++; stable >= 2 {
+					break
+				}
+			} else {
+				stable = 0
+			}
+			prevQ = q
+		}
+	}
+	order := identityOrder(n)
+	// Index tiebreak == stable sort from the identity order, but on the
+	// faster generic sorter (no reflection-based swaps).
+	slices.SortFunc(order, func(a, b graph.NodeID) int {
+		switch {
+		case x[a] < x[b]:
+			return -1
+		case x[a] > x[b]:
+			return 1
+		default:
+			return a - b
+		}
+	})
+	return order
+}

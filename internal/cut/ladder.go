@@ -1,0 +1,143 @@
+package cut
+
+import (
+	"fmt"
+
+	"gossip/internal/graph"
+	"gossip/internal/par"
+)
+
+// This file drives the φ_ℓ ladder of Definition 2 incrementally: distinct
+// latencies are walked in ascending order, the level cursor of the CSR view
+// only ever advances (O(2m) total across the whole ladder), connectivity is
+// resolved by one union-find pass over the latency-sorted edge list, and
+// each level's spectral embedding warm-starts from the previous level's
+// converged vector — monotone edge growth makes the previous eigenvector a
+// near-fixpoint, so the power iteration exits after a few steps instead of
+// the full budget. The expensive per-level work (sweeps over all candidate
+// orderings plus greedy refinement) is independent across levels and fans
+// out over the shared worker pool (internal/par), merged in index order so
+// the ladder is byte-identical at any worker count, including 1.
+
+// WeightedConductance computes φ* and ℓ* (Definition 2) by evaluating φ_ℓ at
+// every distinct edge latency and maximizing φ_ℓ/ℓ. Exact enumeration is
+// used when n <= MaxExactN, otherwise the heuristic. Levels are evaluated
+// concurrently up to par.MaxWorkers(); the result does not depend on the
+// worker count.
+func WeightedConductance(g *graph.Graph, seed uint64) (Result, error) {
+	lats := g.Latencies()
+	if len(lats) == 0 {
+		return Result{}, fmt.Errorf("cut: graph has no edges")
+	}
+	res := Result{Exact: g.N() <= MaxExactN}
+	var (
+		ladder []Ladder
+		err    error
+	)
+	if res.Exact {
+		ladder, err = par.Map(len(lats), func(k int) (Ladder, error) {
+			phi, err := PhiExact(g, lats[k])
+			if err != nil {
+				return Ladder{}, fmt.Errorf("exact φ_%d: %w", lats[k], err)
+			}
+			return Ladder{Ell: lats[k], Phi: phi, Ratio: phi / float64(lats[k])}, nil
+		})
+	} else {
+		var certs []Certificate
+		certs, err = heuristicCerts(g, seed, lats)
+		if err == nil {
+			ladder = make([]Ladder, len(certs))
+			for k, c := range certs {
+				ladder[k] = Ladder{Ell: c.Ell, Phi: c.Phi, Ratio: c.Phi / float64(c.Ell)}
+			}
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.Ladder = ladder
+	bestIdx := 0
+	for i, l := range res.Ladder {
+		if l.Ratio > res.Ladder[bestIdx].Ratio {
+			bestIdx = i
+		}
+	}
+	res.PhiStar = res.Ladder[bestIdx].Phi
+	res.EllStar = res.Ladder[bestIdx].Ell
+	return res, nil
+}
+
+// heuristicCerts evaluates φ_ℓ at every level of lats (ascending) with the
+// CSR engine and returns the refined certificate of each level. The
+// sequential prologue — CSR build, shared orderings, connectivity walk,
+// warm-started spectral chain — is cheap; the per-level sweep+refine work
+// dominates and runs in parallel.
+func heuristicCerts(g *graph.Graph, seed uint64, lats []int) ([]Certificate, error) {
+	v := newView(g, seed)
+	n := v.csr.N()
+	v.sharedOrders() // materialize before the parallel phase
+
+	// One union-find pass resolves connectivity for every level — φ_ℓ = 0
+	// exactly while G_ℓ is disconnected, and connectivity is monotone — and
+	// yields the smallest-component witness of each disconnected level.
+	conn, smallest := v.csr.LadderComponents(true)
+
+	// Spectral chain: walk levels in ascending order, advancing the level
+	// cursor incrementally and warm-starting each level's power iteration
+	// from the previous converged vector. Cursor snapshots feed the
+	// parallel phase below.
+	endsAt := make([][]int32, len(lats))
+	spectrals := make([][]graph.NodeID, len(lats))
+	sc := getScratch(n)
+	ends := v.csr.NewEnds()
+	var x []float64
+	for k, ell := range lats {
+		v.csr.AdvanceEnds(ends, ell)
+		endsAt[k] = append([]int32(nil), ends...)
+		if !conn[k] {
+			continue
+		}
+		iters := warmIterBudget(n)
+		if x == nil {
+			x = make([]float64, n)
+			coldStart(x, seed)
+			iters = spectralIterBudget(n) // first connected level runs cold
+		}
+		spectrals[k] = spectralAt(v.csr, endsAt[k], x, sc, iters)
+	}
+	putScratch(sc)
+
+	// Parallel phase: levels are independent given their cursor snapshot
+	// and spectral ordering; par.Map merges in index order.
+	return par.Map(len(lats), func(k int) (Certificate, error) {
+		ell := lats[k]
+		if !conn[k] {
+			return Certificate{Set: smallest[k], Ell: ell, Phi: 0}, nil
+		}
+		wsc := getScratch(n)
+		defer putScratch(wsc)
+		return v.levelCert(ell, endsAt[k], spectrals[k], refinePasses, wsc), nil
+	})
+}
+
+// LadderCertificates returns the cut witnessing φ_ℓ at every distinct
+// latency level: for n <= MaxExactN the exact minimizing cuts, otherwise the
+// certificates behind WeightedConductance's heuristic ladder — the Phi of
+// certificate k equals Ladder[k].Phi of WeightedConductance(g, seed) exactly,
+// because both come from the same warm-started chain.
+func LadderCertificates(g *graph.Graph, seed uint64) ([]Certificate, error) {
+	lats := g.Latencies()
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("cut: graph has no edges")
+	}
+	if g.N() <= MaxExactN {
+		return par.Map(len(lats), func(k int) (Certificate, error) {
+			cert, err := PhiExactCut(g, lats[k])
+			if err != nil {
+				return Certificate{}, fmt.Errorf("exact φ_%d: %w", lats[k], err)
+			}
+			return cert, nil
+		})
+	}
+	return heuristicCerts(g, seed, lats)
+}

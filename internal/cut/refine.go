@@ -1,8 +1,14 @@
 package cut
 
 import (
+	"fmt"
+
 	"gossip/internal/graph"
 )
+
+// refinePasses is the refinement budget of PhiRefined and the ladder,
+// unchanged from the pre-CSR pipeline.
+const refinePasses = 20
 
 // Refine improves a cut by greedy single-node moves: repeatedly move the
 // node whose transfer across the cut most decreases the weight-ℓ
@@ -11,95 +17,23 @@ import (
 // input. This is the local-search step layered on top of the sweep-cut
 // heuristic — on the paper's constructed families the sweep cut is already
 // optimal, but on irregular graphs refinement closes most of the remaining
-// gap to the exact minimum (see tests).
+// gap to the exact minimum (see tests). The move loop runs on the
+// latency-sorted CSR prefix of G_ℓ (see engine.go).
 func Refine(g *graph.Graph, cert Certificate, maxPasses int) Certificate {
-	n := g.N()
-	if len(cert.Set) == 0 || len(cert.Set) >= n {
-		return cert
-	}
-	in := make([]bool, n)
-	for _, u := range cert.Set {
-		in[u] = true
-	}
-	size := len(cert.Set)
-	volAll := 2 * g.M()
-	volU := g.Volume(cert.Set)
-	cutEdges := 0
-	for _, e := range g.Edges() {
-		if e.Latency <= cert.Ell && in[e.U] != in[e.V] {
-			cutEdges++
-		}
-	}
-	phiOf := func(cutE, vol int) float64 {
-		den := vol
-		if volAll-vol < den {
-			den = volAll - vol
-		}
-		if den <= 0 {
-			return 2 // worse than any real conductance
-		}
-		return float64(cutE) / float64(den)
-	}
-	best := phiOf(cutEdges, volU)
-
-	for pass := 0; pass < maxPasses; pass++ {
-		improved := false
-		for v := 0; v < n; v++ {
-			// Moving v across the cut flips the cut-membership of its
-			// latency-ℓ incident edges and shifts its degree between sides.
-			if size == 1 && in[v] || size == n-1 && !in[v] {
-				continue // never empty a side
-			}
-			dCut := 0
-			for _, he := range g.Neighbors(v) {
-				if he.Latency > cert.Ell {
-					continue
-				}
-				if in[he.To] == in[v] {
-					dCut++ // same side now; crossing after the move
-				} else {
-					dCut--
-				}
-			}
-			dVol := g.Degree(v)
-			if in[v] {
-				dVol = -dVol
-			}
-			if phi := phiOf(cutEdges+dCut, volU+dVol); phi < best-1e-15 {
-				best = phi
-				cutEdges += dCut
-				volU += dVol
-				if in[v] {
-					size--
-				} else {
-					size++
-				}
-				in[v] = !in[v]
-				improved = true
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	out := Certificate{Ell: cert.Ell, Phi: best}
-	for v := 0; v < n; v++ {
-		if in[v] {
-			out.Set = append(out.Set, v)
-		}
-	}
-	return out
+	csr := graph.BuildCSR(g)
+	sc := getScratch(csr.N())
+	defer putScratch(sc)
+	ends := sc.ends
+	csr.ResetEnds(ends)
+	csr.AdvanceEnds(ends, cert.Ell)
+	return refineAt(csr, cert, ends, maxPasses, sc)
 }
 
 // PhiRefined combines the sweep heuristic with local refinement and returns
 // the improved upper bound on φ_ℓ with its certificate.
 func PhiRefined(g *graph.Graph, ell int, seed uint64) (Certificate, error) {
-	cert, err := PhiHeuristicCut(g, ell, seed)
-	if err != nil {
-		return Certificate{}, err
+	if g.N() < 2 {
+		return Certificate{}, fmt.Errorf("cut: need n >= 2, got %d", g.N())
 	}
-	if cert.Phi == 0 {
-		return cert, nil
-	}
-	return Refine(g, cert, 20), nil
+	return newView(g, seed).heuristicCert(ell, refinePasses), nil
 }

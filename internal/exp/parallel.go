@@ -1,9 +1,7 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"gossip/internal/par"
 )
 
 // The experiment harness fans the independent (seed, scale-point) cells of
@@ -11,69 +9,23 @@ import (
 // its own Network, so cells never share mutable state; results are merged in
 // index order, which keeps the rendered Table byte-identical to a sequential
 // run. Determinism is per-cell, not per-schedule.
-
-// maxWorkers caps the number of concurrent cells per parMap call.
-// 1 disables parallelism entirely.
-var maxWorkers atomic.Int64
-
-func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
+//
+// The pool itself lives in internal/par (it is shared with the conductance
+// ladder engine in internal/cut); these wrappers keep the historical exp API
+// used by cmd/experiments and the tests.
 
 // SetMaxWorkers sets the per-sweep worker cap (n <= 1 forces sequential
-// execution) and returns the previous value.
-func SetMaxWorkers(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(maxWorkers.Swap(int64(n)))
-}
+// execution) and returns the previous value. The cap is shared with every
+// other par.Map user (notably cut.WeightedConductance).
+func SetMaxWorkers(n int) int { return par.SetMaxWorkers(n) }
 
 // MaxWorkers returns the current per-sweep worker cap.
-func MaxWorkers() int { return int(maxWorkers.Load()) }
+func MaxWorkers() int { return par.MaxWorkers() }
 
 // parMap evaluates fn for every index in [0, n) — concurrently when the
-// worker cap allows — and returns the results in index order. On failure it
-// returns the error of the lowest failing index, matching what a sequential
-// loop would surface. Nested calls are safe: each call bounds only its own
-// goroutines, so an outer sweep blocked in parMap never starves its inner
-// trial loops.
+// worker cap allows — and returns the results in index order. See par.Map.
 func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	w := MaxWorkers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			var err error
-			if out[i], err = fn(i); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return par.Map(n, fn)
 }
 
 // parTrials runs the per-trial measurement fn for trials independent cells

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSetMaxWorkersClamps(t *testing.T) {
+	orig := MaxWorkers()
+	defer SetMaxWorkers(orig)
+	if prev := SetMaxWorkers(5); prev != orig {
+		t.Errorf("SetMaxWorkers returned %d, want previous value %d", prev, orig)
+	}
+	if got := MaxWorkers(); got != 5 {
+		t.Errorf("MaxWorkers() = %d, want 5", got)
+	}
+	SetMaxWorkers(-3)
+	if got := MaxWorkers(); got != 1 {
+		t.Errorf("MaxWorkers() after SetMaxWorkers(-3) = %d, want 1", got)
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	orig := SetMaxWorkers(4)
+	defer SetMaxWorkers(orig)
+	var calls atomic.Int64
+	out, err := Map(200, func(i int) (int, error) {
+		calls.Add(1)
+		return 3 * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 200 {
+		t.Errorf("fn called %d times, want 200", calls.Load())
+	}
+	for i, v := range out {
+		if v != 3*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 3*i)
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	orig := SetMaxWorkers(8)
+	defer SetMaxWorkers(orig)
+	_, err := Map(64, func(i int) (int, error) {
+		if i%9 == 4 { // fails at 4, 13, 22, ...
+			return 0, fmt.Errorf("cell %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "cell 4 failed" {
+		t.Fatalf("err = %v, want the lowest failing index (cell 4)", err)
+	}
+}
+
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	orig := SetMaxWorkers(1)
+	defer SetMaxWorkers(orig)
+	var calls atomic.Int64
+	sentinel := errors.New("boom")
+	_, err := Map(10, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 5 {
+			return 0, sentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if calls.Load() != 6 {
+		t.Errorf("sequential mode ran %d cells after the failure, want exactly 6", calls.Load())
+	}
+}
+
+func TestMapNested(t *testing.T) {
+	orig := SetMaxWorkers(2)
+	defer SetMaxWorkers(orig)
+	out, err := Map(6, func(i int) ([]int, error) {
+		return Map(6, func(j int) (int, error) { return i*6 + j, nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, inner := range out {
+		for j, v := range inner {
+			if v != i*6+j {
+				t.Fatalf("out[%d][%d] = %d, want %d", i, j, v, i*6+j)
+			}
+		}
+	}
+}

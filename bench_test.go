@@ -67,6 +67,8 @@ func BenchmarkExpLoadBalance(b *testing.B)       { benchExperiment(b, "LOAD") }
 func BenchmarkExpFigure1(b *testing.B)           { benchExperiment(b, "F1") }
 func BenchmarkExpFigure2(b *testing.B)           { benchExperiment(b, "F2") }
 func BenchmarkExpSocial(b *testing.B)            { benchExperiment(b, "SOCIAL") }
+func BenchmarkExpChurn(b *testing.B)             { benchExperiment(b, "CHURN") }
+func BenchmarkExpChurnLoss(b *testing.B)         { benchExperiment(b, "CHURN-LOSS") }
 
 // ---- protocol micro-benchmarks on fixed topologies ----
 

@@ -11,7 +11,11 @@
 //
 // In -compare mode the command exits nonzero when any benchmark's ns/op
 // regressed by more than the threshold fraction against the baseline — the
-// CI regression gate.
+// CI regression gate. -metrics extends the gate to named custom metric
+// units, e.g.:
+//
+//	benchreport -input new.txt -compare BENCH_pr6.json \
+//	    -metrics p50-detect-ticks/op,p99-detect-ticks/op
 package main
 
 import (
@@ -74,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		outDir    = fs.String("out", ".", "directory for BENCH_<label>.json")
 		baseline  = fs.String("compare", "", "baseline BENCH_*.json to compare against (regression gate)")
 		threshold = fs.Float64("threshold", 0.30, "max tolerated fractional ns/op regression in -compare mode")
+		metrics   = fs.String("metrics", "", "comma-separated custom metric units (e.g. p99-detect-ticks/op) to regression-gate alongside ns/op in -compare mode")
 		noWrite   = fs.Bool("nowrite", false, "skip writing BENCH_<label>.json (compare only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,7 +131,13 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("baseline: %w", err)
 		}
-		return Compare(out, base, rep, *threshold)
+		var gated []string
+		for _, m := range strings.Split(*metrics, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				gated = append(gated, m)
+			}
+		}
+		return Compare(out, base, rep, *threshold, gated...)
 	}
 	return nil
 }
@@ -217,16 +228,22 @@ func parseBenchLine(line, pkg string) (Benchmark, bool) {
 }
 
 // Compare prints a per-benchmark delta table and returns an error if any
-// benchmark present in both reports regressed its ns/op by more than the
-// threshold fraction. Benchmarks present on only one side are reported but
-// never fail the gate (suites are allowed to grow and shrink).
-func Compare(out io.Writer, base, cur *Report, threshold float64) error {
+// benchmark present in both reports regressed its ns/op — or any of the
+// explicitly gated custom metric units (b.ReportMetric outputs such as
+// p99-detect-ticks/op) — by more than the threshold fraction. Benchmarks
+// present on only one side are reported but never fail the gate (suites are
+// allowed to grow and shrink), and a gated metric absent from either side of
+// a pair is likewise skipped.
+func Compare(out io.Writer, base, cur *Report, threshold float64, gatedMetrics ...string) error {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Package+"."+b.Name] = b
 	}
 	var regressed []string
 	fmt.Fprintf(out, "comparing against %q (threshold +%.0f%% ns/op)\n", base.Label, threshold*100)
+	if len(gatedMetrics) > 0 {
+		fmt.Fprintf(out, "also gating custom metrics: %s\n", strings.Join(gatedMetrics, ", "))
+	}
 	fmt.Fprintf(out, "%-45s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
 	for _, b := range cur.Benchmarks {
 		key := b.Package + "." + b.Name
@@ -243,6 +260,19 @@ func Compare(out io.Writer, base, cur *Report, threshold float64) error {
 			regressed = append(regressed, key)
 		}
 		fmt.Fprintf(out, "%-45s %14.0f %14.0f %+7.1f%%%s\n", key, prev.NsPerOp, b.NsPerOp, delta*100, mark)
+		for _, unit := range gatedMetrics {
+			pv, curv := prev.Metrics[unit], b.Metrics[unit]
+			if pv <= 0 || curv <= 0 {
+				continue // metric missing on one side: not comparable
+			}
+			mdelta := curv/pv - 1
+			mark := ""
+			if mdelta > threshold {
+				mark = "  << REGRESSION"
+				regressed = append(regressed, key+" ["+unit+"]")
+			}
+			fmt.Fprintf(out, "%-45s %14.1f %14.1f %+7.1f%%%s\n", "  ↳ "+unit, pv, curv, mdelta*100, mark)
+		}
 	}
 	missing := make([]string, 0, len(baseBy))
 	for key := range baseBy {

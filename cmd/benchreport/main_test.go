@@ -85,6 +85,44 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+// TestCompareGatesMemberMetrics exercises the -metrics extension: detection
+// latency quantiles reported via b.ReportMetric are regression-gated like
+// ns/op, while ungated metrics and metrics missing from a side stay advisory.
+func TestCompareGatesMemberMetrics(t *testing.T) {
+	base := &Report{Schema: schemaVersion, Label: "base", Benchmarks: []Benchmark{
+		{Name: "BenchmarkMembershipDetection", Package: "p", NsPerOp: 1000,
+			Metrics: map[string]float64{"p50-detect-ticks/op": 40, "p99-detect-ticks/op": 90, "msgs/op": 100}},
+		{Name: "BenchmarkMembershipConvergence", Package: "p", NsPerOp: 1000,
+			Metrics: map[string]float64{"ticks-to-converge/op": 50}},
+	}}
+	cur := &Report{Schema: schemaVersion, Label: "new", Benchmarks: []Benchmark{
+		{Name: "BenchmarkMembershipDetection", Package: "p", NsPerOp: 1000,
+			Metrics: map[string]float64{"p50-detect-ticks/op": 42, "p99-detect-ticks/op": 200, "msgs/op": 900}},
+		{Name: "BenchmarkMembershipConvergence", Package: "p", NsPerOp: 1000,
+			Metrics: map[string]float64{"ticks-to-converge/op": 51}},
+	}}
+	var sb strings.Builder
+	err := Compare(&sb, base, cur, 0.30, "p50-detect-ticks/op", "p99-detect-ticks/op")
+	if err == nil || !strings.Contains(err.Error(), "p99-detect-ticks/op") {
+		t.Fatalf("err = %v, want p99 metric regression", err)
+	}
+	if strings.Contains(err.Error(), "p50-detect-ticks/op") {
+		t.Errorf("p50 within threshold must not fail the gate: %v", err)
+	}
+	if strings.Contains(err.Error(), "msgs/op") {
+		t.Errorf("ungated metric must not fail the gate: %v", err)
+	}
+	if !strings.Contains(sb.String(), "p99-detect-ticks/op") {
+		t.Errorf("report does not show the gated metric rows:\n%s", sb.String())
+	}
+
+	// A gated metric absent from the baseline is skipped, not failed.
+	sb.Reset()
+	if err := Compare(&sb, base, cur, 0.30, "p50-detect-ticks/op", "absent/op"); err != nil {
+		t.Fatalf("missing metric must be skipped, got %v", err)
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	rep, err := Parse(strings.NewReader("PASS\nok x 1s\n"), "l")
 	if err != nil {

@@ -85,6 +85,12 @@ func run(args []string, out io.Writer) error {
 		rrK       = fs.Int("rrk", 0, "RR broadcast latency bound k (0 = the graph's max edge latency)")
 		wire      = fs.String("wire", "binary", "wire format for outgoing frames: binary or json (inbound is auto-detected)")
 		flushWin  = fs.Duration("flushwindow", 0, "wait this long after the first queued frame before flushing, widening write batches (0 = flush when the queue drains)")
+
+		joinSpec = fs.String("join", "", "enable SWIM membership, bootstrapping from these seed nodes, e.g. 0 or 0,32 (empty = membership off)")
+		probeIvl = fs.Int("probe-interval", 0, "membership probe interval in ticks (0 = default)")
+		suspMult = fs.Int("suspicion-mult", 0, "membership suspicion timeout multiplier (0 = default)")
+		maxPiggy = fs.Int("max-piggyback", 0, "membership deltas piggybacked per packet (0 = default)")
+		memDump  = fs.Bool("memberdump", false, "print every hosted node's final membership table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +158,20 @@ func run(args []string, out io.Writer) error {
 		Crashes:  crashes,
 		Linger:   *linger,
 	}
+	if *joinSpec != "" {
+		seeds, err := parseNodeSet(*joinSpec, g.N())
+		if err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+		opts.Membership = &gossip.LiveMembership{
+			Seeds:         seeds,
+			ProbeInterval: *probeIvl,
+			SuspicionMult: *suspMult,
+			MaxPiggyback:  *maxPiggy,
+		}
+	} else if *memDump {
+		return fmt.Errorf("-memberdump requires membership (-join)")
+	}
 	if *drop > 0 || *dup > 0 || *jitter > 0 || len(partitions) > 0 {
 		fseed := *faultSeed
 		if fseed == 0 {
@@ -207,7 +227,41 @@ func run(args []string, out io.Writer) error {
 			f.InjectedDrops, f.PartitionDrops, f.TransportDrops, f.InjectedDups, f.Jittered,
 			f.Retransmits, f.DupsSuppressed, len(f.Partitions))
 	}
+	if opts.Membership != nil {
+		printMembership(out, res, hosted, *memDump)
+	}
 	return err
+}
+
+// printMembership summarizes the run's final membership views: one aggregate
+// line always, and with -memberdump one table line per hosted node.
+func printMembership(out io.Writer, res gossip.LiveResult, hosted []gossip.NodeID, dump bool) {
+	alive, suspect, dead := 0, 0, 0
+	for _, u := range hosted {
+		for _, up := range res.Members[u] {
+			switch up.St {
+			case gossip.MemberAlive:
+				alive++
+			case gossip.MemberSuspect:
+				suspect++
+			case gossip.MemberDead:
+				dead++
+			}
+		}
+	}
+	fmt.Fprintf(out, "membership: packets=%d bytes=%d view-entries alive=%d suspect=%d dead=%d\n",
+		res.Metrics.MemberPackets, res.Metrics.MemberBytes, alive, suspect, dead)
+	if !dump {
+		return
+	}
+	for _, u := range hosted {
+		var b strings.Builder
+		fmt.Fprintf(&b, "member table %d:", u)
+		for _, up := range res.Members[u] {
+			fmt.Fprintf(&b, " %d=%s/%d", up.Node, up.St, up.Inc)
+		}
+		fmt.Fprintln(out, b.String())
+	}
 }
 
 func loadGraph(loadPath, name string, n, k, s, latency int, p float64, seed uint64) (*gossip.Graph, error) {

@@ -95,6 +95,78 @@ func TestTwoDaemonCluster(t *testing.T) {
 	}
 }
 
+// TestMemberSingleDaemon runs a daemon with SWIM membership enabled and the
+// table dump on: the summary line and every hosted node's table must appear.
+func TestMemberSingleDaemon(t *testing.T) {
+	var sb strings.Builder
+	args := []string{
+		"-graph", "clique", "-n", "8",
+		"-listen", "127.0.0.1:0",
+		"-tick", "500us", "-linger", "0s", "-seed", "3",
+		"-join", "0", "-probe-interval", "4", "-memberdump",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	out := sb.String()
+	for _, w := range []string{"completed=true", "membership: packets=", "member table 0:", "member table 7:"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "dead") && !strings.Contains(out, "dead=0") {
+		t.Errorf("dead members declared with no crash injected:\n%s", out)
+	}
+}
+
+// TestMemberTwoDaemonJoin is the README's two-daemon join example: two
+// daemons, each hosting half a dumbbell, bootstrap membership from seed node
+// 0 — which lives on daemon 0, so daemon 1's nodes join across the TCP
+// transport (member packets as an interned binary payload type).
+func TestMemberTwoDaemonJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster run is not -short friendly")
+	}
+	addrs := reservePorts(t, 2)
+	peers := fmt.Sprintf("0-3=%s,4-7=%s", addrs[0], addrs[1])
+	common := []string{
+		"-graph", "dumbbell", "-s", "4", "-latency", "2",
+		"-proto", "pushpull", "-seed", "7",
+		"-tick", "1ms", "-linger", "2s",
+		"-peers", peers,
+		"-join", "0", "-probe-interval", "4", "-max-piggyback", "8",
+	}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 2)
+	errs := make([]error, 2)
+	for i, spec := range []struct{ listen, nodes string }{
+		{addrs[0], "0-3"},
+		{addrs[1], "4-7"},
+	} {
+		wg.Add(1)
+		go func(i int, listen, nodes string) {
+			defer wg.Done()
+			args := append([]string{"-listen", listen, "-nodes", nodes}, common...)
+			errs[i] = run(args, &outs[i])
+		}(i, spec.listen, spec.nodes)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("daemon %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+		out := outs[i].String()
+		for _, w := range []string{"completed=true", "informed=4/4", "membership: packets="} {
+			if !strings.Contains(out, w) {
+				t.Errorf("daemon %d output missing %q:\n%s", i, w, out)
+			}
+		}
+		if strings.Contains(out, "membership: packets=0 ") {
+			t.Errorf("daemon %d sent no membership packets:\n%s", i, out)
+		}
+	}
+}
+
 // TestFlagErrors exercises the argument validation paths.
 func TestFlagErrors(t *testing.T) {
 	tests := []struct {
@@ -151,6 +223,16 @@ func TestFlagErrors(t *testing.T) {
 			name: "negative-flushwindow",
 			args: []string{"-graph", "clique", "-n", "4", "-flushwindow", "-1ms"},
 			want: "-flushwindow",
+		},
+		{
+			name: "bad-join-node",
+			args: []string{"-graph", "clique", "-n", "4", "-join", "9"},
+			want: "-join",
+		},
+		{
+			name: "memberdump-without-join",
+			args: []string{"-graph", "clique", "-n", "4", "-memberdump"},
+			want: "-memberdump requires membership",
 		},
 	}
 	for _, tt := range tests {

@@ -32,6 +32,7 @@ import (
 	"gossip/internal/cut"
 	"gossip/internal/graph"
 	"gossip/internal/live"
+	"gossip/internal/member"
 	"gossip/internal/par"
 	"gossip/internal/sim"
 )
@@ -368,17 +369,23 @@ type LiveOptions struct {
 	// Linger keeps serving peers' requests this long after local
 	// completion, so slower runtimes in a cluster can still pull from us.
 	Linger time.Duration
+	// Membership, when non-nil, runs a SWIM failure detector on every
+	// hosted node: nodes bootstrap from a seed peer list, probe each other
+	// over the run's transport, and completion counts only members
+	// currently believed alive. See LiveMembership.
+	Membership *LiveMembership
 }
 
 func (o LiveOptions) liveOptions() live.Options {
 	return live.Options{
-		Seed:     o.Seed,
-		Tick:     o.Tick,
-		MaxTicks: o.MaxTicks,
-		NHint:    o.NHint,
-		Nodes:    o.Nodes,
-		Crashes:  o.Crashes,
-		Linger:   o.Linger,
+		Seed:       o.Seed,
+		Tick:       o.Tick,
+		MaxTicks:   o.MaxTicks,
+		NHint:      o.NHint,
+		Nodes:      o.Nodes,
+		Crashes:    o.Crashes,
+		Linger:     o.Linger,
+		Membership: o.Membership,
 	}
 }
 
@@ -393,6 +400,49 @@ func (o LiveOptions) faultWrap(tr LiveTransport) LiveTransport {
 		cfg.Tick = o.Tick
 	}
 	return live.NewFaultTransport(tr, cfg)
+}
+
+// LiveMembership configures SWIM-style dynamic membership for a live run:
+// the seed peer list nodes bootstrap from, the probe/suspicion timing knobs,
+// and the per-packet piggyback budget. Zero fields take the defaults of
+// internal/member; see docs/ALGORITHMS.md for the state machine.
+type LiveMembership = live.MembershipConfig
+
+// MemberState is a member's health in a node's local view: MemberAlive,
+// MemberSuspect, or MemberDead.
+type MemberState = member.State
+
+// Membership states, in escalation order. Only a refutation (an alive record
+// with a strictly higher incarnation) revives a suspected or dead member.
+const (
+	MemberAlive   = member.Alive
+	MemberSuspect = member.Suspect
+	MemberDead    = member.Dead
+)
+
+// MemberUpdate is one membership delta: node v in a state at an incarnation.
+// LiveResult.Members reports each node's final table as a sorted slice of
+// these.
+type MemberUpdate = member.Update
+
+// MemberEvent is one local membership view transition, the unit of the event
+// logs in LiveResult.MemberEvents (recorded under LiveMembership.Record).
+type MemberEvent = member.Event
+
+// MemberConfig is the detector tuning used by the deterministic membership
+// driver (MemberCluster); LiveMembership lowers to it for live runs.
+type MemberConfig = member.Config
+
+// MemberCluster is the deterministic lockstep membership driver: the same
+// SWIM state machines the live runtime runs, driven tick-by-tick with
+// repeatable packet schedules — the tool behind the churn experiments and
+// the byte-identical event-log tests.
+type MemberCluster = member.Cluster
+
+// NewMemberCluster builds an n-node lockstep membership cluster; nil seedsOf
+// bootstraps every node from node 0 (the single-seed join topology).
+func NewMemberCluster(n int, cfg MemberConfig, seedsOf func(v int) []int) *MemberCluster {
+	return member.NewCluster(n, cfg, seedsOf)
 }
 
 // LivePushPull returns the live protocol for push-pull broadcast from

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"testing"
+
+	"gossip/internal/member"
+)
+
+func TestChurnQuantileInt(t *testing.T) {
+	xs := []int{5, 1, 3, 2, 4}
+	if q := quantileInt(xs, 0.5); q != 3 {
+		t.Errorf("p50 = %d, want 3", q)
+	}
+	if q := quantileInt(xs, 0.99); q != 5 {
+		t.Errorf("p99 = %d, want 5", q)
+	}
+	if q := quantileInt(xs, 0); q != 1 {
+		t.Errorf("p0 = %d, want 1", q)
+	}
+	if q := quantileInt(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestChurnTrialWithinBound runs one full churn cycle and checks the
+// experiment's core claim directly: every observer detects the crash within
+// the analytic suspicion-timeout bound.
+func TestChurnTrialWithinBound(t *testing.T) {
+	const n = 24
+	tr, err := runChurnTrial(n, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := member.Config{Seed: 9}.Defaulted().DetectionBound(n)
+	if len(tr.detects) != n-1 {
+		t.Fatalf("%d observers recorded a detection, want %d", len(tr.detects), n-1)
+	}
+	for _, d := range tr.detects {
+		if d > bound {
+			t.Errorf("observer detection latency %d exceeds bound %d", d, bound)
+		}
+	}
+	if tr.join <= 0 || tr.readmit <= 0 || tr.msgsPerTick <= 0 {
+		t.Errorf("implausible trial: %+v", tr)
+	}
+}
+
+// TestChurnExperimentsQuick runs both family members end to end at quick
+// scale and sanity-checks the table shapes.
+func TestChurnExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial sweep")
+	}
+	for _, id := range []string{"CHURN", "CHURN-LOSS"} {
+		tb, err := Run(id, ScaleQuick, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) < 2 {
+			t.Fatalf("%s produced %d rows", id, len(tb.Rows))
+		}
+	}
+}

@@ -36,6 +36,8 @@ var Registry = map[string]Func{
 	"ABL-LB":       AblationLocalBroadcast,
 	"ABL-BIAS":     AblationBiasedSelection,
 	"LOAD":         LoadBalance,
+	"CHURN":        ChurnDetection,
+	"CHURN-LOSS":   ChurnUnderLoss,
 	"F1":           Figure1,
 	"F2":           Figure2,
 	"SOCIAL":       SocialNetworks,

@@ -40,6 +40,10 @@ var shapeChecks = map[string]func(*Table) error{
 	"L3":   shapeAllTrue("game <= gossip"),
 	"CONG": shapeCong,
 	"MSG":  shapeMsg,
+	// Detection latency p99 within the analytic suspicion-timeout bound,
+	// at every cluster size and (for CHURN-LOSS) every loss rate.
+	"CHURN":      shapeBoundedRatio("p99/bound", 1.0),
+	"CHURN-LOSS": shapeBoundedRatio("p99/bound", 1.0),
 }
 
 // cell returns the value at (row, colName).

@@ -42,6 +42,12 @@ func RegisterPayload(name string, enc PayloadEncoder, dec PayloadDecoder) {
 	if _, dup := decoders[name]; dup {
 		panic(fmt.Sprintf("live: payload codec %q registered twice", name))
 	}
+	if len(decoders) >= maxInternedTypes {
+		// Receivers cap their per-connection intern tables at
+		// maxInternedTypes; registering more types than that would produce
+		// frames every conforming receiver rejects.
+		panic(fmt.Sprintf("live: payload codec %q exceeds the %d-type intern limit", name, maxInternedTypes))
+	}
 	encoders = append(encoders, wireCodec{name: name, enc: enc})
 	decoders[name] = dec
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"gossip/internal/graph"
+	"gossip/internal/member"
 	"gossip/internal/sim"
 )
 
@@ -81,6 +82,13 @@ type Options struct {
 	// us. Multi-runtime deployments should set it; single-runtime runs
 	// don't need it (local completion is global completion).
 	Linger time.Duration
+	// Membership, when non-nil, runs a SWIM failure detector on every
+	// hosted node: nodes bootstrap from the configured seed peer list,
+	// probe each other over the run's transport, and the completion check
+	// counts only members currently believed alive — a crashed node the
+	// cluster has declared dead no longer gates completion, and a recovered
+	// node gates it again once re-admitted.
+	Membership *MembershipConfig
 }
 
 // Metrics aggregates the cost of a live run across its hosted nodes. It is
@@ -95,6 +103,11 @@ type Metrics struct {
 	Bytes int
 	// EdgeActivations counts initiated exchanges.
 	EdgeActivations int
+	// MemberPackets and MemberBytes count membership traffic (probes, acks,
+	// ping-reqs, syncs) sent by hosted nodes — kept apart from the protocol
+	// counters so membership never skews a protocol's cost accounting.
+	MemberPackets int
+	MemberBytes   int
 	// Wall is the run's wall-clock duration.
 	Wall time.Duration
 }
@@ -138,20 +151,27 @@ type Result struct {
 	// Handlers exposes the final protocol state machines of hosted nodes
 	// for inspection; they must not be used concurrently with another run.
 	Handlers map[graph.NodeID]sim.Handler
+	// Members maps each hosted node to its final membership table, sorted
+	// by node ID (nil without Options.Membership).
+	Members map[graph.NodeID][]member.Update
+	// MemberEvents maps each hosted node to its membership event log
+	// (populated only under Options.Membership.Record).
+	MemberEvents map[graph.NodeID][]member.Event
 }
 
 // Runtime drives the hosted nodes of one live run.
 type Runtime struct {
-	g        *graph.Graph
-	proto    Protocol
-	tr       Transport
-	opts     Options
-	nhint    int
-	local    []*node
-	edgeIdx  map[int64]int // (node, edgeID) -> index in node's neighbor list
-	stopCh   chan struct{}
-	quiesced atomic.Bool // completed and lingering: answer peers, don't initiate
-	wg       sync.WaitGroup
+	g         *graph.Graph
+	proto     Protocol
+	tr        Transport
+	opts      Options
+	nhint     int
+	local     []*node
+	memberCfg member.Config // defaulted, valid only when opts.Membership != nil
+	edgeIdx   map[int64]int // (node, edgeID) -> index in node's neighbor list
+	stopCh    chan struct{}
+	quiesced  atomic.Bool // completed and lingering: answer peers, don't initiate
+	wg        sync.WaitGroup
 }
 
 // Run executes proto over the transport until every hosted node reaches the
@@ -177,6 +197,26 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 	}
 	if rt.nhint <= 0 {
 		rt.nhint = g.N()
+	}
+	// Validate the full crash schedule up front — including entries for
+	// nodes hosted by other runtimes — so a bad plan fails loudly instead of
+	// silently never firing (satellite of the membership PR).
+	for v, plan := range opts.Crashes {
+		if v < 0 || v >= g.N() {
+			return Result{}, fmt.Errorf("live: crash plan for node %d out of range [0,%d)", v, g.N())
+		}
+		if plan.At < 0 || plan.RecoverAt < 0 {
+			return Result{}, fmt.Errorf("live: node %d crash plan has negative tick (at=%d recover=%d)", v, plan.At, plan.RecoverAt)
+		}
+		if plan.RecoverAt > 0 && plan.RecoverAt <= plan.At {
+			return Result{}, fmt.Errorf("live: node %d recovery tick %d not after crash tick %d", v, plan.RecoverAt, plan.At)
+		}
+	}
+	if opts.Membership != nil {
+		if err := opts.Membership.validate(g.N()); err != nil {
+			return Result{}, err
+		}
+		rt.memberCfg = opts.Membership.memberConfig(opts.Seed, g.N(), false)
 	}
 	for u := 0; u < g.N(); u++ {
 		for idx, he := range g.Neighbors(u) {
@@ -205,11 +245,11 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 			return Result{}, fmt.Errorf("live: transport does not host node %d", u)
 		}
 		plan := opts.Crashes[u]
-		if plan.RecoverAt > 0 && plan.RecoverAt <= plan.At {
-			return Result{}, fmt.Errorf("live: node %d recovery tick %d not after crash tick %d", u, plan.RecoverAt, plan.At)
-		}
 		n := &node{rt: rt, id: u, h: proto.NewHandler(u), inbox: inbox, crashAt: plan.At, recoverAt: plan.RecoverAt}
 		n.ctx = sim.NewContext(n)
+		if opts.Membership != nil {
+			n.mem.Store(rt.newMember(u))
+		}
 		rt.local = append(rt.local, n)
 	}
 	if len(rt.local) == 0 {
@@ -263,6 +303,12 @@ func (rt *Runtime) watch() (bool, []float64) {
 			if n.crashed.Load() && n.recoverAt == 0 {
 				continue // permanently crashed: not a reachable survivor
 			}
+			if rt.opts.Membership != nil && n.crashed.Load() && rt.believedDead(n.id) {
+				// The membership layer has declared this node dead: it is
+				// no longer a member, so it no longer gates completion.
+				// Once it rejoins and refutes, it counts again.
+				continue
+			}
 			total++
 			if n.done.Load() {
 				doneCount++
@@ -296,11 +342,25 @@ func (rt *Runtime) collect(wall time.Duration) Result {
 		Recovered: make([]bool, rt.g.N()),
 		Handlers:  make(map[graph.NodeID]sim.Handler, len(rt.local)),
 	}
+	if rt.opts.Membership != nil {
+		res.Members = make(map[graph.NodeID][]member.Update, len(rt.local))
+		if rt.memberCfg.Record {
+			res.MemberEvents = make(map[graph.NodeID][]member.Event, len(rt.local))
+		}
+	}
 	for _, n := range rt.local {
 		res.Metrics.Requests += n.m.Requests
 		res.Metrics.Responses += n.m.Responses
 		res.Metrics.Bytes += n.m.Bytes
 		res.Metrics.EdgeActivations += n.m.EdgeActivations
+		res.Metrics.MemberPackets += n.m.MemberPackets
+		res.Metrics.MemberBytes += n.m.MemberBytes
+		if m := n.mem.Load(); m != nil && res.Members != nil {
+			res.Members[n.id] = m.Snapshot()
+			if res.MemberEvents != nil {
+				res.MemberEvents[n.id] = m.Events()
+			}
+		}
 		if n.tick > res.Metrics.Ticks {
 			res.Metrics.Ticks = n.tick
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gossip/internal/graph"
+	"gossip/internal/member"
 	"gossip/internal/sim"
 )
 
@@ -35,6 +36,12 @@ type node struct {
 	crashed   atomic.Bool
 	recovered atomic.Bool
 	exhausted atomic.Bool // tick budget spent or handler locally terminated
+
+	// mem is the node's SWIM failure detector (nil without
+	// Options.Membership). It is an atomic pointer because rejoin swaps in a
+	// fresh detector while the runtime watcher reads the old one.
+	mem     atomic.Pointer[member.Node]
+	memEdge int // synthetic edge ID counter for member packets (negative)
 
 	m Metrics // node-local counters, aggregated after the goroutine joins
 }
@@ -128,6 +135,10 @@ func (n *node) onTick() {
 		n.halt()
 		return
 	}
+	// The failure detector ticks for as long as the process is up — through
+	// quiescence and past protocol termination — because peers rely on our
+	// acks and deltas to keep their views truthful.
+	n.memberTick()
 	if n.rt.quiesced.Load() {
 		// The runtime completed and is lingering for slower peers: stop
 		// initiating new exchanges but keep answering requests.
@@ -177,6 +188,12 @@ func (n *node) rejoin() {
 	n.crashAt = 0
 	n.h = n.rt.proto.NewHandler(n.id)
 	n.initiated = false
+	if n.mem.Load() != nil {
+		// A recovered process restarts its detector from scratch too:
+		// incarnation zero, only the seed peers known. The refutation rule
+		// re-admits it against the cluster's dead records.
+		n.mem.Store(n.rt.newMember(n.id))
+	}
 	n.h.Start(n.ctx)
 	n.updateDone()
 }
@@ -194,6 +211,12 @@ func (n *node) stopHandler() {
 // simulator's phase A. Requests are answered immediately and the response
 // travels back with the remaining ⌊ℓ/2⌋ delay.
 func (n *node) handle(msg Message) {
+	if msg.Kind == MsgMember {
+		// Membership traffic bypasses the protocol handler entirely; its
+		// synthetic edge IDs are not graph edges.
+		n.handleMember(msg)
+		return
+	}
 	idx, ok := n.rt.edgeIdx[int64(n.id)<<32|int64(msg.EdgeID)]
 	if !ok {
 		return // not an edge of ours: misrouted or corrupt

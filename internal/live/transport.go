@@ -9,7 +9,8 @@ import (
 	"gossip/internal/sim"
 )
 
-// MsgKind distinguishes the two halves of an exchange.
+// MsgKind distinguishes the two halves of an exchange and the membership
+// layer's traffic.
 type MsgKind uint8
 
 const (
@@ -17,6 +18,11 @@ const (
 	MsgRequest MsgKind = iota + 1
 	// MsgResponse is the responder→initiator half.
 	MsgResponse
+	// MsgMember carries a SWIM membership packet (probe, ack, ping-req,
+	// sync) with piggybacked membership deltas. Member messages flow between
+	// arbitrary node pairs and use unique synthetic negative EdgeIDs rather
+	// than graph edges.
+	MsgMember
 )
 
 // Message is one in-flight half of an exchange. It is the live counterpart

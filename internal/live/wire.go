@@ -89,6 +89,13 @@ const (
 	// maxWireBody bounds one frame body so a corrupt length prefix cannot
 	// trigger an arbitrarily large allocation.
 	maxWireBody = 1 << 22
+
+	// maxInternedTypes bounds the per-connection payload-type intern table:
+	// a frame that would define a type past the cap is rejected as malformed,
+	// so a misbehaving peer cannot grow decoder state without limit.
+	// RegisterPayload refuses registrations past the same cap, so a
+	// conforming encoder can never hit it.
+	maxInternedTypes = 64
 )
 
 var errMalformedFrame = fmt.Errorf("live: malformed binary frame")
@@ -259,6 +266,9 @@ func (d *wireDec) readFrame(br *bufio.Reader, w *wireMessage) (acks []uint64, ha
 	case code == 0:
 		// no payload type
 	case code == 1:
+		if len(d.names) >= maxInternedTypes {
+			return nil, false, fmt.Errorf("%w: payload type table full (%d entries)", errMalformedFrame, maxInternedTypes)
+		}
 		nameLen, o, err := uvarintAt(body, off)
 		if err != nil {
 			return nil, false, err

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -157,6 +158,58 @@ func TestWireMalformedFrames(t *testing.T) {
 	var dec wireDec
 	if _, _, err := dec.readFrame(br, &wireMessage{}); !errors.Is(err, errMalformedFrame) {
 		t.Errorf("truncated data section: err = %v, want errMalformedFrame", err)
+	}
+}
+
+// TestWireInternTableBounded checks the decoder caps its per-connection
+// payload-type intern table: a peer defining more than maxInternedTypes
+// distinct names gets its frame rejected as malformed instead of growing
+// decoder state without limit.
+func TestWireInternTableBounded(t *testing.T) {
+	var enc wireEnc
+	var wire []byte
+	seq := uint64(0)
+	frame := func(ptype string) {
+		seq++
+		m := wireMessage{Kind: 1, Seq: seq, From: 1, To: 2, EdgeID: 3, Latency: 4,
+			SentTick: int(seq), PayloadType: ptype, Payload: json.RawMessage(`true`)}
+		wire = enc.appendFrame(wire, &m, nil)
+	}
+	for i := 0; i < maxInternedTypes; i++ {
+		frame(fmt.Sprintf("live_test.flood%03d", i))
+	}
+	frame("live_test.one-too-many")
+
+	br := bufio.NewReader(bytes.NewReader(wire))
+	var dec wireDec
+	for i := 0; i < maxInternedTypes; i++ {
+		if _, _, err := dec.readFrame(br, &wireMessage{}); err != nil {
+			t.Fatalf("frame %d (within cap): %v", i, err)
+		}
+	}
+	if _, _, err := dec.readFrame(br, &wireMessage{}); !errors.Is(err, errMalformedFrame) {
+		t.Fatalf("define past cap: err = %v, want errMalformedFrame", err)
+	}
+	if len(dec.names) != maxInternedTypes {
+		t.Fatalf("intern table grew to %d entries, cap is %d", len(dec.names), maxInternedTypes)
+	}
+
+	// References to already-interned types must keep working at the cap.
+	var enc2 wireEnc
+	var wire2 []byte
+	enc2.names = enc.names // pretend the same defines happened
+	enc2.lastSeq, enc2.lastTick = enc.lastSeq, enc.lastTick
+	seq++
+	m := wireMessage{Kind: 1, Seq: seq, From: 1, To: 2, EdgeID: 3, Latency: 4,
+		SentTick: int(seq), PayloadType: "live_test.flood000", Payload: json.RawMessage(`true`)}
+	wire2 = enc2.appendFrame(wire2, &m, nil)
+	br2 := bufio.NewReader(bytes.NewReader(wire2))
+	var got wireMessage
+	if _, _, err := dec.readFrame(br2, &got); err != nil {
+		t.Fatalf("reference at cap: %v", err)
+	}
+	if got.PayloadType != "live_test.flood000" {
+		t.Fatalf("reference at cap resolved to %q", got.PayloadType)
 	}
 }
 

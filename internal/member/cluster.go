@@ -1,0 +1,204 @@
+package member
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cluster is a deterministic lockstep driver for a set of membership nodes:
+// the membership analogue of the round simulator. Packets sent at tick t
+// over a link of latency ℓ arrive at t+ℓ; nodes tick in ID order; packet
+// deliveries replay in insertion order — so a fixed (config, schedule)
+// yields byte-identical event logs on every run. Tests, the churn
+// experiments, and the membership benchmarks all drive it; the live runtime
+// runs the very same Node state machines over wall-clock transports.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node // nil while down (crashed, left, or not yet joined)
+	now   int
+	cal   map[int][]delivery
+
+	// Latency returns the one-way delay in ticks for a packet from u to v
+	// (nil = 1 tick). Values below 1 are clamped to 1.
+	Latency func(u, v int) int
+	// Drop, when non-nil, decides per packet whether the link eats it —
+	// the hook the chaos tests use for seeded loss and partitions.
+	Drop func(from, to, tick int) bool
+
+	// Sent counts packets handed to the network (including dropped ones);
+	// Delivered counts packets that reached a running node.
+	Sent, Delivered int
+}
+
+type delivery struct {
+	from, to int
+	pkt      Packet
+}
+
+// NewCluster builds an n-node cluster where node v starts from the seed
+// peer list seedsOf(v) (nil seedsOf = everyone bootstraps knowing only node
+// 0, except node 0 itself which knows nobody — the single-seed join
+// topology). cfg.N is forced to n.
+func NewCluster(n int, cfg Config, seedsOf func(v int) []int) *Cluster {
+	cfg.N = n
+	cfg = cfg.Defaulted()
+	if seedsOf == nil {
+		seedsOf = func(v int) []int {
+			if v == 0 {
+				return nil
+			}
+			return []int{0}
+		}
+	}
+	c := &Cluster{cfg: cfg, nodes: make([]*Node, n), cal: make(map[int][]delivery)}
+	for v := 0; v < n; v++ {
+		c.nodes[v] = New(v, seedsOf(v), cfg)
+	}
+	return c
+}
+
+// Config returns the cluster's (defaulted) membership config.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Now returns the current tick.
+func (c *Cluster) Now() int { return c.now }
+
+// Node returns node v's state machine, or nil while v is down.
+func (c *Cluster) Node(v int) *Node { return c.nodes[v] }
+
+// Up reports whether node v is currently running.
+func (c *Cluster) Up(v int) bool { return c.nodes[v] != nil }
+
+// Crash fail-stops node v: it stops ticking and every packet addressed to
+// it is dropped on arrival. Its state is lost.
+func (c *Cluster) Crash(v int) { c.nodes[v] = nil }
+
+// Restart brings node v back as a freshly started process: empty table,
+// incarnation zero, bootstrapped from the given seeds. The refutation rule
+// re-admits it against any dead record the cluster still holds.
+func (c *Cluster) Restart(v int, seeds []int) { c.nodes[v] = New(v, seeds, c.cfg) }
+
+// send schedules the envelopes from node u, applying Drop and Latency.
+func (c *Cluster) send(u int, outs []Envelope) {
+	for _, env := range outs {
+		c.Sent++
+		if c.Drop != nil && c.Drop(u, env.To, c.now) {
+			continue
+		}
+		lat := 1
+		if c.Latency != nil {
+			if l := c.Latency(u, env.To); l > 1 {
+				lat = l
+			}
+		}
+		at := c.now + lat
+		c.cal[at] = append(c.cal[at], delivery{from: u, to: env.To, pkt: env.Pkt})
+	}
+}
+
+// Step advances the cluster one tick: deliver everything due, then tick
+// every running node in ID order.
+func (c *Cluster) Step() {
+	c.now++
+	due := c.cal[c.now]
+	delete(c.cal, c.now)
+	for _, d := range due {
+		nd := c.nodes[d.to]
+		if nd == nil {
+			continue // down: the network eats the packet
+		}
+		c.Delivered++
+		c.send(d.to, nd.Receive(d.pkt, c.now))
+	}
+	for v, nd := range c.nodes {
+		if nd != nil {
+			c.send(v, nd.Tick(c.now))
+		}
+	}
+}
+
+// Run advances the cluster by ticks.
+func (c *Cluster) Run(ticks int) {
+	for i := 0; i < ticks; i++ {
+		c.Step()
+	}
+}
+
+// RunUntil steps until pred holds (returning the ticks consumed) or maxTicks
+// elapse (returning -1).
+func (c *Cluster) RunUntil(maxTicks int, pred func() bool) int {
+	for i := 1; i <= maxTicks; i++ {
+		c.Step()
+		if pred() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Converged reports whether every running node knows every running node as
+// alive (the full-membership-view goal of a join).
+func (c *Cluster) Converged() bool {
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		for v, other := range c.nodes {
+			if other == nil {
+				continue
+			}
+			st, _, known := nd.StateOf(v)
+			if !known || st != Alive {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllBelieve reports whether every running node's view of v is st.
+func (c *Cluster) AllBelieve(v int, st State) bool {
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		got, _, known := nd.StateOf(v)
+		if !known || got != st {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectionTicks returns, per running observer, the ticks it took to declare
+// v dead after crashTick, read from the observers' event logs (requires
+// Config.Record). Observers that never declared v dead are omitted.
+func (c *Cluster) DetectionTicks(v, crashTick int) []int {
+	var out []int
+	for _, nd := range c.nodes {
+		if nd == nil || nd.ID() == v {
+			continue
+		}
+		for _, e := range nd.Events() {
+			if e.Node == v && e.St == Dead && e.Tick >= crashTick {
+				out = append(out, e.Tick-crashTick)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EventLog renders every node's event log, nodes in ID order under stable
+// headers — the cluster-wide byte-comparable determinism surface. Downed
+// nodes render an empty section.
+func (c *Cluster) EventLog() string {
+	var b strings.Builder
+	for v, nd := range c.nodes {
+		fmt.Fprintf(&b, "== node %d ==\n", v)
+		if nd != nil {
+			b.WriteString(nd.EventLog())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package member
+
+import (
+	"testing"
+
+	"gossip/internal/rng"
+)
+
+// TestMemberSingleSeedConvergence is the join half of the PR's acceptance
+// criterion: 64 nodes bootstrapped from the single seed peer 0 converge to a
+// full membership view, deterministically.
+func TestMemberSingleSeedConvergence(t *testing.T) {
+	c := NewCluster(64, Config{Seed: 1, Record: true}, nil)
+	budget := 4 * c.Config().SyncInterval
+	took := c.RunUntil(budget, c.Converged)
+	if took < 0 {
+		t.Fatalf("64-node single-seed cluster not converged after %d ticks", budget)
+	}
+	t.Logf("converged in %d ticks (budget %d)", took, budget)
+	for v := 0; v < 64; v++ {
+		alive, suspect, dead := c.Node(v).Counts()
+		if alive != 64 || suspect != 0 || dead != 0 {
+			t.Fatalf("node %d counts = (%d alive, %d suspect, %d dead), want (64, 0, 0)",
+				v, alive, suspect, dead)
+		}
+	}
+}
+
+// TestMemberCrashDetectionAndReadmission is the detect/recover half of the
+// acceptance criterion: an injected crash is detected cluster-wide within the
+// configured suspicion bound, and the node is re-admitted on restart.
+func TestMemberCrashDetectionAndReadmission(t *testing.T) {
+	const n, victim = 64, 17
+	c := NewCluster(n, Config{Seed: 1, Record: true}, nil)
+	if c.RunUntil(4*c.Config().SyncInterval, c.Converged) < 0 {
+		t.Fatal("cluster never converged before the crash")
+	}
+
+	crashTick := c.Now()
+	c.Crash(victim)
+	bound := c.Config().DetectionBound(n)
+	took := c.RunUntil(bound, func() bool { return c.AllBelieve(victim, Dead) })
+	if took < 0 {
+		t.Fatalf("crash of node %d not detected cluster-wide within DetectionBound=%d ticks",
+			victim, bound)
+	}
+	t.Logf("cluster-wide detection in %d ticks (bound %d)", took, bound)
+
+	lats := c.DetectionTicks(victim, crashTick)
+	if len(lats) != n-1 {
+		t.Fatalf("detection latencies from %d observers, want %d", len(lats), n-1)
+	}
+	for _, l := range lats {
+		if l > bound {
+			t.Fatalf("observer detection latency %d exceeds bound %d", l, bound)
+		}
+	}
+
+	// Restart as a fresh process (incarnation zero) from the same single
+	// seed: the refutation rule must re-admit it everywhere.
+	c.Restart(victim, []int{0})
+	budget := 4 * c.Config().SyncInterval
+	took = c.RunUntil(budget, func() bool {
+		return c.Converged() && c.AllBelieve(victim, Alive)
+	})
+	if took < 0 {
+		t.Fatalf("restarted node %d not re-admitted within %d ticks", victim, budget)
+	}
+	t.Logf("re-admitted in %d ticks", took)
+	if _, inc, _ := c.Node(0).StateOf(victim); inc == 0 {
+		t.Fatal("re-admission did not raise the victim's incarnation past the dead record")
+	}
+}
+
+// TestMemberPartitionFalsePositiveRefuted cuts one node off for less than the
+// suspicion timeout: the cluster may suspect it, but after the partition
+// heals the suspicion must be refuted — no dead declaration, ever.
+func TestMemberPartitionFalsePositiveRefuted(t *testing.T) {
+	const n, victim = 16, 5
+	c := NewCluster(n, Config{Seed: 3, Record: true}, nil)
+	if c.RunUntil(4*c.Config().SyncInterval, c.Converged) < 0 {
+		t.Fatal("cluster never converged before the partition")
+	}
+
+	// Partition for half the suspicion timeout: long enough that probes of
+	// the victim fail, short enough that no suspicion clock can expire.
+	start := c.Now() + 1
+	end := start + c.Config().SuspicionTicks()/2
+	c.Drop = func(from, to, tick int) bool {
+		return tick >= start && tick < end && (from == victim || to == victim)
+	}
+	c.Run(end - c.Now())
+	suspected := false
+	for v := 0; v < n; v++ {
+		if v == victim {
+			continue
+		}
+		if st, _, _ := c.Node(v).StateOf(victim); st == Suspect {
+			suspected = true
+		}
+	}
+	if !suspected {
+		t.Fatal("partition produced no suspicion; the test exercises nothing (pick a longer window)")
+	}
+
+	// Heal and let refutation run: everyone back to alive, incarnation > 0.
+	c.Drop = nil
+	budget := c.Config().SuspicionTicks() + 4*c.Config().SyncInterval
+	if c.RunUntil(budget, func() bool { return c.AllBelieve(victim, Alive) }) < 0 {
+		t.Fatalf("suspicion not refuted within %d ticks of the heal", budget)
+	}
+	if c.Node(victim).Incarnation() == 0 {
+		t.Fatal("victim never refuted (incarnation still 0) — suspicion must have timed out instead")
+	}
+	// (a) of the chaos satellite: no false-positive *dead* declaration.
+	for v := 0; v < n; v++ {
+		if v == victim {
+			continue
+		}
+		for _, e := range c.Node(v).Events() {
+			if e.Node == victim && e.St == Dead {
+				t.Fatalf("node %d falsely declared %d dead at t=%d", v, victim, e.Tick)
+			}
+		}
+	}
+}
+
+// TestMemberDetectionUnderDrops is (b) of the chaos satellite: with seeded
+// random packet loss, a real crash is still detected within the suspicion
+// bound.
+func TestMemberDetectionUnderDrops(t *testing.T) {
+	const n, victim, dropPct = 32, 9, 10
+	c := NewCluster(n, Config{Seed: 5, Record: true}, nil)
+	// Seeded PRF loss: every (from, to, tick) coin is deterministic.
+	c.Drop = func(from, to, tick int) bool {
+		return rng.Coin(float64(dropPct)/100, 77, uint64(from), uint64(to), uint64(tick))
+	}
+	// Under sustained loss transient suspicions come and go, so full
+	// convergence (every view Alive at one instant) is too strict a goal;
+	// require instead that everyone knows everyone with no dead records.
+	known := func() bool {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				st, _, ok := c.Node(u).StateOf(v)
+				if !ok || st == Dead {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if c.RunUntil(6*c.Config().SyncInterval, known) < 0 {
+		t.Fatal("cluster never reached full mutual knowledge under drops")
+	}
+	crashTick := c.Now()
+	c.Crash(victim)
+	bound := c.Config().DetectionBound(n)
+	took := c.RunUntil(bound, func() bool { return c.AllBelieve(victim, Dead) })
+	if took < 0 {
+		t.Fatalf("crash not detected within DetectionBound=%d under %d%% loss", bound, dropPct)
+	}
+	for _, l := range c.DetectionTicks(victim, crashTick) {
+		if l > bound {
+			t.Fatalf("detection latency %d exceeds bound %d under loss", l, bound)
+		}
+	}
+	t.Logf("detection under %d%% loss: %d ticks (bound %d)", dropPct, took, bound)
+}
+
+// TestMemberDeterministicEventLog runs the same seeded scenario — join,
+// chaos drops, a crash, a restart — twice and demands byte-identical
+// cluster-wide event logs.
+func TestMemberDeterministicEventLog(t *testing.T) {
+	scenario := func() string {
+		c := NewCluster(24, Config{Seed: 11, Record: true}, nil)
+		c.Latency = func(u, v int) int { return 1 + (u+v)%3 }
+		c.Drop = func(from, to, tick int) bool {
+			return rng.Coin(0.05, 13, uint64(from), uint64(to), uint64(tick))
+		}
+		c.Run(100)
+		c.Crash(7)
+		c.Run(c.Config().DetectionBound(24))
+		c.Restart(7, []int{0})
+		c.Run(100)
+		return c.EventLog()
+	}
+	a, b := scenario(), scenario()
+	if a != b {
+		t.Fatalf("same seed produced different event logs:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario produced an empty event log")
+	}
+	// A different seed must not (for this scenario) replay the same schedule —
+	// guards against the log accidentally ignoring the rng entirely.
+	c2 := NewCluster(24, Config{Seed: 12, Record: true}, nil)
+	c2.Run(100)
+	c3 := NewCluster(24, Config{Seed: 11, Record: true}, nil)
+	c3.Run(100)
+	if c2.EventLog() == c3.EventLog() {
+		t.Log("note: different seeds produced identical logs (harmless but suspicious)")
+	}
+}
+
+// TestChurnSustainedJoinLeave drives a sustained crash/restart schedule — the
+// churn-experiment shape — and asserts the membership layer tracks it: every
+// downed node is eventually declared dead, every restart re-admitted, and the
+// final view converges.
+func TestChurnSustainedJoinLeave(t *testing.T) {
+	const n = 32
+	c := NewCluster(n, Config{Seed: 21, Record: true}, nil)
+	if c.RunUntil(4*c.Config().SyncInterval, c.Converged) < 0 {
+		t.Fatal("initial convergence failed")
+	}
+	bound := c.Config().DetectionBound(n)
+	r := rng.New(99)
+	for round := 0; round < 4; round++ {
+		victim := 1 + r.Intn(n-1) // keep the seed node 0 up
+		c.Crash(victim)
+		if c.RunUntil(bound, func() bool { return c.AllBelieve(victim, Dead) }) < 0 {
+			t.Fatalf("round %d: crash of %d undetected within %d ticks", round, victim, bound)
+		}
+		c.Restart(victim, []int{0})
+		budget := 4 * c.Config().SyncInterval
+		if c.RunUntil(budget, func() bool { return c.AllBelieve(victim, Alive) }) < 0 {
+			t.Fatalf("round %d: restart of %d not re-admitted within %d ticks", round, victim, budget)
+		}
+	}
+	if c.RunUntil(4*c.Config().SyncInterval, c.Converged) < 0 {
+		t.Fatal("cluster not converged after the churn schedule")
+	}
+}
+
+// TestMemberClusterLatencyClamp checks the driver clamps sub-tick latencies
+// instead of delivering into the past.
+func TestMemberClusterLatencyClamp(t *testing.T) {
+	c := NewCluster(4, Config{Seed: 2, Record: true}, nil)
+	c.Latency = func(u, v int) int { return -5 }
+	c.Run(64)
+	if !c.Converged() {
+		t.Fatal("cluster with clamped latencies failed to converge")
+	}
+	if c.Sent == 0 || c.Delivered == 0 {
+		t.Fatalf("counters not tracking traffic: sent=%d delivered=%d", c.Sent, c.Delivered)
+	}
+}

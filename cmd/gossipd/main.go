@@ -37,13 +37,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"gossip"
@@ -76,6 +80,7 @@ func run(args []string, out io.Writer) error {
 		tick      = fs.Duration("tick", gossip.DefaultLiveTick, "wall-clock duration of one round")
 		maxTicks  = fs.Int("maxticks", 0, "tick budget (0 = default)")
 		linger    = fs.Duration("linger", 2*time.Second, "keep serving peers this long after local completion")
+		drainWait = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown deadline: how long SIGTERM/SIGINT waits for queues to flush before closing anyway")
 		crashSpec = fs.String("crash", "", "crash injection, e.g. 3=10,7=25:60 (node=tick[:recover-tick])")
 		drop      = fs.Float64("drop", 0, "per-message drop probability in [0,1]")
 		dup       = fs.Float64("dup", 0, "per-message duplication probability in [0,1]")
@@ -150,13 +155,31 @@ func run(args []string, out io.Writer) error {
 	}
 	tr.SetPeers(peers)
 
+	// Graceful shutdown: SIGTERM or SIGINT interrupts the run — nodes
+	// broadcast a membership leave and stop initiating — then the transport
+	// drains its queues under -drain-timeout before closing.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	interrupt := make(chan struct{})
+	relayDone := make(chan struct{})
+	defer close(relayDone)
+	go func() {
+		select {
+		case <-sigCh:
+			close(interrupt)
+		case <-relayDone:
+		}
+	}()
+
 	opts := gossip.LiveOptions{
-		Seed:     *seed,
-		Tick:     *tick,
-		MaxTicks: *maxTicks,
-		Nodes:    hosted,
-		Crashes:  crashes,
-		Linger:   *linger,
+		Seed:      *seed,
+		Tick:      *tick,
+		MaxTicks:  *maxTicks,
+		Nodes:     hosted,
+		Crashes:   crashes,
+		Linger:    *linger,
+		Interrupt: interrupt,
 	}
 	if *joinSpec != "" {
 		seeds, err := parseNodeSet(*joinSpec, g.N())
@@ -219,16 +242,32 @@ func run(args []string, out io.Writer) error {
 			informed++
 		}
 	}
-	fmt.Fprintf(out, "completed=%v informed=%d/%d ticks=%d messages=%d bytes=%d wall=%v dropped=%d\n",
-		res.Completed, informed, len(hosted), res.Metrics.Ticks, res.Metrics.Messages(),
+	fmt.Fprintf(out, "completed=%v interrupted=%v informed=%d/%d ticks=%d messages=%d bytes=%d wall=%v dropped=%d\n",
+		res.Completed, res.Interrupted, informed, len(hosted), res.Metrics.Ticks, res.Metrics.Messages(),
 		res.Metrics.Bytes, res.Metrics.Wall.Round(time.Millisecond), tr.Dropped())
 	if f := res.Faults; f.Dropped() > 0 || f.InjectedDups > 0 || f.Retransmits > 0 || len(f.Partitions) > 0 {
 		fmt.Fprintf(out, "faults: injected-drops=%d partition-drops=%d transport-drops=%d dups=%d jittered=%d retransmits=%d dedup-hits=%d partitions=%d\n",
 			f.InjectedDrops, f.PartitionDrops, f.TransportDrops, f.InjectedDups, f.Jittered,
 			f.Retransmits, f.DupsSuppressed, len(f.Partitions))
 	}
+	if ov := res.Faults.Overload; ov != (gossip.LiveOverloadCounts{}) {
+		fmt.Fprintf(out, "overload: shed-queue=%d shed-pend=%d member-backpressured=%d retry-trimmed=%d dropped-dead-peer=%d breaker-opens=%d breaker-drops=%d\n",
+			ov.ShedQueue, ov.ShedPend, ov.MemberBackpressured, ov.RetryBurstTrimmed,
+			ov.DroppedDeadPeer, ov.BreakerOpens, ov.BreakerDrops)
+	}
 	if opts.Membership != nil {
 		printMembership(out, res, hosted, *memDump)
+	}
+	if res.Interrupted {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		rep, derr := tr.Drain(ctx)
+		cancel()
+		fmt.Fprintf(out, "drain: clean=%v queued=%d pending=%d abandoned-timers=%d wall=%v\n",
+			rep.Clean, rep.QueuedAtClose, rep.PendingAtClose, rep.AbandonedTimers,
+			rep.Wall.Round(time.Millisecond))
+		if derr != nil && !errors.Is(derr, context.DeadlineExceeded) {
+			return derr
+		}
 	}
 	return err
 }

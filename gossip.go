@@ -313,6 +313,43 @@ type LivePartition = live.Partition
 // Dropped() totals losses from every cause.
 type LiveFaultCounts = live.FaultCounts
 
+// LiveOverloadCounts is the named ledger of everything a live transport's
+// overload protection shed, refused, or trimmed: bounded-queue sheds,
+// membership backpressure, dead-peer flushes, and circuit-breaker activity.
+type LiveOverloadCounts = live.OverloadCounts
+
+// LiveDrainReport summarizes a graceful transport drain: what flushed, what
+// the deadline abandoned, and whether the drain finished clean.
+type LiveDrainReport = live.DrainReport
+
+// LiveDrainer is implemented by transports supporting graceful shutdown;
+// the TCP and channel transports and both chaos decorators implement it.
+type LiveDrainer = live.Drainer
+
+// LiveNemesis is the staged chaos orchestrator: a transport decorator that
+// schedules fault phases — asymmetric partitions, flapping links, latency
+// ramps, loss bursts — over tick windows, deterministically per seed.
+type LiveNemesis = live.Nemesis
+
+// LiveNemesisPhase is one staged fault epoch of a LiveNemesis.
+type LiveNemesisPhase = live.NemesisPhase
+
+// LiveNemesisReport is one phase's fault ledger.
+type LiveNemesisReport = live.NemesisPhaseReport
+
+// NewLiveNemesis wraps a transport with a staged chaos schedule; seed drives
+// the loss draws and tick scales the latency ramps (0 = the default tick).
+func NewLiveNemesis(inner LiveTransport, seed uint64, tick time.Duration, phases []LiveNemesisPhase) *LiveNemesis {
+	return live.NewNemesis(inner, seed, tick, phases)
+}
+
+// LiveVerifyRecovery asserts the post-heal invariants of a chaos run: the
+// run completed, every survivor is informed, and no false dead declaration
+// survived. It returns nil when the cluster fully recovered.
+func LiveVerifyRecovery(res LiveResult, survivors []NodeID) error {
+	return live.VerifyRecovery(res, survivors)
+}
+
 // LiveFaultReport is the fault ledger of a live run: counters, partition
 // epochs, and the informed-fraction-over-time trajectory.
 type LiveFaultReport = live.FaultReport
@@ -374,6 +411,13 @@ type LiveOptions struct {
 	// over the run's transport, and completion counts only members
 	// currently believed alive. See LiveMembership.
 	Membership *LiveMembership
+	// Interrupt, when non-nil, requests a graceful stop when it becomes
+	// readable: hosted nodes broadcast a membership leave, serve through a
+	// short grace window, and the run returns with Interrupted set. Pair it
+	// with the transport's Drain for a full graceful shutdown.
+	Interrupt <-chan struct{}
+	// DrainTicks is the post-interrupt grace period in ticks (0 = default).
+	DrainTicks int
 }
 
 func (o LiveOptions) liveOptions() live.Options {
@@ -386,6 +430,8 @@ func (o LiveOptions) liveOptions() live.Options {
 		Crashes:    o.Crashes,
 		Linger:     o.Linger,
 		Membership: o.Membership,
+		Interrupt:  o.Interrupt,
+		DrainTicks: o.DrainTicks,
 	}
 }
 

@@ -35,8 +35,12 @@ func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration) {
 	dst.SetWireFormat(format)
 	src.SetFlushWindow(window)
 	dst.SetFlushWindow(window)
-	// A generous RTO keeps retransmissions out of a loopback measurement.
+	// A generous RTO keeps retransmissions out of a loopback measurement,
+	// and unbounded queues keep the overload protection from shedding a
+	// deliberately unthrottled firehose (the shed path has its own
+	// benchmark: BenchmarkLiveTCPOverloadShed).
 	src.SetRetransmit(10*time.Second, 4)
+	src.SetOverloadLimits(-1, -1)
 	src.SetPeers(map[graph.NodeID]string{1: dst.Addr().String()})
 
 	msg := Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, Latency: 1, Payload: bitp{informed: true}}
@@ -96,6 +100,74 @@ func BenchmarkLiveTCPJSON(b *testing.B) { benchLiveTCP(b, WireJSON, 0) }
 // 200µs of latency for wider batches (fewer, larger syscalls).
 func BenchmarkLiveTCPBinaryWindowed(b *testing.B) {
 	benchLiveTCP(b, WireBinary, 200*time.Microsecond)
+}
+
+// BenchmarkLiveTCPOverloadShed measures the bounded-queue path under
+// deliberate overload: a tiny writer-queue cap against an unthrottled
+// firehose, so a large fraction of sends resolve by oldest-first shedding
+// instead of reaching the wire. The interesting metrics are msgs/sec (the
+// cost of admission control, not delivery) and sheds/op.
+func BenchmarkLiveTCPOverloadShed(b *testing.B) {
+	src, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{0}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	dst, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{1}, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dst.Close()
+	// A tight queue cap, a generous pend cap: the shed decision happens at
+	// enqueue time. Retransmission is off so shed entries are terminal.
+	src.SetRetransmit(10*time.Second, -1)
+	src.SetOverloadLimits(64, -1)
+	src.SetPeers(map[graph.NodeID]string{1: dst.Addr().String()})
+
+	msg := Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, Latency: 1, Payload: bitp{informed: true}}
+	msg.SentTick = benchTick
+	benchTick++
+	if err := src.Send(msg, 0); err != nil {
+		b.Fatal(err)
+	}
+	<-dst.Recv(1)
+
+	// Drain whatever survives shedding; the consumer stops when the sender
+	// is done and the inbox goes quiet.
+	stop := make(chan struct{})
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		inbox := dst.Recv(1)
+		for {
+			select {
+			case <-inbox:
+			case <-stop:
+				for {
+					select {
+					case <-inbox:
+					case <-time.After(50 * time.Millisecond):
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg.SentTick = benchTick
+		benchTick++
+		if err := src.Send(msg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-drained
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+	b.ReportMetric(float64(src.Overload().ShedQueue)/float64(b.N), "sheds/op")
 }
 
 // BenchmarkLiveTCPCodec isolates the two codecs with no sockets: one

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,31 @@ func (t *ChanTransport) Close() error {
 // PendingDeliveries returns the number of armed delivery timers — zero after
 // Close (the timer-hygiene guarantee tests rely on).
 func (t *ChanTransport) PendingDeliveries() int { return t.timers.len() }
+
+// Drain implements Drainer: in-process delivery has no write queues to
+// flush, so draining means letting the armed latency timers fire until ctx
+// expires, then closing (which abandons and counts whatever remains).
+func (t *ChanTransport) Drain(ctx context.Context) (DrainReport, error) {
+	start := time.Now()
+	rep := DrainReport{}
+	for t.timers.len() > 0 {
+		select {
+		case <-ctx.Done():
+			rep.QueuedAtClose = t.timers.len()
+			t.Close()
+			rep.Wall = time.Since(start)
+			return rep, ctx.Err()
+		case <-t.closed:
+			rep.Wall = time.Since(start)
+			return rep, ErrTransportClosed
+		case <-time.After(time.Millisecond):
+		}
+	}
+	rep.Clean = true
+	t.Close()
+	rep.Wall = time.Since(start)
+	return rep, nil
+}
 
 // Faults implements FaultReporter: the channel transport's only loss path is
 // deliveries abandoned at Close.

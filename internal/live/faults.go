@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -132,6 +133,9 @@ func (c *FaultCounts) add(other FaultCounts) {
 // once per watcher tick (filled in by Run).
 type FaultReport struct {
 	FaultCounts
+	// Overload is the transport's overload-protection ledger (zero when the
+	// stack has no TCP transport or nothing was shed).
+	Overload OverloadCounts
 	// Partitions echoes the configured partition epochs (nil when no
 	// FaultTransport was in the stack).
 	Partitions []Partition
@@ -267,7 +271,29 @@ func (t *FaultTransport) Faults() FaultReport {
 	if fr, ok := t.inner.(FaultReporter); ok {
 		inner := fr.Faults()
 		rep.FaultCounts.add(inner.FaultCounts)
+		rep.Overload.add(inner.Overload)
 		rep.Partitions = append(rep.Partitions, inner.Partitions...)
 	}
 	return rep
+}
+
+// Drain implements Drainer by forwarding to the inner transport.
+func (t *FaultTransport) Drain(ctx context.Context) (DrainReport, error) {
+	if d, ok := t.inner.(Drainer); ok {
+		return d.Drain(ctx)
+	}
+	return DrainReport{}, t.inner.Close()
+}
+
+// PeerDown / PeerUp forward membership verdicts to the inner transport.
+func (t *FaultTransport) PeerDown(u graph.NodeID) {
+	if s, ok := t.inner.(PeerStatusSink); ok {
+		s.PeerDown(u)
+	}
+}
+
+func (t *FaultTransport) PeerUp(u graph.NodeID) {
+	if s, ok := t.inner.(PeerStatusSink); ok {
+		s.PeerUp(u)
+	}
 }

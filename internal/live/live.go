@@ -89,7 +89,20 @@ type Options struct {
 	// cluster has declared dead no longer gates completion, and a recovered
 	// node gates it again once re-admitted.
 	Membership *MembershipConfig
+	// Interrupt, when non-nil, requests a graceful stop when it becomes
+	// readable (closed or sent to): hosted nodes broadcast a membership
+	// leave, stop initiating, keep answering for DrainTicks ticks so the
+	// leave propagates, then the run returns with Result.Interrupted set and
+	// a nil error. This is the runtime half of a graceful shutdown; the
+	// owner then drains the transport (Drainer).
+	Interrupt <-chan struct{}
+	// DrainTicks is how many ticks an interrupted run keeps serving while
+	// its leave broadcast propagates (default DefaultDrainTicks).
+	DrainTicks int
 }
+
+// DefaultDrainTicks is the post-interrupt grace period, in ticks.
+const DefaultDrainTicks = 8
 
 // Metrics aggregates the cost of a live run across its hosted nodes. It is
 // the wall-clock counterpart of sim.Metrics (see Sim).
@@ -134,6 +147,10 @@ type Result struct {
 	// not fail-stopped without a scheduled recovery — reached the
 	// protocol's local goal.
 	Completed bool
+	// Interrupted is true when the run ended because Options.Interrupt
+	// fired: the nodes broadcast a membership leave and stopped early.
+	// Completed then reports the goal's state at the interrupt.
+	Interrupted bool
 	// Done[v] reports node v's local goal at shutdown (hosted nodes only).
 	Done []bool
 	// Crashed[v] reports whether node v is down at shutdown (hosted nodes
@@ -171,6 +188,8 @@ type Runtime struct {
 	edgeIdx   map[int64]int // (node, edgeID) -> index in node's neighbor list
 	stopCh    chan struct{}
 	quiesced  atomic.Bool // completed and lingering: answer peers, don't initiate
+	leaving   atomic.Bool // interrupted: broadcast leave, answer, don't initiate
+	peerSink  PeerStatusSink
 	wg        sync.WaitGroup
 }
 
@@ -217,6 +236,14 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 			return Result{}, err
 		}
 		rt.memberCfg = opts.Membership.memberConfig(opts.Seed, g.N(), false)
+		// Feed membership verdicts to the transport's overload protection:
+		// a peer the detector declares dead stops earning retransmissions
+		// (its breaker trips), a refuted or recovered one is re-admitted.
+		rt.peerSink, _ = tr.(PeerStatusSink)
+	}
+	if opts.DrainTicks <= 0 {
+		opts.DrainTicks = DefaultDrainTicks
+		rt.opts.DrainTicks = DefaultDrainTicks
 	}
 	for u := 0; u < g.N(); u++ {
 		for idx, he := range g.Neighbors(u) {
@@ -262,9 +289,13 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		go n.run()
 	}
 
-	completed, informedOverTime := rt.watch()
+	completed, interrupted, informedOverTime := rt.watch()
 	wall := time.Since(start)
-	if completed && opts.Linger > 0 {
+	if interrupted {
+		// Graceful stop: the nodes have been told to broadcast their leave
+		// (see onTick); keep serving for the grace window so it propagates.
+		time.Sleep(time.Duration(opts.DrainTicks) * opts.Tick)
+	} else if completed && opts.Linger > 0 {
 		// Keep answering peers' pulls; our own nodes are done but a slower
 		// runtime may still need the rumor from us. Quiescing stops the
 		// nodes from initiating (and inflating metrics) while they linger.
@@ -276,27 +307,34 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 
 	res := rt.collect(wall)
 	res.Completed = completed
+	res.Interrupted = interrupted
 	if fr, ok := tr.(FaultReporter); ok {
 		res.Faults = fr.Faults()
 	}
 	res.Faults.InformedOverTime = informedOverTime
-	if !completed {
+	if !completed && !interrupted {
 		return res, fmt.Errorf("%w (%d ticks, %d nodes done)", ErrMaxTicks, res.Metrics.Ticks, countTrue(res.Done))
 	}
 	return res, nil
 }
 
 // watch polls the nodes' outward flags once per tick until every reachable
-// survivor is done (true) or every one of them has stopped — tick budget
-// spent or schedule finished (false). Permanently crashed nodes are
-// excluded; a node with a scheduled recovery still counts, so completion
-// waits for it to rejoin and catch up. The per-tick informed fraction among
-// the counted nodes is returned alongside.
-func (rt *Runtime) watch() (bool, []float64) {
+// survivor is done (completed), every one of them has stopped — tick budget
+// spent or schedule finished — or Options.Interrupt fires (interrupted; the
+// leaving flag is set so nodes broadcast their leave on the next tick).
+// Permanently crashed nodes are excluded; a node with a scheduled recovery
+// still counts, so completion waits for it to rejoin and catch up. The
+// per-tick informed fraction among the counted nodes is returned alongside.
+func (rt *Runtime) watch() (completed, interrupted bool, series []float64) {
 	ticker := time.NewTicker(rt.opts.Tick)
 	defer ticker.Stop()
-	var series []float64
-	for range ticker.C {
+	for {
+		select {
+		case <-rt.opts.Interrupt:
+			rt.leaving.Store(true)
+			return false, true, series
+		case <-ticker.C:
+		}
 		doneCount, total := 0, 0
 		allDone, allStopped := true, true
 		for _, n := range rt.local {
@@ -325,13 +363,12 @@ func (rt *Runtime) watch() (bool, []float64) {
 			series = append(series, float64(doneCount)/float64(total))
 		}
 		if allDone {
-			return true, series
+			return true, false, series
 		}
 		if allStopped {
-			return false, series
+			return false, false, series
 		}
 	}
-	return false, series
 }
 
 // collect aggregates per-node state after every node goroutine has joined.

@@ -112,9 +112,29 @@ func (mc *MembershipConfig) seedsFor(u graph.NodeID) []int {
 	return out
 }
 
-// newMember builds node u's failure detector for this run.
+// newMember builds node u's failure detector for this run. When the
+// transport reacts to membership verdicts (PeerStatusSink), every state
+// transition this detector applies is forwarded: a Dead verdict trips the
+// peer's circuit breaker and flushes its in-flight messages, an Alive one
+// (refutation, rejoin) re-admits it. First verdict wins — the forward is
+// idempotent on the transport side, so many local observers are harmless.
 func (rt *Runtime) newMember(u graph.NodeID) *member.Node {
-	return member.New(int(u), rt.opts.Membership.seedsFor(u), rt.memberCfg)
+	cfg := rt.memberCfg
+	if sink := rt.peerSink; sink != nil {
+		self := int(u)
+		cfg.OnChange = func(v int, st member.State, inc uint32) {
+			if v == self {
+				return // our own record is not a peer verdict
+			}
+			switch st {
+			case member.Dead:
+				sink.PeerDown(graph.NodeID(v))
+			case member.Alive:
+				sink.PeerUp(graph.NodeID(v))
+			}
+		}
+	}
+	return member.New(int(u), rt.opts.Membership.seedsFor(u), cfg)
 }
 
 // believedDead reports whether every running local observer's view of v is

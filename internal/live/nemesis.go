@@ -1,0 +1,307 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/member"
+	"gossip/internal/rng"
+)
+
+// This file is the nemesis: a staged chaos orchestrator layered over any
+// Transport. Where FaultTransport injects one homogeneous fault plan for a
+// whole run, the Nemesis schedules *phases* — an asymmetric partition here, a
+// flapping link there, a latency ramp on a slow node, a loss burst — each
+// active over its own tick window, then verifies the cluster healed.
+//
+// Like FaultTransport, every decision is a pure function of (seed, phase
+// index, message identity), and phases activate on msg.SentTick — the tick
+// the exchange was initiated, stamped identically across runs — so two runs
+// whose protocols emit the same messages experience byte-identical chaos
+// regardless of goroutine scheduling or wire encoding.
+
+// NemesisPhase is one staged fault epoch, active for exchanges initiated in
+// the tick window [From, Until) (Until <= 0 means it never ends). A phase
+// may combine several fault classes; zero-valued classes are inactive.
+type NemesisPhase struct {
+	// Name labels the phase in reports.
+	Name string
+	// From and Until bound the phase's tick window.
+	From, Until int
+
+	// Asymmetric partition: messages from a node in AsymFrom to a node in
+	// AsymTo are dropped; the reverse direction flows freely. This is the
+	// fault class symmetric Partitions cannot express — one-way reachability,
+	// the classic trigger for false suspicion.
+	AsymFrom, AsymTo []graph.NodeID
+
+	// Flapping links: while the phase is active, the edges in FlapEdges are
+	// cut and healed on a square wave — up for FlapUp ticks out of every
+	// FlapPeriod (messages initiated during a down stretch are dropped).
+	FlapEdges  []int
+	FlapPeriod int
+	FlapUp     int
+
+	// Slow nodes: messages to or from a node in SlowNodes gain extra
+	// delivery delay, ramping linearly from zero at From to SlowMaxTicks
+	// ticks at Until (or a flat SlowMaxTicks when the phase is unbounded) —
+	// a node sinking into overload rather than failing clean.
+	SlowNodes    []graph.NodeID
+	SlowMaxTicks int
+
+	// Loss is a per-message drop probability in [0, 1] — a loss burst.
+	Loss float64
+}
+
+// active reports whether the phase covers an exchange initiated at tick.
+func (p *NemesisPhase) active(tick int) bool {
+	return tick >= p.From && (p.Until <= 0 || tick < p.Until)
+}
+
+// flapDown reports whether the phase's flapping links are in a down stretch
+// at tick (false when the phase has no flap plan).
+func (p *NemesisPhase) flapDown(tick int) bool {
+	if len(p.FlapEdges) == 0 || p.FlapPeriod <= 0 {
+		return false
+	}
+	up := p.FlapUp
+	if up <= 0 || up > p.FlapPeriod {
+		up = (p.FlapPeriod + 1) / 2
+	}
+	return (tick-p.From)%p.FlapPeriod >= up
+}
+
+// slowExtra returns the phase's extra delay in ticks for an exchange
+// initiated at tick: a linear ramp over the window.
+func (p *NemesisPhase) slowExtra(tick int) int {
+	if len(p.SlowNodes) == 0 || p.SlowMaxTicks <= 0 {
+		return 0
+	}
+	if p.Until <= p.From {
+		return p.SlowMaxTicks
+	}
+	extra := p.SlowMaxTicks * (tick - p.From + 1) / (p.Until - p.From)
+	if extra > p.SlowMaxTicks {
+		extra = p.SlowMaxTicks
+	}
+	return extra
+}
+
+// NemesisPhaseReport is one phase's fault ledger.
+type NemesisPhaseReport struct {
+	Name      string
+	AsymDrops int64 // messages eaten by the one-way partition
+	FlapDrops int64 // messages eaten by a down flapping link
+	LossDrops int64 // messages eaten by the loss burst
+	Delayed   int64 // messages slowed by the latency ramp
+}
+
+// nemesisPhaseCounts is the atomic backing of one phase's report.
+type nemesisPhaseCounts struct {
+	asym, flap, loss, delayed atomic.Int64
+}
+
+// Nemesis decorates a Transport with a staged chaos schedule. Compose it
+// like FaultTransport: over a ChanTransport for deterministic in-process
+// chaos, or over a TCPTransport to stage faults on a real network. Closing
+// the Nemesis closes the inner transport.
+type Nemesis struct {
+	inner  Transport
+	seed   uint64
+	tick   time.Duration
+	phases []NemesisPhase
+	counts []nemesisPhaseCounts
+
+	fromSet, toSet, slowSet []map[graph.NodeID]bool
+	flapSet                 []map[int]bool
+}
+
+var _ Transport = (*Nemesis)(nil)
+var _ FaultReporter = (*Nemesis)(nil)
+var _ Drainer = (*Nemesis)(nil)
+var _ PeerStatusSink = (*Nemesis)(nil)
+
+// NewNemesis wraps inner with the given phase schedule. seed drives the loss
+// draws; tick scales the latency ramp (0 = DefaultTick).
+func NewNemesis(inner Transport, seed uint64, tick time.Duration, phases []NemesisPhase) *Nemesis {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	n := &Nemesis{
+		inner:  inner,
+		seed:   seed,
+		tick:   tick,
+		phases: phases,
+		counts: make([]nemesisPhaseCounts, len(phases)),
+	}
+	set := func(ids []graph.NodeID) map[graph.NodeID]bool {
+		if len(ids) == 0 {
+			return nil
+		}
+		m := make(map[graph.NodeID]bool, len(ids))
+		for _, u := range ids {
+			m[u] = true
+		}
+		return m
+	}
+	for i := range phases {
+		n.fromSet = append(n.fromSet, set(phases[i].AsymFrom))
+		n.toSet = append(n.toSet, set(phases[i].AsymTo))
+		n.slowSet = append(n.slowSet, set(phases[i].SlowNodes))
+		var fm map[int]bool
+		if len(phases[i].FlapEdges) > 0 {
+			fm = make(map[int]bool, len(phases[i].FlapEdges))
+			for _, e := range phases[i].FlapEdges {
+				fm[e] = true
+			}
+		}
+		n.flapSet = append(n.flapSet, fm)
+	}
+	return n
+}
+
+// nemesisTagLoss keeps the nemesis loss draw independent of FaultTransport's
+// draws when both decorate the same stack.
+const nemesisTagLoss uint64 = 0x4E454D // "NEM"
+
+// Send implements Transport: each active phase gets a chance to eat or slow
+// the message before it reaches the inner transport.
+func (n *Nemesis) Send(msg Message, delay time.Duration) error {
+	for i := range n.phases {
+		p := &n.phases[i]
+		if !p.active(msg.SentTick) {
+			continue
+		}
+		c := &n.counts[i]
+		if n.fromSet[i] != nil && n.fromSet[i][msg.From] && n.toSet[i][msg.To] {
+			c.asym.Add(1)
+			return nil // one-way cut: eaten silently
+		}
+		if n.flapSet[i] != nil && n.flapSet[i][msg.EdgeID] && p.flapDown(msg.SentTick) {
+			c.flap.Add(1)
+			return nil
+		}
+		if p.Loss > 0 && rng.Coin(p.Loss, n.seed,
+			nemesisTagLoss, uint64(i), uint64(msg.EdgeID), uint64(msg.Kind),
+			uint64(msg.From), uint64(uint32(msg.SentTick))) {
+			c.loss.Add(1)
+			return nil
+		}
+		if n.slowSet[i] != nil && (n.slowSet[i][msg.From] || n.slowSet[i][msg.To]) {
+			if extra := p.slowExtra(msg.SentTick); extra > 0 {
+				c.delayed.Add(1)
+				delay += time.Duration(extra) * n.tick
+			}
+		}
+	}
+	return n.inner.Send(msg, delay)
+}
+
+// Recv implements Transport.
+func (n *Nemesis) Recv(u graph.NodeID) <-chan Message { return n.inner.Recv(u) }
+
+// Close implements Transport by closing the inner transport.
+func (n *Nemesis) Close() error { return n.inner.Close() }
+
+// Drain implements Drainer by forwarding to the inner transport.
+func (n *Nemesis) Drain(ctx context.Context) (DrainReport, error) {
+	if d, ok := n.inner.(Drainer); ok {
+		return d.Drain(ctx)
+	}
+	return DrainReport{}, n.inner.Close()
+}
+
+// PeerDown / PeerUp forward membership verdicts to the inner transport.
+func (n *Nemesis) PeerDown(u graph.NodeID) {
+	if s, ok := n.inner.(PeerStatusSink); ok {
+		s.PeerDown(u)
+	}
+}
+
+func (n *Nemesis) PeerUp(u graph.NodeID) {
+	if s, ok := n.inner.(PeerStatusSink); ok {
+		s.PeerUp(u)
+	}
+}
+
+// Report returns the per-phase fault ledger.
+func (n *Nemesis) Report() []NemesisPhaseReport {
+	out := make([]NemesisPhaseReport, len(n.phases))
+	for i := range n.phases {
+		out[i] = NemesisPhaseReport{
+			Name:      n.phases[i].Name,
+			AsymDrops: n.counts[i].asym.Load(),
+			FlapDrops: n.counts[i].flap.Load(),
+			LossDrops: n.counts[i].loss.Load(),
+			Delayed:   n.counts[i].delayed.Load(),
+		}
+	}
+	return out
+}
+
+// Faults implements FaultReporter: partition-class drops (asymmetric cuts,
+// down flaps) count as PartitionDrops, loss bursts as InjectedDrops, and the
+// latency ramp as Jittered, folded with whatever the inner transport reports.
+func (n *Nemesis) Faults() FaultReport {
+	var rep FaultReport
+	for i := range n.counts {
+		rep.PartitionDrops += n.counts[i].asym.Load() + n.counts[i].flap.Load()
+		rep.InjectedDrops += n.counts[i].loss.Load()
+		rep.Jittered += n.counts[i].delayed.Load()
+	}
+	if fr, ok := n.inner.(FaultReporter); ok {
+		inner := fr.Faults()
+		rep.FaultCounts.add(inner.FaultCounts)
+		rep.Overload.add(inner.Overload)
+		rep.Partitions = append(rep.Partitions, inner.Partitions...)
+	}
+	return rep
+}
+
+// VerifyRecovery asserts the post-heal invariants of a nemesis run over its
+// Result: the run completed, every survivor reached the protocol goal, and —
+// when membership ran — no surviving observer's final table holds a survivor
+// Dead (zero false dead declarations survive the heal). A residual Suspect is
+// tolerated: a live detector always has probes in flight, and suspicion is
+// the self-correcting intermediate state, not a verdict. It returns nil when
+// all invariants hold.
+func VerifyRecovery(res Result, survivors []graph.NodeID) error {
+	if !res.Completed {
+		return fmt.Errorf("nemesis: run did not complete")
+	}
+	for _, v := range survivors {
+		if int(v) < len(res.Done) && !res.Done[v] {
+			return fmt.Errorf("nemesis: survivor %d not informed after heal", v)
+		}
+	}
+	if res.Members == nil {
+		return nil
+	}
+	surv := make(map[graph.NodeID]bool, len(survivors))
+	for _, v := range survivors {
+		surv[v] = true
+	}
+	for _, obs := range survivors {
+		table, ok := res.Members[obs]
+		if !ok {
+			continue // hosted by another runtime
+		}
+		seen := make(map[int]member.State, len(table))
+		for _, up := range table {
+			seen[up.Node] = up.St
+		}
+		for _, v := range survivors {
+			st, known := seen[int(v)]
+			if !known {
+				return fmt.Errorf("nemesis: observer %d never learned of survivor %d", obs, v)
+			}
+			if st == member.Dead {
+				return fmt.Errorf("nemesis: observer %d holds survivor %d dead after heal (false dead declaration)", obs, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package live
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// nemesisNodes returns [0, n) as NodeIDs.
+func nemesisNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// TestNemesisStagedChaosHeals is the acceptance scenario: an 8-node clique
+// survives a flapping asymmetric partition, a loss burst with a latency
+// ramp, and a crash+recover — and after the schedule heals, every survivor
+// is informed, membership converges with zero false dead declarations, the
+// queues drain to zero, and the goroutine count returns to baseline.
+func TestNemesisStagedChaosHeals(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	const n = 8
+	g := graph.Clique(n, 1)
+	left := nemesisNodes(n)[:4]  // 0-3
+	right := nemesisNodes(n)[4:] // 4-7
+	cut := CutBetween(g, left, right)
+
+	// The partition flaps: one-way 0-3 → 4-7 cuts pulse 10 ticks on, 10 off,
+	// interleaved with symmetric flapping of the cut edges (protocol traffic
+	// rides graph edges; membership uses synthetic edge IDs, so the edge flap
+	// stresses the protocol while the asym pulses stress the detector). The
+	// pulses stay shorter than the 36-tick suspicion timeout, so verdicts
+	// refute between pulses instead of fusing into an unhealable mutual-dead
+	// split — the whole point of flapping over a solid cut.
+	phases := []NemesisPhase{
+		{Name: "flap", From: 0, Until: 160, FlapEdges: cut, FlapPeriod: 20, FlapUp: 10},
+	}
+	for k := 0; k < 8; k++ {
+		phases = append(phases, NemesisPhase{
+			Name: "asym-pulse", From: 20 * k, Until: 20*k + 10,
+			AsymFrom: left, AsymTo: right,
+		})
+	}
+	phases = append(phases, NemesisPhase{
+		// After the partition heals: a loss burst while node 3 sinks into a
+		// latency ramp.
+		Name: "loss+slow", From: 160, Until: 320,
+		Loss:      0.10,
+		SlowNodes: []graph.NodeID{3}, SlowMaxTicks: 4,
+	})
+	lossPhase := len(phases) - 1
+
+	inner := NewChanTransport(n, 0)
+	nem := NewNemesis(inner, 99, testTick, phases)
+
+	res, err := Run(g, ppProto{source: 0}, nem, Options{
+		Seed: 17, Tick: testTick, MaxTicks: 60000,
+		Linger: 500 * time.Millisecond,
+		// Recovery lands while the partition still gates completion, so the
+		// run cannot finish without re-informing the recovered node.
+		Crashes:    map[graph.NodeID]CrashPlan{5: {At: 60, RecoverAt: 120}},
+		Membership: &MembershipConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovery invariants: completion, informed survivors, no surviving
+	// false dead verdicts. Node 5 recovered, so all 8 are survivors.
+	if verr := VerifyRecovery(res, nemesisNodes(n)); verr != nil {
+		t.Fatal(verr)
+	}
+	if !res.Recovered[5] || !res.Done[5] {
+		t.Fatalf("crashed node never recovered+informed: recovered=%v done=%v",
+			res.Recovered[5], res.Done[5])
+	}
+
+	// Every staged fault class actually fired.
+	rep := nem.Report()
+	if rep[0].FlapDrops == 0 {
+		t.Fatalf("flapping links ate nothing: %+v", rep[0])
+	}
+	var asym, partition int64
+	for _, pr := range rep {
+		asym += pr.AsymDrops
+		partition += pr.AsymDrops + pr.FlapDrops
+	}
+	if asym == 0 {
+		t.Fatalf("asymmetric pulses ate nothing: %+v", rep)
+	}
+	if rep[lossPhase].LossDrops == 0 {
+		t.Fatalf("loss burst ate nothing: %+v", rep[lossPhase])
+	}
+	if rep[lossPhase].Delayed == 0 {
+		t.Fatalf("latency ramp slowed nothing: %+v", rep[lossPhase])
+	}
+	// And the ledger surfaces through the standard fault report.
+	faults := nem.Faults()
+	if faults.PartitionDrops != partition {
+		t.Fatalf("Faults().PartitionDrops = %d, want %d", faults.PartitionDrops, partition)
+	}
+	if faults.InjectedDrops < rep[lossPhase].LossDrops {
+		t.Fatalf("Faults().InjectedDrops = %d < loss drops %d", faults.InjectedDrops, rep[lossPhase].LossDrops)
+	}
+
+	// Queues drain to zero and the process returns to its goroutine baseline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drep, derr := nem.Drain(ctx)
+	if derr != nil {
+		t.Fatalf("Drain: %v", derr)
+	}
+	if !drep.Clean {
+		t.Fatalf("post-chaos drain not clean: %+v", drep)
+	}
+	if pd := inner.PendingDeliveries(); pd != 0 {
+		t.Fatalf("%d delivery timers leaked after drain", pd)
+	}
+	if !pollUntil(10*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseline+2
+	}) {
+		t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+	}
+}
+
+// TestNemesisDeterministicLoss: the loss draw is a pure function of (seed,
+// phase, message identity) — the same message meets the same fate across
+// transports and runs, and a different seed redraws it.
+func TestNemesisDeterministicLoss(t *testing.T) {
+	phase := []NemesisPhase{{Name: "loss", From: 0, Until: 0, Loss: 0.5}}
+	msg := func(tick int) Message {
+		return Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 7, Latency: 1,
+			SentTick: tick, Payload: bitp{informed: true}}
+	}
+	outcomes := func(seed uint64) []bool {
+		inner := NewChanTransport(2, 0)
+		defer inner.Close()
+		nem := NewNemesis(inner, seed, testTick, phase)
+		var got []bool
+		for tick := 0; tick < 64; tick++ {
+			if err := nem.Send(msg(tick), 0); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-nem.Recv(1):
+				got = append(got, true)
+			case <-time.After(50 * time.Millisecond):
+				got = append(got, false)
+			}
+		}
+		return got
+	}
+
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+	}
+	c := outcomes(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical loss patterns")
+	}
+	delivered := 0
+	for _, ok := range a {
+		if ok {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(a) {
+		t.Fatalf("50%% loss delivered %d/%d — draw not engaged", delivered, len(a))
+	}
+}
+
+// TestNemesisPhaseWindows: phases only touch exchanges initiated inside
+// their tick window; the asymmetric cut is one-way.
+func TestNemesisPhaseWindows(t *testing.T) {
+	inner := NewChanTransport(2, 0)
+	defer inner.Close()
+	nem := NewNemesis(inner, 1, testTick, []NemesisPhase{{
+		Name: "asym", From: 10, Until: 20,
+		AsymFrom: []graph.NodeID{0}, AsymTo: []graph.NodeID{1},
+	}})
+	send := func(from, to graph.NodeID, tick int) bool {
+		msg := Message{Kind: MsgRequest, From: from, To: to, EdgeID: 3,
+			Latency: 1, SentTick: tick, Payload: bitp{informed: true}}
+		if err := nem.Send(msg, 0); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-nem.Recv(to):
+			return true
+		case <-time.After(100 * time.Millisecond):
+			return false
+		}
+	}
+	if !send(0, 1, 5) {
+		t.Fatal("message before the window was eaten")
+	}
+	if send(0, 1, 15) {
+		t.Fatal("message inside the window got through the cut")
+	}
+	if !send(1, 0, 15) {
+		t.Fatal("reverse direction was cut — partition not asymmetric")
+	}
+	if !send(0, 1, 25) {
+		t.Fatal("message after the window was eaten")
+	}
+	rep := nem.Report()
+	if rep[0].AsymDrops != 1 {
+		t.Fatalf("AsymDrops = %d, want 1", rep[0].AsymDrops)
+	}
+}
+
+// TestNemesisFlapSquareWave: a flapping link is up for FlapUp ticks of every
+// FlapPeriod and down for the rest.
+func TestNemesisFlapSquareWave(t *testing.T) {
+	p := NemesisPhase{From: 100, Until: 0, FlapEdges: []int{1}, FlapPeriod: 10, FlapUp: 4}
+	for tick := 100; tick < 130; tick++ {
+		wantDown := (tick-100)%10 >= 4
+		if got := p.flapDown(tick); got != wantDown {
+			t.Fatalf("flapDown(%d) = %v, want %v", tick, got, wantDown)
+		}
+	}
+	// Default duty cycle: up for ⌈period/2⌉.
+	def := NemesisPhase{From: 0, FlapEdges: []int{1}, FlapPeriod: 4}
+	if def.flapDown(0) || def.flapDown(1) || !def.flapDown(2) || !def.flapDown(3) {
+		t.Fatal("default duty cycle is not half-up")
+	}
+}
+
+// TestNemesisSlowRamp: the extra delay ramps linearly across the window and
+// clamps at SlowMaxTicks.
+func TestNemesisSlowRamp(t *testing.T) {
+	p := NemesisPhase{From: 0, Until: 100, SlowNodes: []graph.NodeID{1}, SlowMaxTicks: 10}
+	if got := p.slowExtra(0); got != 0 {
+		t.Fatalf("slowExtra(0) = %d, want 0", got)
+	}
+	if got := p.slowExtra(49); got != 5 {
+		t.Fatalf("slowExtra(49) = %d, want 5", got)
+	}
+	if got := p.slowExtra(99); got != 10 {
+		t.Fatalf("slowExtra(99) = %d, want 10", got)
+	}
+	// Unbounded phase: flat maximum.
+	flat := NemesisPhase{From: 0, Until: 0, SlowNodes: []graph.NodeID{1}, SlowMaxTicks: 7}
+	if got := flat.slowExtra(1000); got != 7 {
+		t.Fatalf("unbounded slowExtra = %d, want 7", got)
+	}
+}

@@ -31,6 +31,7 @@ type node struct {
 	crashAt   int // fail-stop at this wall tick (0 = never)
 	recoverAt int // rejoin with cleared state at this wall tick (0 = never)
 	halted    bool
+	left      bool // broadcast its membership leave (graceful stop)
 
 	done      atomic.Bool // local protocol goal reached
 	crashed   atomic.Bool
@@ -135,11 +136,20 @@ func (n *node) onTick() {
 		n.halt()
 		return
 	}
+	if n.rt.leaving.Load() && !n.left {
+		// Graceful stop: announce our departure once — peers mark us dead at
+		// our current incarnation instead of burning a suspicion timeout —
+		// then keep answering through the grace window without initiating.
+		n.left = true
+		if m := n.mem.Load(); m != nil {
+			n.sendMember(m.Leave(n.wall))
+		}
+	}
 	// The failure detector ticks for as long as the process is up — through
 	// quiescence and past protocol termination — because peers rely on our
 	// acks and deltas to keep their views truthful.
 	n.memberTick()
-	if n.rt.quiesced.Load() {
+	if n.left || n.rt.quiesced.Load() {
 		// The runtime completed and is lingering for slower peers: stop
 		// initiating new exchanges but keep answering requests.
 		return

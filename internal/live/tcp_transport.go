@@ -2,6 +2,7 @@ package live
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -35,10 +36,12 @@ type wireMessage struct {
 // The binary format carries acks in each frame's ack section instead.
 const wireAck uint8 = 0xFF
 
-// Reliable-delivery defaults: the first retransmission fires after
-// DefaultRetransmitRTO, each subsequent one doubles the wait (capped at
-// 16×RTO), and after DefaultMaxRetransmits unacknowledged retransmissions
-// the message is abandoned and counted as dropped.
+// Reliable-delivery defaults: until a peer has yielded an RTT sample the
+// first retransmission fires after DefaultRetransmitRTO; once acks flow, the
+// RTO adapts per peer (Jacobson-style srtt + 4·rttvar, clamped to
+// [DefaultRTOMin, DefaultRTOMax] — see overload.go). Each retransmission
+// doubles the wait, and after DefaultMaxRetransmits unacknowledged
+// retransmissions the message is abandoned and counted as dropped.
 const (
 	DefaultRetransmitRTO  = 250 * time.Millisecond
 	DefaultMaxRetransmits = 4
@@ -106,6 +109,17 @@ type TCPTransport struct {
 	dialTimeout time.Duration
 	rto         time.Duration
 	maxRetrans  int
+	rtoMin      time.Duration // adaptive-RTO floor (raised by SetRetransmit)
+	rtoMax      time.Duration // adaptive-RTO and backoff ceiling
+
+	// Overload-protection knobs (SetOverloadLimits / SetBreaker); <= 0
+	// disables the corresponding mechanism.
+	queueLimit  int // frames per connection writer queue
+	pendLimit   int // unacked reliable sends across the transport
+	breakerN    int // consecutive failures before a peer's breaker opens
+	breakerWait time.Duration
+
+	peerSt sync.Map // addr string -> *peerState, per peer listen address
 
 	seq   atomic.Uint64
 	pend  [pendShards]pendShard
@@ -122,6 +136,16 @@ type TCPTransport struct {
 	retransmits    atomic.Int64
 	dupsSuppressed atomic.Int64
 
+	// Overload ledger (see OverloadCounts for the meaning of each).
+	ovShedQueue   atomic.Int64
+	ovShedPend    atomic.Int64
+	ovMemberWait  atomic.Int64
+	ovRetryTrim   atomic.Int64
+	ovDeadPeer    atomic.Int64
+	ovBreakerOpen atomic.Int64
+	ovBreakerDrop atomic.Int64
+
+	draining  atomic.Bool // Drain started: no new sends, dials, or redial bursts
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -129,6 +153,8 @@ type TCPTransport struct {
 
 var _ Transport = (*TCPTransport)(nil)
 var _ FaultReporter = (*TCPTransport)(nil)
+var _ Drainer = (*TCPTransport)(nil)
+var _ PeerStatusSink = (*TCPTransport)(nil)
 
 // pendShard is one slice of the unacked-message map, guarded by its own lock.
 type pendShard struct {
@@ -137,12 +163,17 @@ type pendShard struct {
 }
 
 // pendingSend is one unacknowledged remote message awaiting ack; retry is
-// the armed retransmission timer (stopped on ack or Close).
+// the armed retransmission timer (stopped on ack or Close). sentAt and
+// retransmitted feed the RTT estimator under Karn's rule: only a message
+// acked on its first attempt yields a sample.
 type pendingSend struct {
-	addr     string
-	w        wireMessage
-	attempts int
-	retry    *time.Timer
+	addr          string
+	ps            *peerState // the peer's adaptive state, resolved once at admission
+	w             wireMessage
+	attempts      int
+	retry         *time.Timer
+	sentAt        time.Time
+	retransmitted bool
 }
 
 // dedupKey identifies a message for receiver-side deduplication: the node
@@ -226,6 +257,12 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 		dialTimeout: 10 * time.Second,
 		rto:         DefaultRetransmitRTO,
 		maxRetrans:  DefaultMaxRetransmits,
+		rtoMin:      DefaultRTOMin,
+		rtoMax:      DefaultRTOMax,
+		queueLimit:  DefaultQueueLimit,
+		pendLimit:   DefaultPendingLimit,
+		breakerN:    DefaultBreakerThreshold,
+		breakerWait: DefaultBreakerCooldown,
 		closed:      make(chan struct{}),
 	}
 	t.dedupWindow.Store(DefaultDedupWindowTicks)
@@ -291,21 +328,169 @@ func (t *TCPTransport) SetDialTimeout(d time.Duration) { t.dialTimeout = d }
 // retransmission (doubling per attempt), maxRetransmits the budget before a
 // message is abandoned and counted as dropped. Zero values keep defaults;
 // maxRetransmits < 0 disables retransmission entirely.
+//
+// An explicit rto also becomes the adaptive RTO's floor: the per-peer RTT
+// estimator may only raise the timeout above it, never undercut it, so a
+// caller that asked for a quiet wire (a long rto) or a deterministic test
+// cadence (a short one) keeps what it asked for.
 func (t *TCPTransport) SetRetransmit(rto time.Duration, maxRetransmits int) {
 	if rto > 0 {
 		t.rto = rto
+		t.rtoMin = rto
+		if t.rtoMax < 16*rto {
+			t.rtoMax = 16 * rto
+		}
 	}
 	if maxRetransmits != 0 {
 		t.maxRetrans = maxRetransmits
 	}
 }
 
+// SetOverloadLimits tunes the transport's bounded queues: queueFrames caps
+// each connection's writer queue, pending caps the transport-wide unacked
+// reliable-send set. Zero keeps the current value, negative disables the cap.
+// Call before the first Send.
+func (t *TCPTransport) SetOverloadLimits(queueFrames, pending int) {
+	if queueFrames != 0 {
+		t.queueLimit = queueFrames
+	}
+	if pending != 0 {
+		t.pendLimit = pending
+	}
+}
+
+// SetBreaker tunes the per-peer circuit breakers: threshold is the number of
+// consecutive delivery failures that opens a peer's breaker, cooldown how
+// long an open breaker waits before half-opening for a single probe. Zero
+// keeps the current value, threshold < 0 disables breakers (including the
+// membership-driven trip). Call before the first Send.
+func (t *TCPTransport) SetBreaker(threshold int, cooldown time.Duration) {
+	if threshold != 0 {
+		t.breakerN = threshold
+	}
+	if cooldown > 0 {
+		t.breakerWait = cooldown
+	}
+}
+
+// Overload returns the transport's overload-protection ledger: what the
+// bounded queues shed, what membership backpressure delayed, and what the
+// peer breakers refused.
+func (t *TCPTransport) Overload() OverloadCounts {
+	return OverloadCounts{
+		ShedQueue:           t.ovShedQueue.Load(),
+		ShedPend:            t.ovShedPend.Load(),
+		MemberBackpressured: t.ovMemberWait.Load(),
+		RetryBurstTrimmed:   t.ovRetryTrim.Load(),
+		DroppedDeadPeer:     t.ovDeadPeer.Load(),
+		BreakerOpens:        t.ovBreakerOpen.Load(),
+		BreakerDrops:        t.ovBreakerDrop.Load(),
+	}
+}
+
+// peer returns (creating on first use) the adaptive state for a peer address.
+func (t *TCPTransport) peer(addr string) *peerState {
+	if v, ok := t.peerSt.Load(addr); ok {
+		return v.(*peerState)
+	}
+	v, _ := t.peerSt.LoadOrStore(addr, &peerState{})
+	return v.(*peerState)
+}
+
+// allowSend consults ps's circuit breaker; true when breakers are disabled.
+// The closed steady state is decided lock-free (see peerState.fastClosed).
+func (t *TCPTransport) allowSend(ps *peerState) bool {
+	if t.breakerN <= 0 || ps.fastClosed() {
+		return true
+	}
+	return ps.allow(t.breakerN, time.Now())
+}
+
+// peerFailure records one delivery failure against addr; if that trips the
+// breaker, the peer's pend entries are flushed so retransmission spend stops
+// immediately.
+func (t *TCPTransport) peerFailure(addr string) {
+	if t.breakerN <= 0 {
+		return
+	}
+	if t.peer(addr).failure(t.breakerN, t.breakerWait, time.Now()) {
+		t.ovBreakerOpen.Add(1)
+		t.ovBreakerDrop.Add(t.flushPend(func(p *pendingSend) bool { return p.addr == addr }))
+	}
+}
+
+// flushPend removes every pend entry matching keep==true, stopping its
+// retransmission timer, and returns how many it removed. Callers must not
+// hold any pend shard lock.
+func (t *TCPTransport) flushPend(match func(*pendingSend) bool) int64 {
+	var n int64
+	for i := range t.pend {
+		sh := &t.pend[i]
+		sh.mu.Lock()
+		for seq, p := range sh.m {
+			if match(p) {
+				p.retry.Stop()
+				delete(sh.m, seq)
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// PeerDown implements PeerStatusSink: the membership layer declared node u
+// dead. In-flight seqs destined to u are flushed and counted (whether or not
+// breakers are enabled — a dead destination earns no retransmission budget),
+// and when every node hosted at u's address is believed dead the address's
+// breaker trips, halting new sends until a cooldown probe or PeerUp.
+func (t *TCPTransport) PeerDown(u graph.NodeID) {
+	t.ovDeadPeer.Add(t.flushPend(func(p *pendingSend) bool { return p.w.To == int(u) }))
+	t.peerMu.RLock()
+	addr, ok := t.peers[u]
+	hosted := 0
+	if ok {
+		for _, a := range t.peers {
+			if a == addr {
+				hosted++
+			}
+		}
+	}
+	t.peerMu.RUnlock()
+	if !ok {
+		return
+	}
+	ps := t.peer(addr)
+	if ps.markDead(u, hosted) && t.breakerN > 0 {
+		if ps.trip(t.breakerWait, time.Now()) {
+			t.ovBreakerOpen.Add(1)
+			t.ovBreakerDrop.Add(t.flushPend(func(p *pendingSend) bool { return p.addr == addr }))
+		}
+	}
+}
+
+// PeerUp implements PeerStatusSink: node u refuted its suspicion or rejoined.
+// Its address's breaker closes so traffic resumes immediately.
+func (t *TCPTransport) PeerUp(u graph.NodeID) {
+	t.peerMu.RLock()
+	addr, ok := t.peers[u]
+	t.peerMu.RUnlock()
+	if !ok {
+		return
+	}
+	ps := t.peer(addr)
+	ps.markAlive(u)
+	ps.reset()
+}
+
 // Dropped returns the number of messages lost for any terminal reason since
 // the transport started: retransmission give-ups, messages unacked or
-// undelivered at Close, undecodable payloads, and misroutes. Suppressed
-// duplicates are not drops (their content arrived).
+// undelivered at Close, undecodable payloads, misroutes, and everything the
+// overload protection shed or refused. Suppressed duplicates are not drops
+// (their content arrived).
 func (t *TCPTransport) Dropped() int64 {
-	return t.dropsGiveUp.Load() + t.dropsClosed.Load() + t.dropsDecode.Load() + t.dropsMisroute.Load()
+	return t.dropsGiveUp.Load() + t.dropsClosed.Load() + t.dropsDecode.Load() +
+		t.dropsMisroute.Load() + t.Overload().Shed()
 }
 
 // Retransmits returns the number of reliable-delivery retransmissions.
@@ -348,11 +533,14 @@ func (t *TCPTransport) dedupSize() int {
 
 // Faults implements FaultReporter with the transport's real-network ledger.
 func (t *TCPTransport) Faults() FaultReport {
-	return FaultReport{FaultCounts: FaultCounts{
-		TransportDrops: t.Dropped(),
-		Retransmits:    t.retransmits.Load(),
-		DupsSuppressed: t.dupsSuppressed.Load(),
-	}}
+	return FaultReport{
+		FaultCounts: FaultCounts{
+			TransportDrops: t.Dropped(),
+			Retransmits:    t.retransmits.Load(),
+			DupsSuppressed: t.dupsSuppressed.Load(),
+		},
+		Overload: t.Overload(),
+	}
 }
 
 // Send implements Transport. Local destinations are delivered in memory;
@@ -363,6 +551,9 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	case <-t.closed:
 		return ErrTransportClosed
 	default:
+	}
+	if t.draining.Load() {
+		return ErrTransportClosed
 	}
 	if inbox, ok := t.inboxes[msg.To]; ok {
 		if !deliverAfter(t.timers.shard(uint64(msg.To)), inbox, msg, delay, t.closed) {
@@ -419,9 +610,16 @@ func (t *TCPTransport) pendShard(seq uint64) *pendShard {
 }
 
 // transmit performs the first wire attempt of w and registers it for
-// retransmission until acked (or the budget runs out).
+// retransmission until acked (or the budget runs out). This is where the
+// breaker and the pend cap gate admission: a refused send is a terminal,
+// counted loss (same contract as an injected drop — gossip re-converges).
 func (t *TCPTransport) transmit(addr string, w wireMessage) {
-	p := &pendingSend{addr: addr, w: w}
+	ps := t.peer(addr)
+	if !t.allowSend(ps) {
+		t.ovBreakerDrop.Add(1)
+		return
+	}
+	p := &pendingSend{addr: addr, ps: ps, w: w, sentAt: time.Now()}
 	sh := t.pendShard(w.Seq)
 	sh.mu.Lock()
 	select {
@@ -434,18 +632,59 @@ func (t *TCPTransport) transmit(addr string, w wireMessage) {
 	if sh.m == nil {
 		sh.m = make(map[uint64]*pendingSend)
 	}
+	if t.pendLimit > 0 && MsgKind(w.Kind) != MsgMember {
+		perShard := t.pendLimit / pendShards
+		if perShard < 1 {
+			perShard = 1
+		}
+		if len(sh.m) >= perShard && !t.shedOldestLocked(sh) {
+			// The shard is full of membership entries (exempt from
+			// shedding): shed the gossip newcomer instead.
+			sh.mu.Unlock()
+			t.ovShedPend.Add(1)
+			return
+		}
+	}
 	sh.m[w.Seq] = p
 	t.armRetryLocked(p)
 	sh.mu.Unlock()
 	t.write(addr, &w)
 }
 
+// shedOldestLocked evicts the lowest-seq gossip entry of a full pend shard
+// (oldest-first shedding: the oldest in-flight payload is the most likely to
+// have been superseded by a later exchange). False when the shard holds only
+// membership entries. The caller holds sh.mu.
+func (t *TCPTransport) shedOldestLocked(sh *pendShard) bool {
+	var oldest *pendingSend
+	for _, q := range sh.m {
+		if MsgKind(q.w.Kind) == MsgMember {
+			continue
+		}
+		if oldest == nil || q.w.Seq < oldest.w.Seq {
+			oldest = q
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	oldest.retry.Stop()
+	delete(sh.m, oldest.w.Seq)
+	t.ovShedPend.Add(1)
+	return true
+}
+
 // armRetryLocked schedules the next retransmission for p; p's pend shard
-// must be locked by the caller.
+// must be locked by the caller. The base timeout adapts to the peer's
+// measured round trip (see peerState.rto) and doubles per attempt up to
+// rtoMax.
 func (t *TCPTransport) armRetryLocked(p *pendingSend) {
-	backoff := t.rto << uint(p.attempts)
-	if max := 16 * t.rto; backoff > max {
-		backoff = max
+	backoff := p.ps.rto(t.rto, t.rtoMin, t.rtoMax)
+	for i := 0; i < p.attempts && backoff < t.rtoMax; i++ {
+		backoff <<= 1
+	}
+	if backoff > t.rtoMax {
+		backoff = t.rtoMax
 	}
 	seq := p.w.Seq
 	p.retry = time.AfterFunc(backoff, func() { t.retry(seq) })
@@ -470,11 +709,22 @@ func (t *TCPTransport) retry(seq uint64) {
 	}
 	p.attempts++
 	if t.maxRetrans < 0 || p.attempts > t.maxRetrans {
+		addr := p.addr
 		delete(sh.m, seq)
 		sh.mu.Unlock()
 		t.dropsGiveUp.Add(1)
+		t.peerFailure(addr)
 		return
 	}
+	if t.breakerN > 0 && !p.ps.fastClosed() && !p.ps.allowRetry(t.breakerN, time.Now()) {
+		// The peer's breaker opened since this message was sent: stop
+		// spending retransmission budget on it.
+		delete(sh.m, seq)
+		sh.mu.Unlock()
+		t.ovBreakerDrop.Add(1)
+		return
+	}
+	p.retransmitted = true
 	t.armRetryLocked(p)
 	addr, w := p.addr, p.w
 	sh.mu.Unlock()
@@ -498,16 +748,26 @@ func (t *TCPTransport) retryNow(seq uint64) {
 	}
 }
 
-// ack resolves one pending message: its retransmission timer is stopped and
-// the entry dropped.
+// ack resolves one pending message: its retransmission timer is stopped, the
+// entry dropped, and the peer's adaptive state credited — an RTT sample when
+// the message was never retransmitted (Karn's rule), a breaker success
+// either way.
 func (t *TCPTransport) ack(seq uint64) {
 	sh := t.pendShard(seq)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if p, ok := sh.m[seq]; ok {
+	p, ok := sh.m[seq]
+	if ok {
 		p.retry.Stop()
 		delete(sh.m, seq)
 	}
+	sh.mu.Unlock()
+	if !ok {
+		return
+	}
+	if !p.retransmitted {
+		p.ps.observeRTT(time.Since(p.sentAt))
+	}
+	p.ps.success()
 }
 
 // Recv implements Transport.
@@ -532,15 +792,72 @@ func (t *TCPTransport) Close() error {
 		}
 		t.connMu.Lock()
 		for _, cs := range t.outs {
+			cs.markDead() // rescue backpressured enqueuers before the socket dies
 			cs.c.Close()
 		}
 		for _, cs := range t.accepts {
+			cs.markDead()
 			cs.c.Close()
 		}
 		t.connMu.Unlock()
 	})
 	t.wg.Wait()
 	return nil
+}
+
+// queueDepth returns the total data frames sitting in writer queues.
+func (t *TCPTransport) queueDepth() int {
+	t.connMu.Lock()
+	conns := make([]*connState, 0, len(t.outs)+len(t.accepts))
+	for _, cs := range t.outs {
+		conns = append(conns, cs)
+	}
+	conns = append(conns, t.accepts...)
+	t.connMu.Unlock()
+	n := 0
+	for _, cs := range conns {
+		cs.qmu.Lock()
+		n += len(cs.qData)
+		cs.qmu.Unlock()
+	}
+	return n
+}
+
+// Drain implements Drainer: stop admitting sends and stop the latency timers
+// (a draining process is leaving — a not-yet-sent message is a counted loss),
+// then wait for the writer queues to flush and every reliable send to resolve
+// (ack, give-up, or breaker flush) before closing. On deadline expiry the
+// transport closes anyway and the report says what was abandoned.
+func (t *TCPTransport) Drain(ctx context.Context) (DrainReport, error) {
+	start := time.Now()
+	select {
+	case <-t.closed:
+		return DrainReport{}, ErrTransportClosed
+	default:
+	}
+	t.draining.Store(true)
+	rep := DrainReport{AbandonedTimers: t.timers.close()}
+	t.dropsClosed.Add(rep.AbandonedTimers)
+	for {
+		if t.queueDepth() == 0 && t.pendingCount() == 0 {
+			rep.Clean = true
+			err := t.Close()
+			rep.Wall = time.Since(start)
+			return rep, err
+		}
+		select {
+		case <-ctx.Done():
+			rep.QueuedAtClose = t.queueDepth()
+			rep.PendingAtClose = t.pendingCount()
+			t.Close()
+			rep.Wall = time.Since(start)
+			return rep, ctx.Err()
+		case <-t.closed:
+			rep.Wall = time.Since(start)
+			return rep, ErrTransportClosed
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -575,6 +892,7 @@ func (t *TCPTransport) acceptLoop() {
 // available — data frames and pending acks — through one buffered writer, so
 // a burst of same-tick messages costs one syscall instead of one each.
 type connState struct {
+	t    *TCPTransport
 	c    net.Conn
 	addr string // peer listen address for pooled outbound conns; "" for accepted
 
@@ -585,8 +903,9 @@ type connState struct {
 	spillAcks []uint64
 	dead      bool
 
-	notify chan struct{} // wake the writer (capacity 1)
-	deadCh chan struct{} // closed by markDead
+	notify  chan struct{} // wake the writer (capacity 1)
+	deadCh  chan struct{} // closed by markDead
+	spaceCh chan struct{} // writer signals queue space to backpressured enqueuers
 
 	// Writer-goroutine-owned state: the buffered writer, the binary
 	// encoder's intern table and scratch, and the frame build buffer.
@@ -610,11 +929,13 @@ func (w countingWriter) Write(p []byte) (int, error) {
 
 func (t *TCPTransport) newConnState(c net.Conn, addr string) *connState {
 	cs := &connState{
-		c:      c,
-		addr:   addr,
-		notify: make(chan struct{}, 1),
-		deadCh: make(chan struct{}),
-		bw:     bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut}, 32<<10),
+		t:       t,
+		c:       c,
+		addr:    addr,
+		notify:  make(chan struct{}, 1),
+		deadCh:  make(chan struct{}),
+		spaceCh: make(chan struct{}, 1),
+		bw:      bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut}, 32<<10),
 	}
 	if t.WireFormat() == WireJSON {
 		cs.jenc = json.NewEncoder(cs.bw)
@@ -622,18 +943,101 @@ func (t *TCPTransport) newConnState(c net.Conn, addr string) *connState {
 	return cs
 }
 
-// enqueue queues one data frame for the writer; false when the connection is
-// already dead (the caller redials).
+// memberWaitMax bounds how long a backpressured membership enqueue blocks
+// before leaving delivery to its RTO timer — the escape hatch that keeps a
+// stalled connection from wedging a node goroutine (and with it the whole
+// runtime's shutdown) forever.
+const memberWaitMax = 2 * time.Second
+
+// enqueue queues one data frame for the writer, enforcing the transport's
+// writer-queue cap. Past the cap, gossip frames shed the oldest queued gossip
+// frame (its pend entry is cancelled — a terminal, counted loss; push-pull
+// re-converges) and membership frames apply hard backpressure: they shed
+// gossip to make room for themselves, and block when the queue is entirely
+// membership traffic. Returns false only when the connection is dead (the
+// caller redials); a shed newcomer returns true — it was handled, terminally.
 func (cs *connState) enqueue(w *wireMessage) bool {
+	t := cs.t
+	limit := t.queueLimit
+	isMember := MsgKind(w.Kind) == MsgMember
+	var shed []uint64
+	counted := false // MemberBackpressured once per blocking episode
+	deadline := time.Time{}
 	cs.qmu.Lock()
+	for !cs.dead && limit > 0 && len(cs.qData) >= limit {
+		// Find the oldest queued gossip frame; membership frames are never
+		// shed from the queue.
+		idx := -1
+		for i := range cs.qData {
+			if MsgKind(cs.qData[i].Kind) != MsgMember {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			shed = append(shed, cs.qData[idx].Seq)
+			cs.qData = append(cs.qData[:idx], cs.qData[idx+1:]...)
+			continue
+		}
+		// Queue entirely membership frames. A gossip newcomer is shed; a
+		// membership newcomer waits for the writer. The wait is bounded so a
+		// wedged connection cannot stall the caller forever: past the
+		// deadline the frame is queued anyway (the cap overshoots by at most
+		// the number of waiters).
+		if !isMember {
+			cs.qmu.Unlock()
+			t.cancelPend(w.Seq, &t.ovShedQueue)
+			t.cancelPendSeqs(shed, &t.ovShedQueue)
+			return true
+		}
+		if !counted {
+			counted = true
+			deadline = time.Now().Add(memberWaitMax)
+			t.ovMemberWait.Add(1)
+		} else if time.Now().After(deadline) {
+			break
+		}
+		cs.qmu.Unlock()
+		select {
+		case <-cs.spaceCh:
+		case <-cs.deadCh:
+		case <-t.closed:
+		case <-time.After(10 * time.Millisecond):
+		}
+		cs.qmu.Lock()
+	}
 	if cs.dead {
 		cs.qmu.Unlock()
+		t.cancelPendSeqs(shed, &t.ovShedQueue)
 		return false
 	}
 	cs.qData = append(cs.qData, *w)
 	cs.qmu.Unlock()
+	t.cancelPendSeqs(shed, &t.ovShedQueue)
 	cs.wake()
 	return true
+}
+
+// cancelPend removes seq's pend entry if still present, stopping its timer
+// and counting the terminal loss against counter.
+func (t *TCPTransport) cancelPend(seq uint64, counter *atomic.Int64) {
+	sh := t.pendShard(seq)
+	sh.mu.Lock()
+	p, ok := sh.m[seq]
+	if ok {
+		p.retry.Stop()
+		delete(sh.m, seq)
+	}
+	sh.mu.Unlock()
+	if ok {
+		counter.Add(1)
+	}
+}
+
+func (t *TCPTransport) cancelPendSeqs(seqs []uint64, counter *atomic.Int64) {
+	for _, seq := range seqs {
+		t.cancelPend(seq, counter)
+	}
 }
 
 // enqueueAck queues one ack seq; best effort (a lost ack only costs the peer
@@ -666,6 +1070,13 @@ func (cs *connState) take() (data []wireMessage, acks []uint64) {
 	acks, cs.qAcks = cs.qAcks, cs.spillAcks[:0]
 	cs.spillData, cs.spillAcks = data, acks
 	cs.qmu.Unlock()
+	if len(data) > 0 {
+		// The queue emptied: wake one backpressured membership enqueuer.
+		select {
+		case cs.spaceCh <- struct{}{}:
+		default:
+		}
+	}
 	return data, acks
 }
 
@@ -774,6 +1185,9 @@ func (t *TCPTransport) writeLoop(cs *connState) {
 func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
 	leftover := cs.markDead()
 	t.evict(cs)
+	if cs.addr != "" {
+		t.peerFailure(cs.addr)
+	}
 	var seqs []uint64
 	for _, batch := range [2][]wireMessage{inFlight, leftover} {
 		for i := range batch {
@@ -785,10 +1199,21 @@ func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
 	if len(seqs) == 0 {
 		return
 	}
+	if t.draining.Load() {
+		return // no redial bursts during drain; RTO timers still govern
+	}
 	select {
 	case <-t.closed:
 		return // Close sweeps and counts the pending map
 	default:
+	}
+	// Cap the immediate-retry burst: a connection that died with a deep queue
+	// would otherwise re-inject every frame at once into a freshly dialed
+	// (cold, possibly struggling) peer. Frames past the cap stay pending and
+	// keep their ordinary RTO timers — trimmed, not lost.
+	if t.queueLimit > 0 && len(seqs) > t.queueLimit {
+		t.ovRetryTrim.Add(int64(len(seqs) - t.queueLimit))
+		seqs = seqs[:t.queueLimit]
 	}
 	// The redial may block in the dialer; do it off the conn's loops. The
 	// caller still holds a wg slot, so adding one here cannot race Close.
@@ -914,6 +1339,9 @@ func (t *TCPTransport) write(addr string, w *wireMessage) {
 	for attempt := 0; attempt < 2; attempt++ {
 		cs, err := t.conn(addr)
 		if err != nil {
+			if !errors.Is(err, ErrTransportClosed) {
+				t.peerFailure(addr) // unreachable: one failure toward the breaker
+			}
 			return // retransmission will redial
 		}
 		if cs.enqueue(w) {
@@ -932,6 +1360,12 @@ func (t *TCPTransport) conn(addr string) (*connState, error) {
 	}
 	t.connMu.Unlock()
 
+	if t.draining.Load() {
+		// A draining transport flushes what it has; it does not open new
+		// connections (a broken conn's frames are already counted pending —
+		// they are abandoned with the rest when the deadline expires).
+		return nil, ErrTransportClosed
+	}
 	deadline := time.Now().Add(t.dialTimeout)
 	var c net.Conn
 	var err error

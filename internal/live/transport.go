@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -61,6 +62,33 @@ type Transport interface {
 	Send(msg Message, delay time.Duration) error
 	Recv(u graph.NodeID) <-chan Message
 	Close() error
+}
+
+// DrainReport summarizes a graceful transport drain: what was flushed, what
+// the deadline abandoned, and whether the drain finished clean.
+type DrainReport struct {
+	// Clean is true when every queue emptied and every reliable send
+	// resolved before the deadline.
+	Clean bool
+	// AbandonedTimers counts armed latency-delay deliveries stopped at the
+	// start of the drain (they are also counted as transport drops — a
+	// draining process is leaving, so a not-yet-sent message is a loss).
+	AbandonedTimers int64
+	// QueuedAtClose and PendingAtClose count writer-queue frames and unacked
+	// reliable sends still outstanding when the deadline expired (both zero
+	// on a clean drain).
+	QueuedAtClose  int
+	PendingAtClose int
+	// Wall is the drain's duration.
+	Wall time.Duration
+}
+
+// Drainer is implemented by transports that support graceful shutdown:
+// Drain stops admitting new sends, flushes what is already queued until ctx
+// expires, then closes the transport. Decorators (FaultTransport, Nemesis)
+// forward Drain to their inner transport.
+type Drainer interface {
+	Drain(ctx context.Context) (DrainReport, error)
 }
 
 // timerSet tracks a transport's pending delivery timers so Close can stop

@@ -3,7 +3,9 @@ package live
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -91,6 +93,150 @@ func FuzzWireFrame(f *testing.F) {
 				got.SentTick != w.SentTick || got.PayloadType != w.PayloadType ||
 				!bytes.Equal(got.Payload, w.Payload) {
 				t.Errorf("%s round trip mutated the message:\n got %+v\nwant %+v", name, *got, w)
+			}
+		}
+	})
+}
+
+// FuzzWireDecode is the adversarial half: where FuzzWireFrame can only
+// produce well-formed frames (it drives the encoder), this target feeds raw
+// connection streams straight to the decoder — truncated ack blocks, ack
+// counts larger than the body, payload-type references into an empty intern
+// table, bodies past the frame limit — and checks the decoder's safety
+// contract: it never panics, rejects malformed input with an error and no
+// partial results, bounds its intern table, keeps ack batches ascending, and
+// every frame it does accept re-encodes and re-decodes to the same message
+// on a fresh connection pair.
+func FuzzWireDecode(f *testing.F) {
+	frame := func(w *wireMessage, acks []uint64) []byte {
+		var enc wireEnc
+		return enc.appendFrame(nil, w, acks)
+	}
+	msg := &wireMessage{Kind: 1, Seq: 5, From: 0, To: 1, EdgeID: 3,
+		Latency: 2, SentTick: 7, PayloadType: "core.rumors", Payload: []byte(`{"x":1}`)}
+	f.Add(frame(msg, []uint64{3, 4, 9})) // well-formed data + acks
+	f.Add(frame(nil, []uint64{1}))       // ack-only frame
+	f.Add([]byte(`{"kind":1}` + "\n"))   // JSON line: unknown header byte
+
+	// A two-frame stream: the first defines the payload type, the second
+	// references it through the intern table.
+	{
+		var enc wireEnc
+		s := enc.appendFrame(nil, msg, nil)
+		m2 := *msg
+		m2.Seq, m2.SentTick = 6, 8
+		f.Add(enc.appendFrame(s, &m2, nil))
+	}
+
+	hdr := func(flags byte, body []byte) []byte {
+		return append(binary.AppendUvarint([]byte{wireVersion | flags}, uint64(len(body))), body...)
+	}
+	dataPrefix := func(kind byte) []byte {
+		body := []byte{kind}
+		for i := 0; i < 6; i++ { // seqDelta, from, to, edge, latency, tickDelta
+			body = binary.AppendVarint(body, 0)
+		}
+		return body
+	}
+
+	// Truncated ack block: the count says three acks, the body ends after one.
+	f.Add([]byte{wireVersion | wireFlagAcks, 2, 3, 5})
+	// Oversized ack count: claims ~2^40 acks in a six-byte body.
+	f.Add(hdr(wireFlagAcks, binary.AppendUvarint(nil, 1<<40)))
+	// Unknown intern-table id: type code 7 references table[5] of an empty table.
+	{
+		body := binary.AppendUvarint(dataPrefix(1), 7)
+		body = binary.AppendUvarint(body, 0) // payload length
+		f.Add(hdr(wireFlagData, body))
+	}
+	// Payload length running past the end of the body.
+	{
+		body := binary.AppendUvarint(dataPrefix(2), 0) // no payload type
+		body = binary.AppendUvarint(body, 1000)
+		f.Add(hdr(wireFlagData, body))
+	}
+	// Type definition whose name length overruns the body.
+	{
+		body := binary.AppendUvarint(dataPrefix(3), 1) // define
+		body = binary.AppendUvarint(body, 200)         // nameLen > remaining
+		f.Add(hdr(wireFlagData, body))
+	}
+	// Body length past the 4 MiB frame limit.
+	f.Add(binary.AppendUvarint([]byte{wireVersion | wireFlagData}, maxWireBody+1))
+	// Intern-table exhaustion: one stream defining maxInternedTypes+1 fresh
+	// types; the decoder must reject the frame that would overflow the table.
+	{
+		var enc wireEnc
+		var s []byte
+		for i := 0; i <= maxInternedTypes; i++ {
+			m := wireMessage{Kind: 1, Seq: uint64(i + 1),
+				PayloadType: fmt.Sprintf("t%02d", i), Payload: []byte("0")}
+			s = enc.appendFrame(s, &m, nil)
+		}
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		br := bufio.NewReader(bytes.NewReader(stream))
+		var dec wireDec
+		for {
+			var w wireMessage
+			acks, hasData, err := dec.readFrame(br, &w)
+			if err != nil {
+				// Rejection must be total: no partial results escape.
+				if hasData || acks != nil {
+					t.Fatalf("error %v returned partial results (hasData=%v, %d acks)", err, hasData, len(acks))
+				}
+				return
+			}
+			for i := 1; i < len(acks); i++ {
+				if acks[i] < acks[i-1] {
+					t.Fatalf("decoded ack batch not ascending: %v", acks)
+				}
+			}
+			if len(dec.names) > maxInternedTypes {
+				t.Fatalf("intern table grew to %d entries past the cap", len(dec.names))
+			}
+			if !hasData && len(acks) == 0 {
+				continue // empty frame: a legal no-op
+			}
+
+			// Anything the decoder accepts must survive a re-encode /
+			// re-decode round trip on a fresh connection pair. Copy out of
+			// the decoder-owned buffers first — the next readFrame reuses them.
+			ackCopy := append([]uint64(nil), acks...)
+			var wp *wireMessage
+			if hasData {
+				cp := w
+				cp.Payload = append([]byte(nil), w.Payload...)
+				wp = &cp
+			}
+			var enc2 wireEnc
+			re := enc2.appendFrame(nil, wp, ackCopy)
+			var dec2 wireDec
+			var got wireMessage
+			acks2, hasData2, err := dec2.readFrame(bufio.NewReader(bytes.NewReader(re)), &got)
+			if err != nil {
+				t.Fatalf("re-encode of accepted frame does not decode: %v", err)
+			}
+			if hasData2 != hasData {
+				t.Fatalf("re-encode changed hasData: %v -> %v", hasData, hasData2)
+			}
+			if len(acks2) != len(ackCopy) {
+				t.Fatalf("re-encode changed ack batch: %v -> %v", ackCopy, acks2)
+			}
+			for i := range acks2 {
+				if acks2[i] != ackCopy[i] {
+					t.Fatalf("re-encode changed ack batch: %v -> %v", ackCopy, acks2)
+				}
+			}
+			if hasData {
+				if got.Kind != wp.Kind || got.Seq != wp.Seq || got.From != wp.From ||
+					got.To != wp.To || got.EdgeID != wp.EdgeID || got.Latency != wp.Latency ||
+					got.SentTick != wp.SentTick || got.PayloadType != wp.PayloadType ||
+					!bytes.Equal(got.Payload, wp.Payload) {
+					t.Fatalf("re-encode round trip mutated the message:\n got %+v\nwant %+v", got, *wp)
+				}
 			}
 		}
 	})

@@ -1,0 +1,118 @@
+package member
+
+import (
+	"testing"
+)
+
+// TestMemberLeaveBroadcastsDeparture: Leave marks the node dead at its
+// current incarnation and pushes sync packets carrying the record, so a peer
+// that receives one converges on the departure without a suspicion timeout.
+func TestMemberLeaveBroadcastsDeparture(t *testing.T) {
+	a := New(0, nil, testConfig(4))
+	b := New(1, []int{0}, testConfig(4))
+	// Introduce them: b's join sync teaches a about b and vice versa.
+	for _, env := range b.Tick(0) {
+		if env.To == 0 {
+			for _, reply := range a.Receive(env.Pkt, 0) {
+				if reply.To == 1 {
+					b.Receive(reply.Pkt, 0)
+				}
+			}
+		}
+	}
+	if st, _, known := a.StateOf(1); !known || st != Alive {
+		t.Fatalf("bootstrap failed: a's view of b = (%v, known=%v)", st, known)
+	}
+
+	out := a.Leave(10)
+	if len(out) == 0 {
+		t.Fatal("Leave returned no departure packets")
+	}
+	if !a.Left() {
+		t.Fatal("Left() = false after Leave")
+	}
+	if st, _, _ := a.StateOf(0); st != Dead {
+		t.Fatalf("self view after Leave = %v, want Dead", st)
+	}
+	for _, env := range out {
+		if env.Pkt.Kind != PktSync {
+			t.Fatalf("departure packet kind = %v, want PktSync", env.Pkt.Kind)
+		}
+		if env.To == 1 {
+			b.Receive(env.Pkt, 10)
+		}
+	}
+	if st, _, known := b.StateOf(0); !known || st != Dead {
+		t.Fatalf("peer's view of leaver = (%v, known=%v), want Dead", st, known)
+	}
+
+	// Idempotent: the second Leave is a no-op.
+	if again := a.Leave(11); again != nil {
+		t.Fatalf("second Leave returned %d packets, want nil", len(again))
+	}
+}
+
+// TestMemberLeftNodeIsInert: after Leave the detector neither probes nor
+// answers, and it never refutes the dead record it just published.
+func TestMemberLeftNodeIsInert(t *testing.T) {
+	nd := New(2, []int{0, 1}, testConfig(4))
+	nd.Receive(Packet{Kind: PktSync, From: 0, Origin: 0,
+		Updates: []Update{{Node: 0, St: Alive, Inc: 0}, {Node: 1, St: Alive, Inc: 0}}}, 0)
+	nd.Leave(1)
+
+	for now := 2; now < 50; now++ {
+		if out := nd.Tick(now); len(out) != 0 {
+			t.Fatalf("Tick(%d) after Leave sent %d packets, want 0", now, len(out))
+		}
+	}
+	if out := nd.Receive(Packet{Kind: PktPing, From: 0, Origin: 0, Subject: 2, Seq: 7}, 50); len(out) != 0 {
+		t.Fatalf("left node answered a ping with %d packets, want 0", len(out))
+	}
+	// Hearing its own dead record must NOT trigger an incarnation refutation.
+	nd.Receive(Packet{Kind: PktSync, From: 0, Origin: 0,
+		Updates: []Update{{Node: 2, St: Dead, Inc: 0}}}, 51)
+	if inc := nd.Incarnation(); inc != 0 {
+		t.Fatalf("left node refuted its own departure: incarnation = %d, want 0", inc)
+	}
+	if st, _, _ := nd.StateOf(2); st != Dead {
+		t.Fatalf("left node's self view = %v, want Dead", st)
+	}
+}
+
+// TestMemberOnChangeHook: every local view transition fires the hook, in
+// order, including transitions applied from received deltas.
+func TestMemberOnChangeHook(t *testing.T) {
+	type change struct {
+		v   int
+		st  State
+		inc uint32
+	}
+	var got []change
+	cfg := testConfig(8)
+	cfg.OnChange = func(v int, st State, inc uint32) {
+		got = append(got, change{v, st, inc})
+	}
+	nd := New(0, nil, cfg)
+
+	nd.Receive(Packet{Kind: PktSyncAck, From: 3,
+		Updates: []Update{{Node: 5, St: Alive, Inc: 0}}}, 1)
+	nd.Receive(Packet{Kind: PktSyncAck, From: 3,
+		Updates: []Update{{Node: 5, St: Suspect, Inc: 0}}}, 2)
+	nd.Receive(Packet{Kind: PktSyncAck, From: 3,
+		Updates: []Update{{Node: 5, St: Dead, Inc: 0}}}, 3)
+
+	want := []change{
+		{3, Alive, 0}, // sender learned alive
+		{5, Alive, 0},
+		{5, Suspect, 0},
+		{5, Dead, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("OnChange fired %d times, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OnChange[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -132,6 +132,12 @@ type Config struct {
 	// Record keeps the event log (Events/EventLog). Tests and experiments
 	// set it; long-lived daemons leave it off to bound memory.
 	Record bool
+	// OnChange, when non-nil, is invoked on every local view transition —
+	// the same transitions the event log records, including the ones Record
+	// leaves unlogged. The live runtime uses it to feed membership verdicts
+	// to the transport's peer circuit breakers. It is called with the node's
+	// lock held: it must be fast and must not call back into the Node.
+	OnChange func(v int, st State, inc uint32)
 }
 
 // Membership defaults.
@@ -254,6 +260,7 @@ type Node struct {
 	queue    []queued
 	events   []Event
 	joinSync []int // seeds to full-sync with on the first tick
+	left     bool  // gracefully departed: no probing, no refutation
 }
 
 // memberSeedSalt separates the membership streams from the protocol streams
@@ -372,10 +379,13 @@ func (nd *Node) EventLog() string {
 }
 
 // record notes a view transition. Events are the determinism surface, so
-// they are appended only under Record.
+// they are appended only under Record; the OnChange hook always fires.
 func (nd *Node) record(v int, st State, inc uint32) {
 	if nd.cfg.Record {
 		nd.events = append(nd.events, Event{Tick: nd.now, Node: v, St: st, Inc: inc})
+	}
+	if nd.cfg.OnChange != nil {
+		nd.cfg.OnChange(v, st, inc)
 	}
 }
 
@@ -448,6 +458,11 @@ func (nd *Node) applyLocked(up Update) bool {
 		return false
 	}
 	if up.Node == nd.id {
+		if nd.left {
+			// A departed node does not refute: the dead record it broadcast
+			// on Leave is the truth, and fighting stragglers would undo it.
+			return false
+		}
 		if up.St != Alive && up.Inc >= nd.inc {
 			nd.inc = up.Inc + 1
 			nd.entries[nd.id] = entry{known: true, st: Alive, inc: nd.inc}
@@ -519,6 +534,9 @@ func (nd *Node) Tick(now int) []Envelope {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.now = now
+	if nd.left {
+		return nil // departed: no probes, no syncs
+	}
 	var out []Envelope
 
 	// 0. Join: full-sync with the seed peers straight away, so a fresh
@@ -602,6 +620,47 @@ func (nd *Node) Tick(now int) []Envelope {
 	return out
 }
 
+// Leave gracefully departs the cluster at tick now: the node marks itself
+// dead at its current incarnation and returns sync packets carrying the
+// record to a logarithmic fanout of live members, so the cluster converges on
+// the departure without waiting out a suspicion timeout. After Leave the
+// detector is inert — Tick sends nothing and Receive answers nothing — and
+// the node never refutes the dead record it just published. Idempotent: the
+// second call returns nil.
+func (nd *Node) Leave(now int) []Envelope {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.now = now
+	if nd.left {
+		return nil
+	}
+	nd.left = true
+	nd.entries[nd.id] = entry{known: true, st: Dead, inc: nd.inc}
+	nd.record(nd.id, Dead, nd.inc)
+	nd.enqueueLocked(Update{Node: nd.id, St: Dead, Inc: nd.inc})
+	peers := nd.aliveMembersLocked(-1)
+	nd.rng.Shuffle(len(peers), func(i, j int) { peers[i], peers[j] = peers[j], peers[i] })
+	fanout := 2 * ceilLog2(nd.memberCountLocked())
+	if fanout > len(peers) {
+		fanout = len(peers)
+	}
+	var out []Envelope
+	snap := nd.snapshotLocked()
+	for _, p := range peers[:fanout] {
+		out = append(out, Envelope{To: p, Pkt: Packet{
+			Kind: PktSync, From: nd.id, Origin: nd.id, Updates: snap,
+		}})
+	}
+	return out
+}
+
+// Left reports whether the node has gracefully departed via Leave.
+func (nd *Node) Left() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.left
+}
+
 // nextProbeTargetLocked pops the next live member of the round-robin order,
 // reshuffling (seeded) when the order is exhausted — every member is probed
 // exactly once per cycle, in an order no adversaryless schedule can bias.
@@ -635,6 +694,15 @@ func (nd *Node) Receive(pkt Packet, now int) []Envelope {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	nd.now = now
+	if nd.left {
+		// Still merge what we hear (harmless), but answer nothing: peers'
+		// probes to a departed node must time out exactly as for a crash,
+		// and our acks would only delay the cluster learning we are gone.
+		for _, up := range pkt.Updates {
+			nd.applyLocked(up)
+		}
+		return nil
+	}
 	nd.learnSenderLocked(pkt.From)
 	for _, up := range pkt.Updates {
 		nd.applyLocked(up)

@@ -175,7 +175,7 @@ func BenchmarkWeightedDiameter(b *testing.B) {
 }
 
 // BenchmarkLiveInProc measures a full live push-pull broadcast over the
-// in-process channel transport: goroutine-per-node wall-clock execution
+// in-process channel transport: sharded event-loop wall-clock execution
 // with a short tick, reporting protocol ticks alongside ns/op. The wall
 // time is dominated by tick duration by design — the interesting outputs
 // are the tick and message counts staying flat as scheduling jitter varies.

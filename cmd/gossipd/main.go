@@ -24,6 +24,11 @@
 // after the first queued frame before flushing — more messages per syscall
 // at the cost of up to that much added delivery latency.
 //
+// Hosted nodes run on a sharded event loop (one shard per CPU core by
+// default), so one daemon comfortably hosts 100k+ nodes. -shards sets the
+// worker count directly; -nodes-per-shard derives it from the hosted node
+// count instead (the two are mutually exclusive).
+//
 // Chaos flags inject deterministic faults (same -seed + same flags = same
 // faults on every daemon): -drop and -dup are per-message probabilities,
 // -jitter adds up to that many ticks of extra delay, -crash takes
@@ -90,6 +95,8 @@ func run(args []string, out io.Writer) error {
 		rrK       = fs.Int("rrk", 0, "RR broadcast latency bound k (0 = the graph's max edge latency)")
 		wire      = fs.String("wire", "binary", "wire format for outgoing frames: binary or json (inbound is auto-detected)")
 		flushWin  = fs.Duration("flushwindow", 0, "wait this long after the first queued frame before flushing, widening write batches (0 = flush when the queue drains)")
+		shards    = fs.Int("shards", 0, "event-loop shards hosted nodes are multiplexed onto (0 = one per CPU core)")
+		nodesPer  = fs.Int("nodes-per-shard", 0, "size shards by node count instead: ceil(hosted/this) shards (0 = use -shards)")
 
 		joinSpec = fs.String("join", "", "enable SWIM membership, bootstrapping from these seed nodes, e.g. 0 or 0,32 (empty = membership off)")
 		probeIvl = fs.Int("probe-interval", 0, "membership probe interval in ticks (0 = default)")
@@ -128,6 +135,10 @@ func run(args []string, out io.Writer) error {
 	}
 	if *flushWin < 0 {
 		return fmt.Errorf("-flushwindow: must be >= 0")
+	}
+	nShards, err := resolveShards(*shards, *nodesPer, len(hosted))
+	if err != nil {
+		return err
 	}
 
 	tr, err := gossip.NewLiveTCPTransport(*listen, hosted)
@@ -180,6 +191,7 @@ func run(args []string, out io.Writer) error {
 		Crashes:   crashes,
 		Linger:    *linger,
 		Interrupt: interrupt,
+		Shards:    nShards,
 	}
 	if *joinSpec != "" {
 		seeds, err := parseNodeSet(*joinSpec, g.N())
@@ -301,6 +313,31 @@ func printMembership(out io.Writer, res gossip.LiveResult, hosted []gossip.NodeI
 		}
 		fmt.Fprintln(out, b.String())
 	}
+}
+
+// resolveShards turns the -shards / -nodes-per-shard flag pair into a shard
+// count for LiveOptions. The flags are mutually exclusive: -shards sets the
+// worker count directly, -nodes-per-shard derives it from the hosted node
+// count (ceil(hosted/nps)); zero for both defers to the runtime default (one
+// shard per CPU core).
+func resolveShards(shards, nodesPer, hosted int) (int, error) {
+	if shards < 0 {
+		return 0, fmt.Errorf("-shards: must be >= 0")
+	}
+	if nodesPer < 0 {
+		return 0, fmt.Errorf("-nodes-per-shard: must be >= 0")
+	}
+	if shards > 0 && nodesPer > 0 {
+		return 0, fmt.Errorf("-shards and -nodes-per-shard are mutually exclusive")
+	}
+	if nodesPer > 0 {
+		n := (hosted + nodesPer - 1) / nodesPer
+		if n < 1 {
+			n = 1
+		}
+		return n, nil
+	}
+	return shards, nil
 }
 
 func loadGraph(loadPath, name string, n, k, s, latency int, p float64, seed uint64) (*gossip.Graph, error) {

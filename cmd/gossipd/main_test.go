@@ -234,6 +234,21 @@ func TestFlagErrors(t *testing.T) {
 			args: []string{"-graph", "clique", "-n", "4", "-memberdump"},
 			want: "-memberdump requires membership",
 		},
+		{
+			name: "negative-shards",
+			args: []string{"-graph", "clique", "-n", "4", "-shards", "-2"},
+			want: "-shards",
+		},
+		{
+			name: "negative-nodes-per-shard",
+			args: []string{"-graph", "clique", "-n", "4", "-nodes-per-shard", "-1"},
+			want: "-nodes-per-shard",
+		},
+		{
+			name: "shards-and-nodes-per-shard",
+			args: []string{"-graph", "clique", "-n", "4", "-shards", "2", "-nodes-per-shard", "2"},
+			want: "mutually exclusive",
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -243,6 +258,57 @@ func TestFlagErrors(t *testing.T) {
 				t.Fatalf("run(%v) error = %v, want substring %q", tt.args, err, tt.want)
 			}
 		})
+	}
+}
+
+func TestResolveShards(t *testing.T) {
+	tests := []struct {
+		shards, nodesPer, hosted int
+		want                     int
+		wantErr                  bool
+	}{
+		{0, 0, 64, 0, false},   // both unset: defer to the runtime default
+		{4, 0, 64, 4, false},   // explicit shard count passes through
+		{0, 16, 64, 4, false},  // exact division
+		{0, 10, 64, 7, false},  // ceil(64/10)
+		{0, 100, 64, 1, false}, // more per shard than hosted: one shard
+		{-1, 0, 64, 0, true},   // negative shards
+		{0, -1, 64, 0, true},   // negative nodes-per-shard
+		{2, 2, 64, 0, true},    // mutually exclusive
+	}
+	for _, tt := range tests {
+		got, err := resolveShards(tt.shards, tt.nodesPer, tt.hosted)
+		if (err != nil) != tt.wantErr || got != tt.want {
+			t.Errorf("resolveShards(%d, %d, %d) = %d, %v; want %d, err=%v",
+				tt.shards, tt.nodesPer, tt.hosted, got, err, tt.want, tt.wantErr)
+		}
+	}
+}
+
+// TestTenThousandNodeSingleDaemon is the scale smoke test: one daemon hosting
+// 10k nodes on the sharded event loop completes a flood in-process. With four
+// nodes-per-shard-derived workers this exercises the exact configuration the
+// flag pair exists for.
+func TestTenThousandNodeSingleDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node run is not -short friendly")
+	}
+	var sb strings.Builder
+	args := []string{
+		"-graph", "star", "-n", "10000",
+		"-proto", "pushpull", "-source", "0",
+		"-listen", "127.0.0.1:0",
+		"-tick", "2ms", "-linger", "0s", "-seed", "11",
+		"-nodes-per-shard", "2500",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	out := sb.String()
+	for _, w := range []string{"hosting=10000", "completed=true", "informed=10000/10000"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
 	}
 }
 

@@ -1,6 +1,6 @@
 // Live runtime: run the same push-pull state machine twice — once in the
-// deterministic lockstep simulator, once on the wall-clock runtime with a
-// goroutine per node and real latency delays — and compare. Then split the
+// deterministic lockstep simulator, once on the wall-clock runtime's sharded
+// event loop with real latency delays — and compare. Then split the
 // graph across two TCP-backed runtimes in this process, the shape of a real
 // multi-process deployment (see cmd/gossipd).
 package main
@@ -28,8 +28,9 @@ func main() {
 	fmt.Printf("simulator: informed %d nodes in %d rounds, %d messages\n",
 		g.N(), simRes.Metrics.Rounds, simRes.Metrics.Messages())
 
-	// Live runtime: one goroutine per node, 1ms per round, latencies as real
-	// timer delays. Same seed → same per-node random choices.
+	// Live runtime: nodes multiplexed onto a sharded event loop, 1ms per
+	// round, latencies as real timer delays. Same seed → same per-node
+	// random choices.
 	liveRes, err := gossip.RunLive(g, gossip.LivePushPull(0), gossip.LiveOptions{
 		Seed: seed,
 		Tick: time.Millisecond,

@@ -269,7 +269,8 @@ func RunUnified(g *Graph, source NodeID, knownLatencies bool, opts Options) (Uni
 //
 // The functions above run protocols inside the deterministic lockstep round
 // simulator. The live runtime below executes the *same* protocol state
-// machines with one goroutine per node over real concurrent transports,
+// machines over real concurrent transports, multiplexing hosted nodes onto a
+// sharded event loop (O(shards) goroutines and timers, not O(nodes)) and
 // mapping each edge latency to an actual wall-clock delay (see
 // internal/live). It is the bridge from the paper's model to a deployed
 // gossip system.
@@ -418,6 +419,11 @@ type LiveOptions struct {
 	Interrupt <-chan struct{}
 	// DrainTicks is the post-interrupt grace period in ticks (0 = default).
 	DrainTicks int
+	// Shards is the number of event-loop workers hosted nodes are
+	// multiplexed onto (0 = one per available CPU core, and never more than
+	// the hosted node count). Goroutine and timer cost scale with shards,
+	// not nodes.
+	Shards int
 }
 
 func (o LiveOptions) liveOptions() live.Options {
@@ -432,6 +438,7 @@ func (o LiveOptions) liveOptions() live.Options {
 		Membership: o.Membership,
 		Interrupt:  o.Interrupt,
 		DrainTicks: o.DrainTicks,
+		Shards:     o.Shards,
 	}
 }
 
@@ -514,8 +521,8 @@ func LiveRRBroadcast(g *Graph, k, spannerK int, opts LiveOptions) (LiveProtocol,
 }
 
 // RunLive executes a protocol on the live wall-clock runtime over an
-// in-process channel transport hosting every node: goroutine-per-node, real
-// latency delays, same seeded randomness as the simulator.
+// in-process channel transport hosting every node: a sharded event loop,
+// real latency delays, same seeded randomness as the simulator.
 func RunLive(g *Graph, proto LiveProtocol, opts LiveOptions) (LiveResult, error) {
 	tr := opts.faultWrap(live.NewChanTransport(g.N(), 0))
 	defer tr.Close()

@@ -1,0 +1,103 @@
+package graph
+
+// AdjCSR is the live runtime's dense topology view: a compressed-sparse-row
+// snapshot of a Graph in *adjacency order* plus an edge-id cross index, so
+// the two per-message operations the runtime performs —
+//
+//   - resolve (node, edge id) to the node's neighbor-list index, and
+//   - fetch neighbor i of node u,
+//
+// are O(1) array lookups on int32 rows instead of a 2m-entry map probe and a
+// [][]HalfEdge pointer chase. Unlike CSR (the analysis view), rows are NOT
+// latency-sorted: the runtime's EdgeIndex contract is an index into
+// Graph.Neighbors(u), and the simulator/live equivalence suite holds the two
+// engines to identical indices, so the flat rows must mirror the adjacency
+// order exactly.
+//
+// Like CSR, an AdjCSR snapshots the graph at construction; build a fresh view
+// after mutating latencies.
+type AdjCSR struct {
+	n        int
+	rowStart []int32 // len n+1; row u is to[rowStart[u]:rowStart[u+1]]
+	to       []int32 // len 2m; neighbor ids, adjacency order
+	lat      []int32 // len 2m; latencies aligned with to
+	eid      []int32 // len 2m; edge ids aligned with to
+
+	// Edge-id cross index: edge e's two flat positions. posU is the position
+	// in row endU[e] (the endpoint whose row was filled first); posV the
+	// other. EdgeIndex picks by comparing the queried node against endU.
+	posU, posV []int32
+	endU       []int32
+}
+
+// BuildAdjCSR constructs the adjacency-order CSR view of g. Edge IDs are
+// assumed dense in [0, M) — the contract of HalfEdge.ID.
+func BuildAdjCSR(g *Graph) *AdjCSR {
+	n := g.N()
+	m := g.M()
+	c := &AdjCSR{n: n}
+	c.rowStart = make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		c.rowStart[u+1] = c.rowStart[u] + int32(g.Degree(u))
+	}
+	m2 := int(c.rowStart[n])
+	c.to = make([]int32, m2)
+	c.lat = make([]int32, m2)
+	c.eid = make([]int32, m2)
+	c.posU = make([]int32, m)
+	c.posV = make([]int32, m)
+	c.endU = make([]int32, m)
+	for i := range c.posU {
+		c.posU[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		i := c.rowStart[u]
+		for _, he := range g.Neighbors(u) {
+			c.to[i] = int32(he.To)
+			c.lat[i] = int32(he.Latency)
+			c.eid[i] = int32(he.ID)
+			if c.posU[he.ID] < 0 {
+				c.posU[he.ID] = i
+				c.endU[he.ID] = int32(u)
+			} else {
+				c.posV[he.ID] = i
+			}
+			i++
+		}
+	}
+	return c
+}
+
+// N reports the number of nodes.
+func (c *AdjCSR) N() int { return c.n }
+
+// M reports the number of (undirected) edges.
+func (c *AdjCSR) M() int { return len(c.posU) }
+
+// Degree returns u's degree.
+func (c *AdjCSR) Degree(u NodeID) int {
+	return int(c.rowStart[u+1] - c.rowStart[u])
+}
+
+// Half returns neighbor i of u, equal to Graph.Neighbors(u)[i].
+func (c *AdjCSR) Half(u NodeID, i int) HalfEdge {
+	p := c.rowStart[u] + int32(i)
+	return HalfEdge{To: NodeID(c.to[p]), Latency: int(c.lat[p]), ID: int(c.eid[p])}
+}
+
+// EdgeIndex resolves edge id to its index in u's neighbor list — the value
+// idx with Graph.Neighbors(u)[idx].ID == id — or -1 when the edge is not
+// incident to u (misrouted traffic, synthetic membership edge IDs).
+func (c *AdjCSR) EdgeIndex(u NodeID, id int) int {
+	if id < 0 || id >= len(c.posU) {
+		return -1
+	}
+	p := c.posV[id]
+	if c.endU[id] == int32(u) {
+		p = c.posU[id]
+	}
+	if p < c.rowStart[u] || p >= c.rowStart[u+1] || c.eid[p] != int32(id) {
+		return -1
+	}
+	return int(p - c.rowStart[u])
+}

@@ -1,0 +1,54 @@
+package graph
+
+import "testing"
+
+// TestAdjCSRMirrorsAdjacency: on a spread of families, every row reproduces
+// Graph.Neighbors order exactly and EdgeIndex inverts HalfEdge.ID for both
+// endpoints of every edge.
+func TestAdjCSRMirrorsAdjacency(t *testing.T) {
+	graphs := map[string]*Graph{
+		"clique":   Clique(9, 3),
+		"path":     Path(12, 2),
+		"dumbbell": Dumbbell(5, 4),
+		"ring":     RingOfCliques(4, 5, 2),
+	}
+	for name, g := range graphs {
+		c := BuildAdjCSR(g)
+		if c.N() != g.N() || c.M() != g.M() {
+			t.Fatalf("%s: N/M = %d/%d, want %d/%d", name, c.N(), c.M(), g.N(), g.M())
+		}
+		for u := 0; u < g.N(); u++ {
+			hes := g.Neighbors(u)
+			if c.Degree(u) != len(hes) {
+				t.Fatalf("%s: Degree(%d) = %d, want %d", name, u, c.Degree(u), len(hes))
+			}
+			for i, he := range hes {
+				if got := c.Half(u, i); got != he {
+					t.Fatalf("%s: Half(%d,%d) = %+v, want %+v", name, u, i, got, he)
+				}
+				if got := c.EdgeIndex(u, he.ID); got != i {
+					t.Fatalf("%s: EdgeIndex(%d,%d) = %d, want %d", name, u, he.ID, got, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAdjCSREdgeIndexRejects: non-incident edges, out-of-range ids, and the
+// runtime's synthetic negative membership edge ids all resolve to -1.
+func TestAdjCSREdgeIndexRejects(t *testing.T) {
+	g := Path(4, 1) // edges 0: (0,1), 1: (1,2), 2: (2,3)
+	c := BuildAdjCSR(g)
+	if got := c.EdgeIndex(0, 2); got != -1 {
+		t.Errorf("EdgeIndex(0, non-incident) = %d, want -1", got)
+	}
+	if got := c.EdgeIndex(3, 0); got != -1 {
+		t.Errorf("EdgeIndex(3, non-incident) = %d, want -1", got)
+	}
+	if got := c.EdgeIndex(1, -7); got != -1 {
+		t.Errorf("EdgeIndex(1, negative) = %d, want -1", got)
+	}
+	if got := c.EdgeIndex(1, g.M()); got != -1 {
+		t.Errorf("EdgeIndex(1, out of range) = %d, want -1", got)
+	}
+}

@@ -287,8 +287,11 @@ func TestTCPClusterDrainLeaksNothing(t *testing.T) {
 		}
 	}
 	for i, tr := range trs {
-		if n := tr.timers.len(); n != 0 {
+		if n := tr.delays.len(); n != 0 {
 			t.Fatalf("transport %d: %d delivery timers leaked", i, n)
+		}
+		if n := tr.retries.len(); n != 0 {
+			t.Fatalf("transport %d: %d retry timers leaked", i, n)
 		}
 		if n := tr.pendingCount(); n != 0 {
 			t.Fatalf("transport %d: %d pend entries leaked", i, n)

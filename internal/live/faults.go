@@ -166,6 +166,7 @@ type FaultTransport struct {
 }
 
 var _ Transport = (*FaultTransport)(nil)
+var _ SinkTransport = (*FaultTransport)(nil)
 var _ FaultReporter = (*FaultTransport)(nil)
 
 // NewFaultTransport wraps inner with the given fault plan. The caller keeps
@@ -252,6 +253,25 @@ func (t *FaultTransport) Send(msg Message, delay time.Duration) error {
 
 // Recv implements Transport.
 func (t *FaultTransport) Recv(u graph.NodeID) <-chan Message { return t.inner.Recv(u) }
+
+// Hosts implements SinkTransport by asking the inner transport (falling back
+// to a Recv probe for foreign transports).
+func (t *FaultTransport) Hosts(u graph.NodeID) bool {
+	if st, ok := t.inner.(SinkTransport); ok {
+		return st.Hosts(u)
+	}
+	return t.inner.Recv(u) != nil
+}
+
+// SetSink forwards the runtime's sink to the inner transport. The chaos layer
+// stays in force: fault decisions happen in Send, before the inner transport
+// hands the surviving message to the sink.
+func (t *FaultTransport) SetSink(sink DeliverySink) bool {
+	if st, ok := t.inner.(SinkTransport); ok {
+		return st.SetSink(sink)
+	}
+	return false
+}
 
 // Close implements Transport by closing the inner transport.
 func (t *FaultTransport) Close() error { return t.inner.Close() }

@@ -1,16 +1,22 @@
 // Package live is the wall-clock gossip runtime: it executes the very same
 // sim.Handler protocol state machines as the lockstep round simulator, but
-// with one goroutine per node and real, concurrent message passing through a
-// pluggable Transport.
+// against real time and a pluggable Transport. Hosted nodes are multiplexed
+// onto a sharded event loop — N shards (default GOMAXPROCS), each owning a
+// contiguous range of nodes as a dense slice, an MPSC mailbox, and a
+// hierarchical timer wheel — so a runtime costs O(shards) goroutines and
+// zero per-node tickers regardless of how many nodes it hosts (see shard.go;
+// 100k+ in-process nodes is the design point).
 //
 // The mapping from the paper's synchronous model to wall-clock time is:
 //
 //   - one simulator round = one tick of Options.Tick wall-clock duration;
-//     every node runs its own ticker, so rounds are only approximately
-//     aligned across nodes — exactly the slack a real deployment has;
+//     each shard sweeps its nodes once per tick, so rounds are only
+//     approximately aligned across nodes — exactly the slack a real
+//     deployment has;
 //   - an exchange over an edge of latency ℓ is a request delivered ⌈ℓ/2⌉
 //     ticks after initiation and a response ⌊ℓ/2⌋ ticks after the answer,
-//     injected by the transport as real timer delays;
+//     armed on the owning shard's timer wheel (or injected by the transport
+//     as a real timer delay when a runtime's sink is not installed);
 //   - per-node randomness comes from the same seeded streams as the
 //     simulator (rng.Stream(seed, node)), so a protocol makes identical
 //     random choices in both runtimes, tick for tick.
@@ -31,6 +37,7 @@ import (
 
 	"gossip/internal/graph"
 	"gossip/internal/member"
+	"gossip/internal/par"
 	"gossip/internal/sim"
 )
 
@@ -99,6 +106,11 @@ type Options struct {
 	// DrainTicks is how many ticks an interrupted run keeps serving while
 	// its leave broadcast propagates (default DefaultDrainTicks).
 	DrainTicks int
+	// Shards is the number of event-loop workers hosted nodes are
+	// multiplexed onto (0 = par.MaxWorkers(), i.e. GOMAXPROCS; clamped to
+	// the hosted node count). More shards buy parallelism, fewer buy cache
+	// density; the default is right for almost everything.
+	Shards int
 }
 
 // DefaultDrainTicks is the post-interrupt grace period, in ticks.
@@ -183,12 +195,18 @@ type Runtime struct {
 	tr        Transport
 	opts      Options
 	nhint     int
-	local     []*node
+	csr       *graph.AdjCSR // dense adjacency-order topology view
+	local     []*node       // pointers into the shards' dense node slices
+	shards    []*shard
+	loc       []nodeLoc     // node ID -> owning shard and slot ({-1,-1} = hosted elsewhere)
+	epoch     time.Time     // shard tick zero
 	memberCfg member.Config // defaulted, valid only when opts.Membership != nil
-	edgeIdx   map[int64]int // (node, edgeID) -> index in node's neighbor list
 	stopCh    chan struct{}
-	quiesced  atomic.Bool // completed and lingering: answer peers, don't initiate
-	leaving   atomic.Bool // interrupted: broadcast leave, answer, don't initiate
+	quiesced  atomic.Bool  // completed and lingering: answer peers, don't initiate
+	leaving   atomic.Bool  // interrupted: broadcast leave, answer, don't initiate
+	doneN     atomic.Int64 // hosted nodes whose done flag is set (watch fast path)
+	stopN     atomic.Int64 // hosted nodes whose exhausted flag is set
+	mailShed  atomic.Int64 // gossip posts shed by full shard mailboxes
 	peerSink  PeerStatusSink
 	wg        sync.WaitGroup
 }
@@ -206,13 +224,13 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		opts.MaxTicks = DefaultMaxTicks
 	}
 	rt := &Runtime{
-		g:       g,
-		proto:   proto,
-		tr:      tr,
-		opts:    opts,
-		nhint:   opts.NHint,
-		edgeIdx: make(map[int64]int, 2*g.M()),
-		stopCh:  make(chan struct{}),
+		g:      g,
+		proto:  proto,
+		tr:     tr,
+		opts:   opts,
+		nhint:  opts.NHint,
+		csr:    graph.BuildAdjCSR(g),
+		stopCh: make(chan struct{}),
 	}
 	if rt.nhint <= 0 {
 		rt.nhint = g.N()
@@ -245,11 +263,6 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		opts.DrainTicks = DefaultDrainTicks
 		rt.opts.DrainTicks = DefaultDrainTicks
 	}
-	for u := 0; u < g.N(); u++ {
-		for idx, he := range g.Neighbors(u) {
-			rt.edgeIdx[int64(u)<<32|int64(he.ID)] = idx
-		}
-	}
 
 	hosted := opts.Nodes
 	if hosted == nil {
@@ -258,6 +271,7 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 			hosted[u] = graph.NodeID(u)
 		}
 	}
+	st, _ := tr.(SinkTransport)
 	seen := make(map[graph.NodeID]bool, len(hosted))
 	for _, u := range hosted {
 		if u < 0 || u >= g.N() {
@@ -267,26 +281,81 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 			return Result{}, fmt.Errorf("live: node %d hosted twice", u)
 		}
 		seen[u] = true
-		inbox := tr.Recv(u)
-		if inbox == nil {
+		// Hosting check without materializing an inbox channel: at 100k
+		// nodes, eager per-node buffers are the memory bottleneck.
+		if st != nil {
+			if !st.Hosts(u) {
+				return Result{}, fmt.Errorf("live: transport does not host node %d", u)
+			}
+		} else if tr.Recv(u) == nil {
 			return Result{}, fmt.Errorf("live: transport does not host node %d", u)
 		}
-		plan := opts.Crashes[u]
-		n := &node{rt: rt, id: u, h: proto.NewHandler(u), inbox: inbox, crashAt: plan.At, recoverAt: plan.RecoverAt}
-		n.ctx = sim.NewContext(n)
-		if opts.Membership != nil {
-			n.mem.Store(rt.newMember(u))
-		}
-		rt.local = append(rt.local, n)
 	}
-	if len(rt.local) == 0 {
+	if len(hosted) == 0 {
 		return Result{}, errors.New("live: no nodes to host")
 	}
 
+	// Partition the hosted nodes into contiguous dense shard slices. The
+	// slices are sized exactly and never grow, so the *node pointers in
+	// rt.local (used by the watcher and membership layer) stay stable.
+	nShards := opts.Shards
+	if nShards <= 0 {
+		nShards = par.MaxWorkers()
+	}
+	if nShards > len(hosted) {
+		nShards = len(hosted)
+	}
+	rt.loc = make([]nodeLoc, g.N())
+	for i := range rt.loc {
+		rt.loc[i] = nodeLoc{shard: -1, idx: -1}
+	}
+	per := (len(hosted) + nShards - 1) / nShards
+	for lo := 0; lo < len(hosted); lo += per {
+		hi := lo + per
+		if hi > len(hosted) {
+			hi = len(hosted)
+		}
+		sh := &shard{
+			rt:     rt,
+			id:     len(rt.shards),
+			nodes:  make([]node, hi-lo),
+			wheel:  newWheel[Message](),
+			notify: make(chan struct{}, 1),
+		}
+		for j, u := range hosted[lo:hi] {
+			plan := opts.Crashes[u]
+			n := &sh.nodes[j]
+			n.rt = rt
+			n.id = u
+			n.h = proto.NewHandler(u)
+			n.crashAt = plan.At
+			n.recoverAt = plan.RecoverAt
+			n.ctx = sim.NewContext(n)
+			if opts.Membership != nil {
+				n.mem.Store(rt.newMember(u))
+			}
+			rt.loc[u] = nodeLoc{shard: int32(sh.id), idx: int32(j)}
+			rt.local = append(rt.local, n)
+		}
+		rt.shards = append(rt.shards, sh)
+	}
+
+	// Fast path: the transport hands locally destined messages straight to
+	// the owning shard. Fallback: one forwarder goroutine per node pumps the
+	// transport's inbox channel into the shard mailboxes.
+	sinkMode := st != nil && st.SetSink(rt.sink)
+
 	start := time.Now()
-	for _, n := range rt.local {
+	rt.epoch = start
+	for _, sh := range rt.shards {
 		rt.wg.Add(1)
-		go n.run()
+		go sh.run()
+	}
+	if !sinkMode {
+		for _, u := range hosted {
+			rt.wg.Add(1)
+			go rt.forward(u, tr.Recv(u))
+		}
 	}
 
 	completed, interrupted, informedOverTime := rt.watch()
@@ -304,6 +373,9 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 	}
 	close(rt.stopCh)
 	rt.wg.Wait()
+	if sinkMode {
+		st.SetSink(nil)
+	}
 
 	res := rt.collect(wall)
 	res.Completed = completed
@@ -311,6 +383,7 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 	if fr, ok := tr.(FaultReporter); ok {
 		res.Faults = fr.Faults()
 	}
+	res.Faults.Overload.ShedQueue += rt.mailShed.Load()
 	res.Faults.InformedOverTime = informedOverTime
 	if !completed && !interrupted {
 		return res, fmt.Errorf("%w (%d ticks, %d nodes done)", ErrMaxTicks, res.Metrics.Ticks, countTrue(res.Done))
@@ -326,6 +399,11 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 // still counts, so completion waits for it to rejoin and catch up. The
 // per-tick informed fraction among the counted nodes is returned alongside.
 func (rt *Runtime) watch() (completed, interrupted bool, series []float64) {
+	// With no crash schedule and no membership, every hosted node counts
+	// toward completion forever, so the per-tick O(hosted) flag scan reduces
+	// to two counter reads — the difference between a watcher that idles and
+	// one that burns a core at 100k nodes.
+	fast := rt.opts.Membership == nil && len(rt.opts.Crashes) == 0
 	ticker := time.NewTicker(rt.opts.Tick)
 	defer ticker.Stop()
 	for {
@@ -337,24 +415,31 @@ func (rt *Runtime) watch() (completed, interrupted bool, series []float64) {
 		}
 		doneCount, total := 0, 0
 		allDone, allStopped := true, true
-		for _, n := range rt.local {
-			if n.crashed.Load() && n.recoverAt == 0 {
-				continue // permanently crashed: not a reachable survivor
-			}
-			if rt.opts.Membership != nil && n.crashed.Load() && rt.believedDead(n.id) {
-				// The membership layer has declared this node dead: it is
-				// no longer a member, so it no longer gates completion.
-				// Once it rejoins and refutes, it counts again.
-				continue
-			}
-			total++
-			if n.done.Load() {
-				doneCount++
-			} else {
-				allDone = false
-			}
-			if !n.exhausted.Load() {
-				allStopped = false
+		if fast {
+			total = len(rt.local)
+			doneCount = int(rt.doneN.Load())
+			allDone = doneCount >= total
+			allStopped = int(rt.stopN.Load()) >= total
+		} else {
+			for _, n := range rt.local {
+				if n.crashed.Load() && n.recoverAt == 0 {
+					continue // permanently crashed: not a reachable survivor
+				}
+				if rt.opts.Membership != nil && n.crashed.Load() && rt.believedDead(n.id) {
+					// The membership layer has declared this node dead: it is
+					// no longer a member, so it no longer gates completion.
+					// Once it rejoins and refutes, it counts again.
+					continue
+				}
+				total++
+				if n.done.Load() {
+					doneCount++
+				} else {
+					allDone = false
+				}
+				if !n.exhausted.Load() {
+					allStopped = false
+				}
 			}
 		}
 		if total == 0 {

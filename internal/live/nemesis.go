@@ -120,6 +120,7 @@ type Nemesis struct {
 }
 
 var _ Transport = (*Nemesis)(nil)
+var _ SinkTransport = (*Nemesis)(nil)
 var _ FaultReporter = (*Nemesis)(nil)
 var _ Drainer = (*Nemesis)(nil)
 var _ PeerStatusSink = (*Nemesis)(nil)
@@ -202,6 +203,25 @@ func (n *Nemesis) Send(msg Message, delay time.Duration) error {
 
 // Recv implements Transport.
 func (n *Nemesis) Recv(u graph.NodeID) <-chan Message { return n.inner.Recv(u) }
+
+// Hosts implements SinkTransport by asking the inner transport (falling back
+// to a Recv probe for foreign transports).
+func (n *Nemesis) Hosts(u graph.NodeID) bool {
+	if st, ok := n.inner.(SinkTransport); ok {
+		return st.Hosts(u)
+	}
+	return n.inner.Recv(u) != nil
+}
+
+// SetSink forwards the runtime's sink to the inner transport; the phase
+// schedule stays in force because chaos decisions happen in Send, before the
+// inner transport hands the surviving message to the sink.
+func (n *Nemesis) SetSink(sink DeliverySink) bool {
+	if st, ok := n.inner.(SinkTransport); ok {
+		return st.SetSink(sink)
+	}
+	return false
+}
 
 // Close implements Transport by closing the inner transport.
 func (n *Nemesis) Close() error { return n.inner.Close() }

@@ -10,19 +10,21 @@ import (
 	"gossip/internal/sim"
 )
 
-// node is one locally hosted protocol instance: a goroutine driving a
-// sim.Handler through the same deliver-then-tick cycle as the round
-// simulator, but against wall-clock ticks and a real transport. It
-// implements sim.Env, so the handler runs unchanged.
+// node is one locally hosted protocol instance: a sim.Handler driven through
+// the same deliver-then-tick cycle as the round simulator, but against
+// wall-clock ticks and a real transport. It implements sim.Env, so the
+// handler runs unchanged. Nodes live in their owning shard's dense slice
+// (see shard.go) — there is no per-node goroutine, ticker, or timer; the
+// shard's event loop delivers arrivals and sweeps onTick.
 //
-// All non-atomic fields are owned by the node's goroutine. The atomic flags
-// are the node's only outward-facing state, polled by the runtime watcher.
+// All non-atomic fields are owned by the owning shard's goroutine. The
+// atomic flags are the node's only outward-facing state, polled by the
+// runtime watcher.
 type node struct {
-	rt    *Runtime
-	id    graph.NodeID
-	h     sim.Handler
-	ctx   *sim.Context
-	inbox <-chan Message
+	rt  *Runtime
+	id  graph.NodeID
+	h   sim.Handler
+	ctx *sim.Context
 
 	tick      int  // protocol round counter (frozen while halted)
 	wall      int  // wall-clock tick counter (advances even while halted)
@@ -63,11 +65,11 @@ func (n *node) Initiate(idx int, payload sim.Payload) (uint64, error) {
 	if n.initiated {
 		return 0, fmt.Errorf("live: node %d already initiated in tick %d", n.id, n.tick)
 	}
-	hes := n.rt.g.Neighbors(n.id)
-	if idx < 0 || idx >= len(hes) {
-		return 0, fmt.Errorf("live: node %d edge index %d out of range [0,%d)", n.id, idx, len(hes))
+	deg := n.rt.csr.Degree(n.id)
+	if idx < 0 || idx >= deg {
+		return 0, fmt.Errorf("live: node %d edge index %d out of range [0,%d)", n.id, idx, deg)
 	}
-	he := hes[idx]
+	he := n.rt.csr.Half(n.id, idx)
 	msg := Message{
 		Kind:     MsgRequest,
 		From:     n.id,
@@ -87,38 +89,6 @@ func (n *node) Initiate(idx int, payload sim.Payload) (uint64, error) {
 	n.m.EdgeActivations++
 	n.m.Bytes += sim.PayloadSize(payload)
 	return n.nextExch, nil
-}
-
-// run is the node goroutine: start the handler, then serve arrivals and
-// wall-clock ticks until the runtime stops. A crashed node keeps draining
-// its inbox (dropping everything, like the simulator's fail-stop) so
-// transports never wedge on it; an exhausted node stops ticking but keeps
-// answering so remote peers can still pull from it.
-func (n *node) run() {
-	defer n.rt.wg.Done()
-	defer n.stopHandler()
-	n.h.Start(n.ctx)
-	n.updateDone()
-	ticker := time.NewTicker(n.rt.opts.Tick)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-n.rt.stopCh:
-			return
-		default:
-		}
-		select {
-		case <-n.rt.stopCh:
-			return
-		case msg := <-n.inbox:
-			if n.halted {
-				continue // fail-stop: drop without answering
-			}
-			n.handle(msg)
-		case <-ticker.C:
-			n.onTick()
-		}
-	}
 }
 
 // onTick advances the node's round counter and runs the handler's Tick, the
@@ -155,7 +125,7 @@ func (n *node) onTick() {
 		return
 	}
 	if n.tick >= n.rt.opts.MaxTicks {
-		n.exhausted.Store(true)
+		n.setExhausted(true)
 		return
 	}
 	if n.h.Done() {
@@ -164,7 +134,7 @@ func (n *node) onTick() {
 		// progress of their own, so the watcher counts them as stopped —
 		// a fixed-schedule protocol that missed its window fails closed
 		// instead of hanging until the tick budget runs dry.
-		n.exhausted.Store(true)
+		n.setExhausted(true)
 		return
 	}
 	n.tick++
@@ -179,7 +149,7 @@ func (n *node) onTick() {
 func (n *node) halt() {
 	n.halted = true
 	n.crashed.Store(true)
-	n.done.Store(false)
+	n.setDone(false)
 	n.stopHandler()
 }
 
@@ -190,7 +160,7 @@ func (n *node) rejoin() {
 	n.halted = false
 	n.crashed.Store(false)
 	n.recovered.Store(true)
-	n.exhausted.Store(false)
+	n.setExhausted(false)
 	// The plan is consumed: without this the crash condition would re-fire
 	// on the very next tick (wall is already past crashAt). recoverAt is
 	// left untouched — the watcher goroutine reads it, and with crashAt
@@ -227,8 +197,8 @@ func (n *node) handle(msg Message) {
 		n.handleMember(msg)
 		return
 	}
-	idx, ok := n.rt.edgeIdx[int64(n.id)<<32|int64(msg.EdgeID)]
-	if !ok {
+	idx := n.rt.csr.EdgeIndex(n.id, msg.EdgeID)
+	if idx < 0 {
 		return // not an edge of ours: misrouted or corrupt
 	}
 	switch msg.Kind {
@@ -269,5 +239,29 @@ func (n *node) updateDone() {
 	// Only the protocol's goal counts: a handler's Done() merely says its
 	// schedule ended (it stops ticking — see onTick), which for a
 	// fixed-schedule protocol can happen without the goal being reached.
-	n.done.Store(n.rt.proto.LocalDone(n.id, n.h))
+	n.setDone(n.rt.proto.LocalDone(n.id, n.h))
+}
+
+// setDone and setExhausted keep the runtime's aggregate counters exact while
+// the flag flips, so the watcher's fast path replaces an O(hosted) scan per
+// tick with two loads. Swap makes the delta race-free even though several
+// shards update concurrently.
+func (n *node) setDone(v bool) {
+	if n.done.Swap(v) != v {
+		if v {
+			n.rt.doneN.Add(1)
+		} else {
+			n.rt.doneN.Add(-1)
+		}
+	}
+}
+
+func (n *node) setExhausted(v bool) {
+	if n.exhausted.Swap(v) != v {
+		if v {
+			n.rt.stopN.Add(1)
+		} else {
+			n.rt.stopN.Add(-1)
+		}
+	}
 }

@@ -1,0 +1,123 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"gossip/internal/graph"
+	"gossip/internal/par"
+)
+
+// BenchmarkLiveScale measures the sharded event loop's capacity: how many
+// locally hosted nodes one process can drive, and what each costs. Every
+// timed iteration is a complete push-pull run over a ring of cliques (degree
+// ~8, so per-tick work scales linearly with n) capped at scaleTicks protocol
+// ticks; the protocol cannot finish that fast at these sizes, so every run
+// exercises the full tick budget.
+//
+// Reported metrics:
+//
+//	nodeticks/sec/core — node-tick sweeps per wall second per CPU core, the
+//	                     engine's throughput (tick-paced at small n, compute-
+//	                     bound at 100k)
+//	B/node             — mid-run heap bytes per hosted node
+//	goroutines         — mid-run goroutine count above the test baseline;
+//	                     must be O(shards), not O(nodes)
+//	goroutines/shard   — the same count normalized by the shard count, so a
+//	                     committed baseline transfers across machines with
+//	                     different core counts (the CI gate uses this one)
+//	shards             — the event-loop worker count for this run
+//
+// The goroutine metric is also asserted: a runtime whose goroutine count
+// scales with nodes again (the pre-shard design: 1 node = 1 goroutine + 1
+// ticker) fails the benchmark rather than just reporting a large number.
+func BenchmarkLiveScale(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		name := fmt.Sprintf("%dk", n/1000)
+		b.Run(name, func(b *testing.B) {
+			benchLiveScale(b, n)
+		})
+	}
+}
+
+// scaleTicks bounds each measured run. Small enough to keep a 100k-node
+// iteration under ~1s, large enough that steady-state cost dominates setup.
+const scaleTicks = 16
+
+// scaleTick is the nominal tick pace. At 1k nodes the loop genuinely paces
+// itself at this rate; at 100k the shards run catch-up ticks back to back
+// and the benchmark measures compute, not sleep.
+const scaleTick = 200 * time.Microsecond
+
+func benchLiveScale(b *testing.B, n int) {
+	g := graph.RingOfCliques(n/8, 8, 1)
+	opts := Options{Seed: 1, Tick: scaleTick, MaxTicks: scaleTicks}
+	shards := par.MaxWorkers()
+	if shards > n {
+		shards = n
+	}
+
+	run := func() Result {
+		tr := NewChanTransport(g.N(), 0)
+		defer tr.Close()
+		res, err := Run(g, ppProto{source: 0}, tr, opts)
+		if err != nil && !errors.Is(err, ErrMaxTicks) {
+			b.Fatal(err)
+		}
+		return res
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ticks int64
+	for i := 0; i < b.N; i++ {
+		res := run()
+		ticks += int64(res.Metrics.Ticks)
+	}
+	b.StopTimer()
+	cores := float64(runtime.GOMAXPROCS(0))
+	b.ReportMetric(float64(int64(n)*ticks)/b.Elapsed().Seconds()/cores, "nodeticks/sec/core")
+
+	// One instrumented run outside the timed region: sample goroutines and
+	// heap halfway through the nominal run window, while every shard is live.
+	// Catch-up only stretches a run past the nominal window, never under it,
+	// so the mid-window sample always lands inside the run.
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	baseGrt := runtime.NumGoroutine()
+
+	tr := NewChanTransport(g.N(), 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(g, ppProto{source: 0}, tr, opts)
+		if err != nil && !errors.Is(err, ErrMaxTicks) {
+			b.Error(err)
+		}
+	}()
+	time.Sleep(scaleTicks * scaleTick / 2)
+	grt := runtime.NumGoroutine() - baseGrt
+	var mid runtime.MemStats
+	runtime.ReadMemStats(&mid)
+	<-done
+	tr.Close()
+
+	perNode := float64(mid.HeapInuse-before.HeapInuse) / float64(n)
+	b.ReportMetric(perNode, "B/node")
+	b.ReportMetric(float64(grt), "goroutines")
+	b.ReportMetric(float64(grt)/float64(shards), "goroutines/shard")
+	b.ReportMetric(float64(shards), "shards")
+
+	// O(shards), not O(nodes): shard loops + wheel driver + watcher + a
+	// handful of runtime helpers. The slack absorbs GC workers and test
+	// scaffolding; a goroutine-per-node regression overshoots it by orders
+	// of magnitude at every size.
+	if limit := 8*shards + 64; grt > limit {
+		b.Errorf("mid-run goroutine count %d exceeds O(shards) bound %d (shards=%d, nodes=%d)",
+			grt, limit, shards, n)
+	}
+}

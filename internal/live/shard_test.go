@@ -1,0 +1,30 @@
+package live
+
+import "testing"
+
+// TestShardMailboxCap: a full mailbox sheds gossip posts (reported as handled
+// and counted in the overload ledger) but always admits membership traffic.
+func TestShardMailboxCap(t *testing.T) {
+	s := &shard{rt: &Runtime{}, notify: make(chan struct{}, 1)}
+	s.q = make([]post, shardMailCap)
+
+	if !s.post(Message{Kind: MsgRequest}, 0) {
+		t.Fatal("shed gossip post reported false; callers would fall back to the legacy inbox")
+	}
+	if got := len(s.q); got != shardMailCap {
+		t.Fatalf("gossip post enqueued past the cap: len(q) = %d, want %d", got, shardMailCap)
+	}
+	if got := s.rt.mailShed.Load(); got != 1 {
+		t.Fatalf("mailShed = %d, want 1", got)
+	}
+
+	if !s.post(Message{Kind: MsgMember}, 0) {
+		t.Fatal("membership post rejected by a full mailbox")
+	}
+	if got := len(s.q); got != shardMailCap+1 {
+		t.Fatalf("membership post not admitted past the cap: len(q) = %d, want %d", got, shardMailCap+1)
+	}
+	if got := s.rt.mailShed.Load(); got != 1 {
+		t.Fatalf("mailShed after membership post = %d, want 1", got)
+	}
+}

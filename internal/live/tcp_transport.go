@@ -90,8 +90,13 @@ const (
 // Outbound connections are dialed lazily (with retries, so a cluster's
 // processes may start in any order) and pooled per destination address.
 type TCPTransport struct {
-	ln      net.Listener
-	inboxes map[graph.NodeID]chan Message
+	ln     net.Listener
+	hosted map[graph.NodeID]bool // read-only after construction
+
+	buffer  int
+	inboxMu sync.Mutex
+	inboxes map[graph.NodeID]chan Message // lazily created on first Recv/legacy delivery
+	sink    atomic.Pointer[DeliverySink]
 
 	// Atomic because connection goroutines read them while the owner may
 	// still be configuring (an eager peer can dial in before SetWireFormat).
@@ -125,7 +130,8 @@ type TCPTransport struct {
 	pend  [pendShards]pendShard
 	dedup [dedupShards]dedupShard
 
-	timers         timerShards  // armed latency-delay timers for not-yet-sent messages
+	delays         *timerWheel  // armed latency delays for not-yet-sent messages
+	retries        *timerWheel  // armed retransmission timeouts (RTOs)
 	bytesOut       atomic.Int64 // frame bytes written to sockets
 	flushes        atomic.Int64 // buffered-writer flushes (syscall batches)
 	framesOut      atomic.Int64 // frames written (binary mode; JSON counts encoder calls)
@@ -152,6 +158,7 @@ type TCPTransport struct {
 }
 
 var _ Transport = (*TCPTransport)(nil)
+var _ SinkTransport = (*TCPTransport)(nil)
 var _ FaultReporter = (*TCPTransport)(nil)
 var _ Drainer = (*TCPTransport)(nil)
 var _ PeerStatusSink = (*TCPTransport)(nil)
@@ -171,7 +178,7 @@ type pendingSend struct {
 	ps            *peerState // the peer's adaptive state, resolved once at admission
 	w             wireMessage
 	attempts      int
-	retry         *time.Timer
+	retry         *wheelTimer
 	sentAt        time.Time
 	retransmitted bool
 }
@@ -251,8 +258,12 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 	}
 	t := &TCPTransport{
 		ln:          ln,
-		inboxes:     make(map[graph.NodeID]chan Message, len(local)),
+		hosted:      make(map[graph.NodeID]bool, len(local)),
+		buffer:      buffer,
+		inboxes:     make(map[graph.NodeID]chan Message),
 		peers:       make(map[graph.NodeID]string),
+		delays:      newTimerWheel(0),
+		retries:     newTimerWheel(0),
 		outs:        make(map[string]*connState),
 		dialTimeout: 10 * time.Second,
 		rto:         DefaultRetransmitRTO,
@@ -267,7 +278,7 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 	}
 	t.dedupWindow.Store(DefaultDedupWindowTicks)
 	for _, u := range local {
-		t.inboxes[u] = make(chan Message, buffer)
+		t.hosted[u] = true
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -555,8 +566,11 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 	if t.draining.Load() {
 		return ErrTransportClosed
 	}
-	if inbox, ok := t.inboxes[msg.To]; ok {
-		if !deliverAfter(t.timers.shard(uint64(msg.To)), inbox, msg, delay, t.closed) {
+	if t.hosted[msg.To] {
+		if s := t.sink.Load(); s != nil && (*s)(msg, delay) {
+			return nil
+		}
+		if t.delays.schedule(delay, func() { t.deliverLocal(msg) }) == nil {
 			t.dropsClosed.Add(1)
 			return ErrTransportClosed
 		}
@@ -597,11 +611,21 @@ func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
 			return nil
 		}
 	}
-	if !t.timers.shard(w.Seq).schedule(delay, func() { t.transmit(addr, w) }) {
+	if t.delays.schedule(delay, func() { t.transmit(addr, w) }) == nil {
 		t.dropsClosed.Add(1)
 		return ErrTransportClosed
 	}
 	return nil
+}
+
+// deliverLocal pushes msg onto its destination's inbox channel — the legacy
+// delivery path for raw-transport users; the sharded runtime's sink bypasses
+// it entirely.
+func (t *TCPTransport) deliverLocal(msg Message) {
+	select {
+	case t.inbox(msg.To) <- msg:
+	case <-t.closed:
+	}
 }
 
 // pendShard returns the shard owning seq.
@@ -687,7 +711,7 @@ func (t *TCPTransport) armRetryLocked(p *pendingSend) {
 		backoff = t.rtoMax
 	}
 	seq := p.w.Seq
-	p.retry = time.AfterFunc(backoff, func() { t.retry(seq) })
+	p.retry = t.retries.schedule(backoff, func() { t.retry(seq) })
 }
 
 // retry retransmits one unacked message, or abandons it once the budget is
@@ -770,8 +794,42 @@ func (t *TCPTransport) ack(seq uint64) {
 	p.ps.success()
 }
 
-// Recv implements Transport.
-func (t *TCPTransport) Recv(u graph.NodeID) <-chan Message { return t.inboxes[u] }
+// Recv implements Transport. Inbox channels exist only for nodes actually
+// received on — the sharded runtime never calls Recv, so hosting 100k nodes
+// costs a set entry each, not a buffered channel.
+func (t *TCPTransport) Recv(u graph.NodeID) <-chan Message {
+	if !t.hosted[u] {
+		return nil
+	}
+	return t.inbox(u)
+}
+
+// inbox returns u's inbox channel, creating it on first use. Callers must
+// have checked t.hosted[u].
+func (t *TCPTransport) inbox(u graph.NodeID) chan Message {
+	t.inboxMu.Lock()
+	ch := t.inboxes[u]
+	if ch == nil {
+		ch = make(chan Message, t.buffer)
+		t.inboxes[u] = ch
+	}
+	t.inboxMu.Unlock()
+	return ch
+}
+
+// Hosts implements SinkTransport without materializing an inbox.
+func (t *TCPTransport) Hosts(u graph.NodeID) bool { return t.hosted[u] }
+
+// SetSink implements SinkTransport: locally destined sends and wire arrivals
+// for hosted nodes are handed to sink instead of inbox channels.
+func (t *TCPTransport) SetSink(sink DeliverySink) bool {
+	if sink == nil {
+		t.sink.Store(nil)
+	} else {
+		t.sink.Store(&sink)
+	}
+	return true
+}
 
 // Close implements Transport: it stops the listener, all connections and
 // delivery timers, and counts undelivered or unacked messages as dropped.
@@ -779,7 +837,8 @@ func (t *TCPTransport) Close() error {
 	t.closeOnce.Do(func() {
 		close(t.closed)
 		t.ln.Close()
-		t.dropsClosed.Add(t.timers.close())
+		t.dropsClosed.Add(t.delays.close())
+		t.retries.close() // RTOs aren't deliveries; the pend sweep below counts them
 		for i := range t.pend {
 			sh := &t.pend[i]
 			sh.mu.Lock()
@@ -836,8 +895,10 @@ func (t *TCPTransport) Drain(ctx context.Context) (DrainReport, error) {
 	default:
 	}
 	t.draining.Store(true)
-	rep := DrainReport{AbandonedTimers: t.timers.close()}
+	rep := DrainReport{AbandonedTimers: t.delays.close()}
 	t.dropsClosed.Add(rep.AbandonedTimers)
+	poll := time.NewTimer(2 * time.Millisecond)
+	defer poll.Stop()
 	for {
 		if t.queueDepth() == 0 && t.pendingCount() == 0 {
 			rep.Clean = true
@@ -855,7 +916,8 @@ func (t *TCPTransport) Drain(ctx context.Context) (DrainReport, error) {
 		case <-t.closed:
 			rep.Wall = time.Since(start)
 			return rep, ErrTransportClosed
-		case <-time.After(2 * time.Millisecond):
+		case <-poll.C:
+			poll.Reset(2 * time.Millisecond)
 		}
 	}
 }
@@ -1299,8 +1361,7 @@ func (t *TCPTransport) deliverWire(cs *connState, w *wireMessage, acks []uint64)
 		// Best effort: a lost ack only costs another (deduplicated) retry.
 		cs.enqueueAck(w.Seq)
 	}
-	inbox, ok := t.inboxes[graph.NodeID(w.To)]
-	if !ok {
+	if !t.hosted[graph.NodeID(w.To)] {
 		t.dropsMisroute.Add(1) // misrouted: not hosted here
 		return true
 	}
@@ -1323,8 +1384,13 @@ func (t *TCPTransport) deliverWire(cs *connState, w *wireMessage, acks []uint64)
 		SentTick: w.SentTick,
 		Payload:  payload,
 	}
+	// The wire already spent the edge's latency on the sender side, so the
+	// sink delivery is immediate.
+	if s := t.sink.Load(); s != nil && (*s)(msg, 0) {
+		return true
+	}
 	select {
-	case inbox <- msg:
+	case t.inbox(msg.To) <- msg:
 		return true
 	case <-t.closed:
 		return false

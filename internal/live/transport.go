@@ -3,7 +3,6 @@ package live
 import (
 	"context"
 	"errors"
-	"sync"
 	"time"
 
 	"gossip/internal/graph"
@@ -91,110 +90,26 @@ type Drainer interface {
 	Drain(ctx context.Context) (DrainReport, error)
 }
 
-// timerSet tracks a transport's pending delivery timers so Close can stop
-// every one of them instead of letting armed timers linger (and fire into a
-// dead transport) for up to a full latency delay after shutdown. schedule
-// after close is a no-op; close returns how many deliveries it abandoned so
-// transports can count them as drops.
-type timerSet struct {
-	mu      sync.Mutex
-	closed  bool
-	nextID  int
-	pending map[int]*time.Timer
-}
+// DeliverySink is the sharded runtime's fast path into a transport: instead
+// of buffering locally destined messages on per-node inbox channels, a
+// transport hands them straight to the owning shard, which applies delay on
+// its own timer wheel. The sink reports false when it cannot accept the
+// message (runtime not running, node not hosted by the sink); the transport
+// must then fall back to its legacy inbox delivery so raw-transport users
+// (tests, benchmarks, foreign runtimes) keep working.
+//
+// Sinks must be non-blocking and safe for concurrent use.
+type DeliverySink func(msg Message, delay time.Duration) bool
 
-// schedule arms fire after delay. It reports false when the set is already
-// closed (the delivery is abandoned, never armed).
-func (s *timerSet) schedule(delay time.Duration, fire func()) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return false
-	}
-	if s.pending == nil {
-		s.pending = make(map[int]*time.Timer)
-	}
-	id := s.nextID
-	s.nextID++
-	// The callback runs on its own timer goroutine; holding mu through
-	// registration means even a zero-delay callback observes its entry.
-	s.pending[id] = time.AfterFunc(delay, func() {
-		s.mu.Lock()
-		if _, armed := s.pending[id]; !armed {
-			// close stopped us between firing and locking: abandon.
-			s.mu.Unlock()
-			return
-		}
-		delete(s.pending, id)
-		s.mu.Unlock()
-		fire()
-	})
-	return true
-}
-
-// close stops every pending timer and returns the number of deliveries
-// abandoned. Timers mid-fire observe their missing entry and abandon too.
-func (s *timerSet) close() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	n := int64(len(s.pending))
-	for id, t := range s.pending {
-		t.Stop()
-		delete(s.pending, id)
-	}
-	return n
-}
-
-// len returns the number of armed timers (tests use it to verify hygiene).
-func (s *timerSet) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pending)
-}
-
-// timerShardCount splits a transport's delivery timers over independent
-// locks: every Send arms a timer, so a single timerSet mutex serializes all
-// sender goroutines on the transport's hottest path.
-const timerShardCount = 8
-
-// timerShards is a sharded timerSet. Callers spread load by passing any
-// stable per-message number to shard (destination node, sequence number);
-// close and len aggregate over all shards.
-type timerShards [timerShardCount]timerSet
-
-// shard returns the timerSet owning key.
-func (s *timerShards) shard(key uint64) *timerSet {
-	return &s[key&(timerShardCount-1)]
-}
-
-// close closes every shard and returns the total deliveries abandoned.
-func (s *timerShards) close() int64 {
-	var n int64
-	for i := range s {
-		n += s[i].close()
-	}
-	return n
-}
-
-// len returns the total number of armed timers across all shards.
-func (s *timerShards) len() int {
-	n := 0
-	for i := range s {
-		n += s[i].len()
-	}
-	return n
-}
-
-// deliverAfter arms a delivery of msg to inbox after delay via the timer
-// set, abandoning the delivery if closed is signalled first (so a full inbox
-// of a stopped runtime cannot leak the goroutine forever). It reports false
-// when the delivery was abandoned before being armed.
-func deliverAfter(ts *timerSet, inbox chan<- Message, msg Message, delay time.Duration, closed <-chan struct{}) bool {
-	return ts.schedule(delay, func() {
-		select {
-		case inbox <- msg:
-		case <-closed:
-		}
-	})
+// SinkTransport is implemented by transports that can route locally hosted
+// traffic through a DeliverySink and can answer hosting queries without
+// materializing an inbox channel. Hosts reports whether this transport is
+// responsible for delivering to u (Recv(u) would be non-nil), without the
+// allocation. SetSink installs (or, with nil, removes) the runtime's sink and
+// reports whether the transport honors it — decorators forward SetSink to
+// their inner transport and report false when it doesn't participate, in
+// which case the runtime falls back to inbox-forwarding goroutines.
+type SinkTransport interface {
+	Hosts(u graph.NodeID) bool
+	SetSink(sink DeliverySink) bool
 }

@@ -1,0 +1,303 @@
+// Command gossipctl launches and supervises a multi-daemon live gossip
+// cluster on one machine: it partitions a generated graph into K contiguous
+// node ranges, reserves a listen address per daemon, emits the shared peer
+// map, starts K gossipd processes, streams and scans their output, and
+// verifies the run end to end — every daemon must report broadcast
+// completion (all hosted nodes informed) and a clean drain.
+//
+// A 4-daemon × 2.5k-node flood over the million-node-friendly ringchords
+// family:
+//
+//	gossipctl -gossipd ./gossipd -daemons 4 -graph ringchords -n 10000 \
+//	    -chords 4 -latmax 16 -proto flood -tick 5ms -linger 2s
+//
+// All graph and protocol flags are passed through to every daemon unchanged,
+// so the fleet agrees on the graph by construction. -join additionally
+// enables SWIM membership (bootstrapping from node 0) and reports the
+// aggregated view convergence. -timeout bounds the whole run: on expiry the
+// fleet is killed and the run fails.
+//
+// The ≥1M-node configuration from the ROADMAP (8 daemons × 125k nodes, see
+// PERFORMANCE.md) is exercised by TestGossipctlMillionNodes, gated behind
+// GOSSIPCTL_1M=1 because it takes minutes of wall clock on one core.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipctl:", err)
+		os.Exit(1)
+	}
+}
+
+// daemonReport is what the output scanner extracts from one daemon's stdout.
+type daemonReport struct {
+	started    bool // saw the gossipd banner line
+	completed  bool // completed=true
+	informed   int  // informed=<x>/<y>
+	hosted     int
+	drainClean bool // drain: clean=true
+	messages   int64
+	memberOK   bool // membership: ... suspect=0 dead=0 with alive>0
+	sawMember  bool
+	raw        strings.Builder
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gossipctl", flag.ContinueOnError)
+	var (
+		gossipd  = fs.String("gossipd", "gossipd", "path to the gossipd binary")
+		daemons  = fs.Int("daemons", 4, "number of gossipd processes to launch")
+		n        = fs.Int("n", 10000, "total node count, partitioned contiguously across daemons")
+		graph    = fs.String("graph", "ringchords", "graph family (passed through to every daemon)")
+		chords   = fs.Int("chords", 4, "ringchords: expected chord edges per node")
+		latMax   = fs.Int("latmax", 16, "ringchords: chord latency bound")
+		latency  = fs.Int("latency", 1, "edge latency (family dependent)")
+		kFlag    = fs.Int("k", 8, "cliques in ring / grid rows")
+		sFlag    = fs.Int("s", 8, "clique size / grid cols")
+		p        = fs.Float64("p", 0.1, "GNP edge probability")
+		beta     = fs.Float64("beta", 2.5, "chunglu degree exponent")
+		avgDeg   = fs.Float64("avgdeg", 8, "chunglu average degree")
+		proto    = fs.String("proto", "flood", "protocol: pushpull, flood or rr")
+		source   = fs.Int("source", 0, "broadcast source node")
+		seed     = fs.Uint64("seed", 1, "deterministic run seed (same on every daemon)")
+		tick     = fs.Duration("tick", 2*time.Millisecond, "wall-clock duration of one round")
+		maxTicks = fs.Int("maxticks", 0, "tick budget per daemon (0 = gossipd default)")
+		linger   = fs.Duration("linger", 2*time.Second, "daemon linger after local completion")
+		flushWin = fs.Duration("flushwindow", 200*time.Microsecond, "daemon flush window (super-frame aggregation width)")
+		wire     = fs.String("wire", "binary", "wire format: binary or json")
+		batch    = fs.Bool("batch", true, "cross-daemon super-frame batching")
+		nodesPer = fs.Int("nodes-per-shard", 0, "per-daemon shard sizing (0 = gossipd default)")
+		queueCap = fs.Int("queue-frames", 0, "per-connection writer queue cap (0 = gossipd default, negative = unbounded)")
+		mailCap  = fs.Int("mailbox", 0, "per-shard mailbox cap in posts (0 = gossipd default, negative = unbounded)")
+		pendCap  = fs.Int("max-pend", 0, "unacked reliable-send cap per daemon (0 = gossipd default, negative = unbounded)")
+		rto      = fs.Duration("rto", 0, "initial retransmission timeout / adaptive-RTO floor (0 = gossipd default)")
+		maxRetr  = fs.Int("retrans", 0, "retransmission budget (0 = gossipd default, negative = off)")
+		join     = fs.Bool("join", false, "enable SWIM membership from seed node 0 and check convergence")
+		timeout  = fs.Duration("timeout", 10*time.Minute, "kill the fleet and fail after this long")
+		verbose  = fs.Bool("v", false, "stream per-daemon output, prefixed d<i>:")
+		pprof0   = fs.Int("pprof-base", 0, "serve daemon i's pprof on 127.0.0.1:(base+i) (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *daemons < 1 {
+		return fmt.Errorf("-daemons: must be >= 1")
+	}
+	if *n < *daemons {
+		return fmt.Errorf("-n %d < -daemons %d: every daemon needs at least one node", *n, *daemons)
+	}
+
+	// Contiguous partition: daemon i hosts [i·n/K, (i+1)·n/K).
+	ranges := make([][2]int, *daemons)
+	for i := 0; i < *daemons; i++ {
+		ranges[i] = [2]int{i * *n / *daemons, (i+1)**n / *daemons - 1}
+	}
+	addrs, err := reserveAddrs(*daemons)
+	if err != nil {
+		return err
+	}
+	var peerParts []string
+	for i, r := range ranges {
+		peerParts = append(peerParts, fmt.Sprintf("%d-%d=%s", r[0], r[1], addrs[i]))
+	}
+	peers := strings.Join(peerParts, ",")
+
+	common := []string{
+		"-graph", *graph, "-n", strconv.Itoa(*n),
+		"-chords", strconv.Itoa(*chords), "-latmax", strconv.Itoa(*latMax),
+		"-latency", strconv.Itoa(*latency),
+		"-k", strconv.Itoa(*kFlag), "-s", strconv.Itoa(*sFlag),
+		"-p", fmt.Sprint(*p), "-beta", fmt.Sprint(*beta), "-avgdeg", fmt.Sprint(*avgDeg),
+		"-proto", *proto, "-source", strconv.Itoa(*source),
+		"-seed", strconv.FormatUint(*seed, 10),
+		"-tick", tick.String(), "-linger", linger.String(),
+		"-flushwindow", flushWin.String(),
+		"-wire", *wire, fmt.Sprintf("-batch=%v", *batch),
+		"-peers", peers,
+	}
+	if *maxTicks > 0 {
+		common = append(common, "-maxticks", strconv.Itoa(*maxTicks))
+	}
+	if *nodesPer > 0 {
+		common = append(common, "-nodes-per-shard", strconv.Itoa(*nodesPer))
+	}
+	if *queueCap != 0 {
+		common = append(common, "-queue-frames", strconv.Itoa(*queueCap))
+	}
+	if *mailCap != 0 {
+		common = append(common, "-mailbox", strconv.Itoa(*mailCap))
+	}
+	if *pendCap != 0 {
+		common = append(common, "-max-pend", strconv.Itoa(*pendCap))
+	}
+	if *rto != 0 {
+		common = append(common, "-rto", rto.String())
+	}
+	if *maxRetr != 0 {
+		common = append(common, "-retrans", strconv.Itoa(*maxRetr))
+	}
+	if *join {
+		common = append(common, "-join", "0")
+	}
+
+	fmt.Fprintf(out, "gossipctl: daemons=%d nodes=%d graph=%s proto=%s peers=%d-ranges\n",
+		*daemons, *n, *graph, *proto, len(ranges))
+
+	start := time.Now()
+	reports := make([]daemonReport, *daemons)
+	cmds := make([]*exec.Cmd, *daemons)
+	var wg sync.WaitGroup
+	var outMu sync.Mutex
+	for i := range cmds {
+		args := append([]string{"-listen", addrs[i], "-nodes", fmt.Sprintf("%d-%d", ranges[i][0], ranges[i][1])}, common...)
+		if *pprof0 > 0 {
+			args = append(args, "-pprof", fmt.Sprintf("127.0.0.1:%d", *pprof0+i))
+		}
+		cmd := exec.Command(*gossipd, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stderr = cmd.Stdout // interleave; gossipd errors land in the scan too
+		if err := cmd.Start(); err != nil {
+			killAll(cmds[:i])
+			return fmt.Errorf("start daemon %d: %w", i, err)
+		}
+		cmds[i] = cmd
+		wg.Add(1)
+		go func(i int, r io.Reader) {
+			defer wg.Done()
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				line := sc.Text()
+				scanLine(&reports[i], line)
+				if *verbose {
+					outMu.Lock()
+					fmt.Fprintf(out, "d%d: %s\n", i, line)
+					outMu.Unlock()
+				}
+			}
+		}(i, stdout)
+	}
+
+	// Supervise: every daemon runs to completion on its own (the protocol
+	// completes, linger expires, the daemon drains and exits). On timeout the
+	// fleet is killed and the run fails.
+	waitErrs := make([]error, *daemons)
+	done := make(chan struct{})
+	go func() {
+		for i, cmd := range cmds {
+			waitErrs[i] = cmd.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(*timeout):
+		killAll(cmds)
+		<-done
+		wg.Wait()
+		return fmt.Errorf("fleet did not finish within %v (see -v output)", *timeout)
+	}
+	wg.Wait()
+
+	var totalMsgs int64
+	var failures []string
+	for i := range reports {
+		r := &reports[i]
+		totalMsgs += r.messages
+		switch {
+		case waitErrs[i] != nil:
+			failures = append(failures, fmt.Sprintf("daemon %d exited with %v:\n%s", i, waitErrs[i], r.raw.String()))
+		case !r.completed:
+			failures = append(failures, fmt.Sprintf("daemon %d did not complete:\n%s", i, r.raw.String()))
+		case r.informed != r.hosted || r.hosted == 0:
+			failures = append(failures, fmt.Sprintf("daemon %d informed %d/%d", i, r.informed, r.hosted))
+		case !r.drainClean:
+			failures = append(failures, fmt.Sprintf("daemon %d drain not clean:\n%s", i, r.raw.String()))
+		case *join && !(r.sawMember && r.memberOK):
+			failures = append(failures, fmt.Sprintf("daemon %d membership not converged:\n%s", i, r.raw.String()))
+		}
+	}
+	fmt.Fprintf(out, "gossipctl: completed=%v drains-clean=%v messages=%d wall=%v\n",
+		len(failures) == 0, len(failures) == 0, totalMsgs, time.Since(start).Round(time.Millisecond))
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d daemons failed:\n%s", len(failures), *daemons, strings.Join(failures, "\n"))
+	}
+	return nil
+}
+
+// scanLine folds one gossipd stdout line into the daemon's report.
+func scanLine(r *daemonReport, line string) {
+	r.raw.WriteString(line)
+	r.raw.WriteByte('\n')
+	switch {
+	case strings.HasPrefix(line, "gossipd:"):
+		r.started = true
+	case strings.HasPrefix(line, "completed="):
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "completed="); ok {
+				r.completed = v == "true"
+			}
+			if v, ok := strings.CutPrefix(f, "informed="); ok {
+				fmt.Sscanf(v, "%d/%d", &r.informed, &r.hosted)
+			}
+			if v, ok := strings.CutPrefix(f, "messages="); ok {
+				r.messages, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+	case strings.HasPrefix(line, "drain:"):
+		r.drainClean = strings.Contains(line, "clean=true")
+	case strings.HasPrefix(line, "membership:"):
+		r.sawMember = true
+		alive := 0
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "alive="); ok {
+				alive, _ = strconv.Atoi(v)
+			}
+		}
+		// Converged enough for a healthy run: views exist and nobody was
+		// falsely declared dead. Transient suspicion at snapshot time is
+		// normal SWIM noise (in-flight probes at run end), not divergence.
+		r.memberOK = alive > 0 && strings.Contains(line, "dead=0")
+	}
+}
+
+// reserveAddrs picks k distinct loopback listen addresses by binding and
+// immediately releasing ephemeral ports. The usual (benign) race: nothing
+// else on the host grabs them between release and the daemons' listen.
+func reserveAddrs(k int) ([]string, error) {
+	addrs := make([]string, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}

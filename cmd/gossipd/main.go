@@ -13,7 +13,9 @@
 //	    -listen 127.0.0.1:7001 -nodes 32-63 \
 //	    -peers 0-31=127.0.0.1:7000,32-63=127.0.0.1:7001
 //
-// Graphs: clique, star, path, cycle, grid, gnp, ringcliques, dumbbell, or
+// Graphs: clique, star, path, cycle, grid, gnp, ringcliques, dumbbell,
+// chunglu (power-law, -beta/-avgdeg), ringchords (latency-1 ring plus random
+// chords with latencies in [1,-latmax], O(n·d) — the million-node family), or
 // -load FILE (.json as graphio JSON, anything else as an edge list).
 // Protocols: pushpull, flood, rr.
 //
@@ -22,7 +24,13 @@
 // auto-detected per connection, so daemons with different -wire settings
 // interoperate). -flushwindow widens write batches by waiting that long
 // after the first queued frame before flushing — more messages per syscall
-// at the cost of up to that much added delivery latency.
+// at the cost of up to that much added delivery latency. With the binary
+// format everything bound for the same peer daemon within a flush window
+// coalesces into FrameBatch super-frames (one frame, one ack, one
+// retransmission timer per batch); -batch=false restores per-message frames.
+//
+// -pprof ADDR serves net/http/pprof on ADDR so cluster-scale runs can be
+// profiled in place (see PERFORMANCE.md).
 //
 // Hosted nodes run on a sharded event loop (one shard per CPU core by
 // default), so one daemon comfortably hosts 100k+ nodes. -shards sets the
@@ -47,6 +55,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -95,8 +106,19 @@ func run(args []string, out io.Writer) error {
 		rrK       = fs.Int("rrk", 0, "RR broadcast latency bound k (0 = the graph's max edge latency)")
 		wire      = fs.String("wire", "binary", "wire format for outgoing frames: binary or json (inbound is auto-detected)")
 		flushWin  = fs.Duration("flushwindow", 0, "wait this long after the first queued frame before flushing, widening write batches (0 = flush when the queue drains)")
+		batch     = fs.Bool("batch", true, "coalesce frames bound for the same peer daemon into super-frames (binary wire only)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (empty = off)")
+		chords    = fs.Int("chords", 4, "ringchords: expected chord edges per node")
+		latMax    = fs.Int("latmax", 16, "ringchords: chord latencies drawn uniformly from [1,latmax]")
+		beta      = fs.Float64("beta", 2.5, "chunglu: degree exponent (must be > 2)")
+		avgDeg    = fs.Float64("avgdeg", 8, "chunglu: expected average degree")
 		shards    = fs.Int("shards", 0, "event-loop shards hosted nodes are multiplexed onto (0 = one per CPU core)")
 		nodesPer  = fs.Int("nodes-per-shard", 0, "size shards by node count instead: ceil(hosted/this) shards (0 = use -shards)")
+		queueCap  = fs.Int("queue-frames", 0, "per-connection writer queue cap in frames; overflow sheds gossip oldest-first (0 = default, negative = unbounded — for dedicated bulk runs)")
+		mailCap   = fs.Int("mailbox", 0, "per-shard mailbox cap in posts; overflow sheds locally delivered gossip, which has no retransmit under it (0 = default, negative = unbounded)")
+		pendCap   = fs.Int("max-pend", 0, "transport-wide unacked reliable-send cap; overflow evicts oldest gossip (0 = default, negative = unbounded)")
+		rto       = fs.Duration("rto", 0, "initial retransmission timeout, also the adaptive RTO's floor (0 = default)")
+		maxRetr   = fs.Int("retrans", 0, "retransmission budget before a message is abandoned (0 = default, negative = no retransmission)")
 
 		joinSpec = fs.String("join", "", "enable SWIM membership, bootstrapping from these seed nodes, e.g. 0 or 0,32 (empty = membership off)")
 		probeIvl = fs.Int("probe-interval", 0, "membership probe interval in ticks (0 = default)")
@@ -108,7 +130,19 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	g, err := loadGraph(*loadPath, *graphName, *n, *k, *s, *latency, *p, *seed)
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer pln.Close()
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux; serve that.
+		go http.Serve(pln, nil)
+		fmt.Fprintf(out, "pprof: listening on %s\n", pln.Addr())
+	}
+
+	g, err := loadGraph(*loadPath, *graphName, *n, *k, *s, *latency, *p, *chords, *latMax, *beta, *avgDeg, *seed)
 	if err != nil {
 		return err
 	}
@@ -148,6 +182,9 @@ func run(args []string, out io.Writer) error {
 	defer tr.Close()
 	tr.SetWireFormat(wf)
 	tr.SetFlushWindow(*flushWin)
+	tr.SetBatching(*batch)
+	tr.SetOverloadLimits(*queueCap, *pendCap)
+	tr.SetRetransmit(*rto, *maxRetr)
 	// Hosted nodes route in-process; map them to our own address so peer
 	// validation below only flags genuinely unreachable nodes.
 	for _, u := range hosted {
@@ -184,14 +221,15 @@ func run(args []string, out io.Writer) error {
 	}()
 
 	opts := gossip.LiveOptions{
-		Seed:      *seed,
-		Tick:      *tick,
-		MaxTicks:  *maxTicks,
-		Nodes:     hosted,
-		Crashes:   crashes,
-		Linger:    *linger,
-		Interrupt: interrupt,
-		Shards:    nShards,
+		Seed:       *seed,
+		Tick:       *tick,
+		MaxTicks:   *maxTicks,
+		Nodes:      hosted,
+		Crashes:    crashes,
+		Linger:     *linger,
+		Interrupt:  interrupt,
+		Shards:     nShards,
+		MailboxCap: *mailCap,
 	}
 	if *joinSpec != "" {
 		seeds, err := parseNodeSet(*joinSpec, g.N())
@@ -244,8 +282,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown protocol %q (want pushpull, flood or rr)", *proto)
 	}
 
-	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v wire=%s\n",
-		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick, wf)
+	fmt.Fprintf(out, "gossipd: graph=%s nodes=%d hosting=%d listen=%s proto=%s seed=%d tick=%v wire=%s batch=%v\n",
+		describeGraph(*loadPath, *graphName), g.N(), len(hosted), tr.Addr(), *proto, *seed, *tick, wf, tr.Batching())
 
 	res, err := gossip.RunLiveTransport(g, lp, tr, opts)
 	informed := 0
@@ -270,16 +308,17 @@ func run(args []string, out io.Writer) error {
 	if opts.Membership != nil {
 		printMembership(out, res, hosted, *memDump)
 	}
-	if res.Interrupted {
-		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
-		rep, derr := tr.Drain(ctx)
-		cancel()
-		fmt.Fprintf(out, "drain: clean=%v queued=%d pending=%d abandoned-timers=%d wall=%v\n",
-			rep.Clean, rep.QueuedAtClose, rep.PendingAtClose, rep.AbandonedTimers,
-			rep.Wall.Round(time.Millisecond))
-		if derr != nil && !errors.Is(derr, context.DeadlineExceeded) {
-			return derr
-		}
+	// Always drain before exit — on interrupt this is the graceful-shutdown
+	// flush; after a completed run it should be instant and clean, and the
+	// report line is what cluster harnesses (cmd/gossipctl) assert on.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	rep, derr := tr.Drain(ctx)
+	cancel()
+	fmt.Fprintf(out, "drain: clean=%v queued=%d pending=%d abandoned-timers=%d wall=%v\n",
+		rep.Clean, rep.QueuedAtClose, rep.PendingAtClose, rep.AbandonedTimers,
+		rep.Wall.Round(time.Millisecond))
+	if derr != nil && !errors.Is(derr, context.DeadlineExceeded) {
+		return derr
 	}
 	return err
 }
@@ -340,7 +379,7 @@ func resolveShards(shards, nodesPer, hosted int) (int, error) {
 	return shards, nil
 }
 
-func loadGraph(loadPath, name string, n, k, s, latency int, p float64, seed uint64) (*gossip.Graph, error) {
+func loadGraph(loadPath, name string, n, k, s, latency int, p float64, chords, latMax int, beta, avgDeg float64, seed uint64) (*gossip.Graph, error) {
 	if loadPath != "" {
 		f, err := os.Open(loadPath)
 		if err != nil {
@@ -369,6 +408,10 @@ func loadGraph(loadPath, name string, n, k, s, latency int, p float64, seed uint
 		return gossip.RingOfCliques(k, s, latency), nil
 	case "dumbbell":
 		return gossip.Dumbbell(s, latency), nil
+	case "chunglu":
+		return gossip.ChungLu(n, beta, avgDeg, latency, seed), nil
+	case "ringchords":
+		return gossip.RingChords(n, chords, latMax, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown graph family %q", name)
 	}

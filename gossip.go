@@ -83,6 +83,10 @@ var (
 	// the given expected average degree — the heavy-tailed family the
 	// conductance-engine benchmarks run on.
 	ChungLu = graph.ChungLu
+	// RingChords returns a latency-1 ring overlaid with random chords of
+	// heterogeneous latency — O(n·chords) construction, the family the
+	// million-node cluster harness generates.
+	RingChords = graph.RingChords
 	// RandomLatencies re-draws a graph's latencies uniformly from [lo, hi].
 	RandomLatencies = graph.RandomLatencies
 )
@@ -424,6 +428,12 @@ type LiveOptions struct {
 	// the hosted node count). Goroutine and timer cost scale with shards,
 	// not nodes.
 	Shards int
+	// MailboxCap bounds each shard's mailbox, in posts (0 = a protective
+	// default, negative = unbounded). Overflowing gossip posts are shed —
+	// and locally delivered messages have no retransmit layer, so
+	// repair-free protocols never recover them; bulk runs on dedicated
+	// hardware should lift the cap and buffer the frontier in memory.
+	MailboxCap int
 }
 
 func (o LiveOptions) liveOptions() live.Options {
@@ -439,6 +449,7 @@ func (o LiveOptions) liveOptions() live.Options {
 		Interrupt:  o.Interrupt,
 		DrainTicks: o.DrainTicks,
 		Shards:     o.Shards,
+		MailboxCap: o.MailboxCap,
 	}
 }
 

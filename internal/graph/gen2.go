@@ -158,6 +158,39 @@ func ChungLu(n int, beta, avgDeg float64, latency int, seed uint64) *Graph {
 	return g
 }
 
+// RingChords returns a cycle on n nodes augmented with roughly chords·n/2
+// random chord edges (so expected chord-degree ≈ chords per node). Ring edges
+// have latency 1; chords draw latencies uniformly from [1, latMax] — the
+// paper's heterogeneous-latency regime: a fast local ring overlaid with slow
+// long-range links. Construction is O(n·chords) time and memory, never
+// touching the n² pair space, which makes it the generator of choice for the
+// million-node cluster harness where GNP and ChungLu are unaffordable.
+func RingChords(n, chords, latMax int, seed uint64) *Graph {
+	if n < 3 || chords < 0 || latMax < 1 {
+		panic(fmt.Sprintf("graph: RingChords needs n>=3, chords>=0, latMax>=1 (got %d, %d, %d)", n, chords, latMax))
+	}
+	r := rng.Stream(seed, 0x7263) // "rc"
+	g := New(n)
+	g.edges = make([]Edge, 0, n+n*chords/2)
+	for v := 0; v < n; v++ {
+		g.adj[v] = make([]HalfEdge, 0, 2+chords)
+	}
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n, 1)
+	}
+	// Sample chord endpoints independently; collisions with existing edges
+	// are skipped, not retried — on sparse graphs the loss is negligible and
+	// the bound on attempts keeps the construction strictly linear.
+	for i := 0; i < n*chords/2; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, 1+r.Intn(latMax))
+	}
+	return g
+}
+
 // Components returns the connected components as slices of node IDs, in
 // increasing order of their smallest member.
 func (g *Graph) Components() [][]NodeID {

@@ -3,6 +3,7 @@ package graph
 import (
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTorus(t *testing.T) {
@@ -200,6 +201,74 @@ func TestChungLuValidation(t *testing.T) {
 		func() { ChungLu(1, 2.5, 4, 1, 1) },
 		func() { ChungLu(10, 2.0, 4, 1, 1) },
 		func() { ChungLu(10, 2.5, 0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRingChords(t *testing.T) {
+	const n, chords, latMax = 2000, 4, 50
+	g := RingChords(n, chords, latMax, 11)
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	// Ring backbone: connected by construction, M >= n, and the chord count
+	// lands near the n·chords/2 target (a few collisions are skipped).
+	if comps := g.Components(); len(comps) != 1 {
+		t.Fatalf("%d components, want 1 (ring backbone)", len(comps))
+	}
+	chordsGot := g.M() - n
+	want := n * chords / 2
+	if chordsGot < want*8/10 || chordsGot > want {
+		t.Errorf("chords = %d, want within [%d, %d]", chordsGot, want*8/10, want)
+	}
+	// Heterogeneous latencies: ring edges are 1, chords spread over [1, latMax].
+	maxLat := 0
+	for _, e := range g.Edges() {
+		if e.Latency < 1 || e.Latency > latMax {
+			t.Fatalf("edge latency %d outside [1, %d]", e.Latency, latMax)
+		}
+		if e.Latency > maxLat {
+			maxLat = e.Latency
+		}
+	}
+	if maxLat < latMax/2 {
+		t.Errorf("max latency %d — chord latencies not spreading toward %d", maxLat, latMax)
+	}
+	if g2 := RingChords(n, chords, latMax, 11); g2.M() != g.M() {
+		t.Error("not deterministic for fixed seed")
+	}
+}
+
+func TestRingChordsLinearScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("250k-node generation is not -short friendly")
+	}
+	// The point of the family: n in the hundreds of thousands is cheap. A
+	// quarter-million nodes must build in well under a minute even on one
+	// core (O(n·chords), no n² pair scan).
+	start := time.Now()
+	g := RingChords(250_000, 4, 100, 3)
+	if elapsed := time.Since(start); elapsed > time.Minute {
+		t.Fatalf("250k-node RingChords took %v", elapsed)
+	}
+	if got, wantMin := g.M(), 250_000; got < wantMin {
+		t.Fatalf("M = %d, want >= %d ring edges", got, wantMin)
+	}
+}
+
+func TestRingChordsValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RingChords(2, 4, 10, 1) },
+		func() { RingChords(10, -1, 10, 1) },
+		func() { RingChords(10, 4, 0, 1) },
 	} {
 		func() {
 			defer func() {

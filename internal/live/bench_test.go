@@ -20,7 +20,7 @@ var benchTick int
 // path — encode, batched write, read, ack, decode — not the protocol round
 // trip. Reported metrics: msgs/sec and total wire bytes per delivered
 // message (data frames from the sender plus ack traffic from the receiver).
-func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration) {
+func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration, batched bool) {
 	src, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{0}, 4096)
 	if err != nil {
 		b.Fatal(err)
@@ -35,6 +35,8 @@ func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration) {
 	dst.SetWireFormat(format)
 	src.SetFlushWindow(window)
 	dst.SetFlushWindow(window)
+	src.SetBatching(batched)
+	dst.SetBatching(batched)
 	// A generous RTO keeps retransmissions out of a loopback measurement,
 	// and unbounded queues keep the overload protection from shedding a
 	// deliberately unthrottled firehose (the shed path has its own
@@ -87,19 +89,32 @@ func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration) {
 	}
 }
 
-// BenchmarkLiveTCPBinary is the default configuration: binary frames,
-// flush-on-drain batching.
-func BenchmarkLiveTCPBinary(b *testing.B) { benchLiveTCP(b, WireBinary, 0) }
+// BenchmarkLiveTCPBinary is the historical per-message configuration: binary
+// frames, flush-on-drain write coalescing, one frame and one pend entry per
+// message (batching off so the series stays comparable across PRs).
+func BenchmarkLiveTCPBinary(b *testing.B) { benchLiveTCP(b, WireBinary, 0, false) }
+
+// BenchmarkLiveTCPBatched is the default configuration since cross-daemon
+// super-frames landed: everything bound for the same daemon that accumulates
+// during the previous socket write coalesces into one FrameBatch frame with
+// one pend entry, one retransmission timer and one ack for the whole batch.
+func BenchmarkLiveTCPBatched(b *testing.B) { benchLiveTCP(b, WireBinary, 0, true) }
+
+// BenchmarkLiveTCPBatchedWindowed widens the aggregation window to 200µs:
+// bigger super-frames still, at the cost of added delivery latency.
+func BenchmarkLiveTCPBatchedWindowed(b *testing.B) {
+	benchLiveTCP(b, WireBinary, 200*time.Microsecond, true)
+}
 
 // BenchmarkLiveTCPJSON is the legacy JSON line protocol on the same batched
 // writer — the baseline the ≥3× throughput / ≥5× frame-size targets are
 // measured against.
-func BenchmarkLiveTCPJSON(b *testing.B) { benchLiveTCP(b, WireJSON, 0) }
+func BenchmarkLiveTCPJSON(b *testing.B) { benchLiveTCP(b, WireJSON, 0, false) }
 
 // BenchmarkLiveTCPBinaryWindowed adds a small flush window, trading up to
 // 200µs of latency for wider batches (fewer, larger syscalls).
 func BenchmarkLiveTCPBinaryWindowed(b *testing.B) {
-	benchLiveTCP(b, WireBinary, 200*time.Microsecond)
+	benchLiveTCP(b, WireBinary, 200*time.Microsecond, false)
 }
 
 // BenchmarkLiveTCPOverloadShed measures the bounded-queue path under

@@ -111,6 +111,7 @@ func TestTCPDrainDeadline(t *testing.T) {
 	}
 	tr.SetPeers(map[graph.NodeID]string{1: addr})
 	tr.SetRetransmit(time.Hour, 4) // never resolves by give-up either
+	tr.SetBatching(false)          // per-message pend entries: the counts below are exact
 
 	const sends = 5
 	for i := 0; i < sends; i++ {
@@ -181,6 +182,7 @@ func TestTCPDrainNoRedial(t *testing.T) {
 	}
 	tr.SetPeers(map[graph.NodeID]string{1: addr})
 	tr.SetRetransmit(time.Hour, 4)
+	tr.SetBatching(false) // per-message pend entries: the count below is exact
 
 	// One send first so the connection pool settles (concurrent first sends
 	// may race extra dials); the rest then ride the pooled connection.

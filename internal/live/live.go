@@ -111,6 +111,14 @@ type Options struct {
 	// the hosted node count). More shards buy parallelism, fewer buy cache
 	// density; the default is right for almost everything.
 	Shards int
+	// MailboxCap bounds each shard's mailbox, in posts (0 = the protective
+	// DefaultMailboxCap, negative = unbounded). When full, gossip posts are
+	// shed into the overload ledger; membership traffic is always admitted.
+	// Locally delivered messages have no retransmit layer under them, so a
+	// repair-free protocol (flood) never recovers a shed post — bulk
+	// experiments on dedicated hardware should raise or lift the cap and
+	// let memory absorb the frontier burst instead.
+	MailboxCap int
 }
 
 // DefaultDrainTicks is the post-interrupt grace period, in ticks.
@@ -207,6 +215,7 @@ type Runtime struct {
 	doneN     atomic.Int64 // hosted nodes whose done flag is set (watch fast path)
 	stopN     atomic.Int64 // hosted nodes whose exhausted flag is set
 	mailShed  atomic.Int64 // gossip posts shed by full shard mailboxes
+	mailCap   int          // resolved Options.MailboxCap (<=0 = unbounded)
 	peerSink  PeerStatusSink
 	wg        sync.WaitGroup
 }
@@ -223,6 +232,9 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 	if opts.MaxTicks <= 0 {
 		opts.MaxTicks = DefaultMaxTicks
 	}
+	if opts.MailboxCap == 0 {
+		opts.MailboxCap = DefaultMailboxCap
+	}
 	rt := &Runtime{
 		g:      g,
 		proto:  proto,
@@ -231,6 +243,9 @@ func Run(g *graph.Graph, proto Protocol, tr Transport, opts Options) (Result, er
 		nhint:  opts.NHint,
 		csr:    graph.BuildAdjCSR(g),
 		stopCh: make(chan struct{}),
+	}
+	if opts.MailboxCap > 0 {
+		rt.mailCap = opts.MailboxCap
 	}
 	if rt.nhint <= 0 {
 		rt.nhint = g.N()

@@ -152,6 +152,7 @@ func TestOverloadPendShed(t *testing.T) {
 	tr, cleanup := overloadPair(t)
 	defer cleanup()
 	tr.SetOverloadLimits(-1, pendShards) // one pending gossip frame per shard
+	tr.SetBatching(false)                // per-message pend path: shed math is per frame
 
 	const sends = 4 * pendShards
 	for i := 0; i < sends; i++ {
@@ -173,7 +174,8 @@ func TestOverloadPendShed(t *testing.T) {
 func TestTCPDeadPeerDropsInFlight(t *testing.T) {
 	tr, cleanup := overloadPair(t)
 	defer cleanup()
-	tr.SetBreaker(-1, 0) // breakers off: the flush must still happen
+	tr.SetBreaker(-1, 0)  // breakers off: the flush must still happen
+	tr.SetBatching(false) // per-message pend entries: pendingCount == sends below
 
 	const sends = 8
 	for i := 0; i < sends; i++ {
@@ -221,6 +223,7 @@ func TestTCPBreakerTripsOnDialFailures(t *testing.T) {
 	tr.SetDialTimeout(time.Millisecond)
 	tr.SetRetransmit(time.Hour, 4) // failures come from dials, not give-ups
 	tr.SetBreaker(2, time.Hour)    // trip after 2 failures, stay open
+	tr.SetBatching(false)          // pend entries register at send time in this mode
 
 	for i := 0; i < 2; i++ {
 		if err := tr.Send(testMsg(1, MsgRequest, i), 0); err != nil {

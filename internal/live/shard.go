@@ -49,12 +49,16 @@ type shard struct {
 	notify chan struct{} // cap 1: wakes the loop for a fresh mailbox post
 }
 
-// shardMailCap bounds a shard's mailbox. Without it a degree hotspot (say a
-// star center) lets producer shards outrun the owning shard and the queue —
-// and the process — grows without bound. When full, gossip posts are shed and
-// counted in the overload ledger; membership traffic is always admitted
-// (hard backpressure, matching the transports' inbox policy).
-const shardMailCap = 1 << 16
+// DefaultMailboxCap bounds a shard's mailbox. Without it a degree hotspot
+// (say a star center) lets producer shards outrun the owning shard and the
+// queue — and the process — grows without bound. When full, gossip posts are
+// shed and counted in the overload ledger; membership traffic is always
+// admitted (hard backpressure, matching the transports' inbox policy).
+// Options.MailboxCap overrides it per run (negative = unbounded): a shard
+// hosting 100k+ nodes sees flood frontiers far wider than this default, and
+// shed local posts — which have no retransmit layer under them — stall a
+// repair-free protocol for good.
+const DefaultMailboxCap = 1 << 16
 
 // post enqueues msg for delivery to a node this shard owns, reporting false
 // once the shard has stopped (the caller falls back to its legacy path; the
@@ -65,7 +69,7 @@ func (s *shard) post(msg Message, delayTicks int64) bool {
 		s.mu.Unlock()
 		return false
 	}
-	if len(s.q) >= shardMailCap && msg.Kind != MsgMember {
+	if mc := s.rt.mailCap; mc > 0 && len(s.q) >= mc && msg.Kind != MsgMember {
 		s.mu.Unlock()
 		s.rt.mailShed.Add(1)
 		return true // handled: shed, not eligible for the legacy fallback

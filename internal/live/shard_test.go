@@ -5,14 +5,14 @@ import "testing"
 // TestShardMailboxCap: a full mailbox sheds gossip posts (reported as handled
 // and counted in the overload ledger) but always admits membership traffic.
 func TestShardMailboxCap(t *testing.T) {
-	s := &shard{rt: &Runtime{}, notify: make(chan struct{}, 1)}
-	s.q = make([]post, shardMailCap)
+	s := &shard{rt: &Runtime{mailCap: DefaultMailboxCap}, notify: make(chan struct{}, 1)}
+	s.q = make([]post, DefaultMailboxCap)
 
 	if !s.post(Message{Kind: MsgRequest}, 0) {
 		t.Fatal("shed gossip post reported false; callers would fall back to the legacy inbox")
 	}
-	if got := len(s.q); got != shardMailCap {
-		t.Fatalf("gossip post enqueued past the cap: len(q) = %d, want %d", got, shardMailCap)
+	if got := len(s.q); got != DefaultMailboxCap {
+		t.Fatalf("gossip post enqueued past the cap: len(q) = %d, want %d", got, DefaultMailboxCap)
 	}
 	if got := s.rt.mailShed.Load(); got != 1 {
 		t.Fatalf("mailShed = %d, want 1", got)
@@ -21,10 +21,25 @@ func TestShardMailboxCap(t *testing.T) {
 	if !s.post(Message{Kind: MsgMember}, 0) {
 		t.Fatal("membership post rejected by a full mailbox")
 	}
-	if got := len(s.q); got != shardMailCap+1 {
-		t.Fatalf("membership post not admitted past the cap: len(q) = %d, want %d", got, shardMailCap+1)
+	if got := len(s.q); got != DefaultMailboxCap+1 {
+		t.Fatalf("membership post not admitted past the cap: len(q) = %d, want %d", got, DefaultMailboxCap+1)
 	}
 	if got := s.rt.mailShed.Load(); got != 1 {
 		t.Fatalf("mailShed after membership post = %d, want 1", got)
+	}
+
+	// An unbounded mailbox (mailCap <= 0, from Options.MailboxCap < 0)
+	// admits gossip past any depth — bulk runs on dedicated hardware trade
+	// memory for zero local loss.
+	u := &shard{rt: &Runtime{}, notify: make(chan struct{}, 1)}
+	u.q = make([]post, DefaultMailboxCap)
+	if !u.post(Message{Kind: MsgRequest}, 0) {
+		t.Fatal("unbounded mailbox rejected a post")
+	}
+	if got := len(u.q); got != DefaultMailboxCap+1 {
+		t.Fatalf("unbounded mailbox shed: len(q) = %d, want %d", got, DefaultMailboxCap+1)
+	}
+	if got := u.rt.mailShed.Load(); got != 0 {
+		t.Fatalf("unbounded mailbox counted a shed: mailShed = %d", got)
 	}
 }

@@ -1,0 +1,234 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// TestTCPBatchedAggregation is the tentpole's hot-path check: a burst sent
+// inside one flush window coalesces into a handful of FrameBatch super-frames
+// — WireMsgsOut counts logical messages, WireFramesOut physical frames — and
+// every message still arrives exactly once.
+func TestTCPBatchedAggregation(t *testing.T) {
+	a, b := tcpPair(t)
+	if !a.Batching() {
+		t.Fatal("batching is not the default")
+	}
+	a.SetFlushWindow(20 * time.Millisecond)
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, SentTick: i, Payload: bitp{}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool, n)
+	for got := 0; got < n; got++ {
+		m := recvWithin(t, b.Recv(1), 10*time.Second)
+		if seen[m.SentTick] {
+			t.Fatalf("duplicate delivery for SentTick %d", m.SentTick)
+		}
+		seen[m.SentTick] = true
+	}
+	if msgs := a.WireMsgsOut(); msgs != n {
+		t.Errorf("WireMsgsOut = %d, want %d", msgs, n)
+	}
+	if frames := a.WireFramesOut(); frames >= n/4 {
+		t.Errorf("%d frames for %d messages — super-frames are not aggregating", frames, n)
+	}
+	if f, fr := a.WireFlushes(), a.WireFramesOut(); f > fr {
+		t.Errorf("WireFlushes = %d > WireFramesOut = %d — a socket write per frame at most", f, fr)
+	}
+}
+
+// TestTCPFlushAccountingConsistency is the satellite-1 regression test: the
+// batching-factor math (msgs/frames, frames/flushes) must be computable from
+// the same three counters whether the flush window is zero (write-per-cycle
+// coalescing) or positive (windowed batching). Historically the 0-window path
+// under-counted WireFlushes, making the windowed factor incomparable.
+func TestTCPFlushAccountingConsistency(t *testing.T) {
+	const n = 16
+
+	// Zero window, serialized sends: every message is its own cycle, so all
+	// three counters must agree — one logical message per frame per flush.
+	a, b := tcpPair(t)
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, SentTick: i, Payload: bitp{}}, 0); err != nil {
+			t.Fatal(err)
+		}
+		recvWithin(t, b.Recv(1), 10*time.Second)
+	}
+	if msgs, frames := a.WireMsgsOut(), a.WireFramesOut(); msgs != n || frames != n {
+		t.Errorf("0-window: msgs = %d, frames = %d, want %d each", msgs, frames, n)
+	}
+	if f := a.WireFlushes(); f != n {
+		t.Errorf("0-window: WireFlushes = %d, want %d (one socket write per serialized message)", f, n)
+	}
+
+	// Windowed burst on a fresh pair: frames and flushes both collapse, and
+	// the factor msgs/frames is what the PERFORMANCE.md accounting reports.
+	c, d := tcpPair(t)
+	c.SetFlushWindow(20 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		if err := c.Send(Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, SentTick: i, Payload: bitp{}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < n; got++ {
+		recvWithin(t, d.Recv(1), 10*time.Second)
+	}
+	msgs, frames, flushes := c.WireMsgsOut(), c.WireFramesOut(), c.WireFlushes()
+	if msgs != n {
+		t.Errorf("windowed: WireMsgsOut = %d, want %d", msgs, n)
+	}
+	if frames == 0 || flushes == 0 {
+		t.Fatalf("windowed: frames = %d, flushes = %d — counters not ticking", frames, flushes)
+	}
+	if factor := msgs / frames; factor < 4 {
+		t.Errorf("windowed: batching factor %d (msgs=%d frames=%d), want >= 4", factor, msgs, frames)
+	}
+	if flushes > frames {
+		t.Errorf("windowed: WireFlushes = %d > WireFramesOut = %d", flushes, frames)
+	}
+}
+
+// TestTCPBatchedDeadPeerFlush is the batched analog of
+// TestTCPDeadPeerDropsInFlight: pend entries are per super-frame, but the
+// dead-peer flush still counts every LOGICAL message the dead node had in
+// flight.
+func TestTCPBatchedDeadPeerFlush(t *testing.T) {
+	addr, _, closeLn := quietListener(t)
+	tr, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{0}, 64)
+	if err != nil {
+		closeLn()
+		t.Fatal(err)
+	}
+	defer func() { tr.Close(); closeLn() }()
+	tr.SetPeers(map[graph.NodeID]string{1: addr})
+	tr.SetRetransmit(time.Hour, 4) // the quiet listener never acks; entries sit pending
+
+	const sends = 8
+	for i := 0; i < sends; i++ {
+		if err := tr.Send(testMsg(1, MsgRequest, i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All written ⇒ all registered (registration precedes the write).
+	if !pollUntil(5*time.Second, func() bool { return tr.WireMsgsOut() == sends }) {
+		t.Fatalf("WireMsgsOut = %d, want %d", tr.WireMsgsOut(), sends)
+	}
+	if n := tr.pendingCount(); n < 1 || n > sends {
+		t.Fatalf("pendingCount = %d batch entries, want 1..%d", n, sends)
+	}
+
+	tr.PeerDown(1)
+	if ov := tr.Overload(); ov.DroppedDeadPeer != sends {
+		t.Fatalf("DroppedDeadPeer = %d, want %d logical messages", ov.DroppedDeadPeer, sends)
+	}
+	if n := tr.pendingCount(); n != 0 {
+		t.Fatalf("pendingCount = %d after PeerDown, want 0", n)
+	}
+	if got := tr.Dropped(); got < sends {
+		t.Fatalf("Dropped() = %d, want >= %d", got, sends)
+	}
+}
+
+// TestTCPBatchedCloseCountsQueued: messages batched-queued but never flushed
+// when Close lands must surface in Dropped() — batch bookkeeping cannot make
+// losses invisible.
+func TestTCPBatchedCloseCountsQueued(t *testing.T) {
+	addr, _, closeLn := quietListener(t)
+	defer closeLn()
+	tr, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{0}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetPeers(map[graph.NodeID]string{1: addr})
+	tr.SetFlushWindow(time.Hour) // park the writer: sends stay queued, unregistered
+	tr.SetRetransmit(time.Hour, 4)
+
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := tr.Send(testMsg(1, MsgRequest, i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dropped(); got != sends {
+		t.Errorf("Dropped = %d after Close with %d queued, want %d", got, sends, sends)
+	}
+}
+
+// TestTCPBatchedMixedFormatInterop (satellite: mixed-format clusters): a
+// binary transport with batching on talks to a JSON peer. Each connection
+// negotiates independently off the first byte — the JSON side reads the
+// binary side's super-frames, the binary side reads JSON lines — and traffic
+// flows both ways.
+func TestTCPBatchedMixedFormatInterop(t *testing.T) {
+	a, b := tcpPair(t)
+	b.SetWireFormat(WireJSON)
+	a.SetFlushWindow(10 * time.Millisecond)
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, SentTick: i, Payload: bitp{informed: true}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < n; got++ {
+		m := recvWithin(t, b.Recv(1), 10*time.Second)
+		if !m.Payload.(bitp).informed {
+			t.Fatal("payload lost its state crossing a batched binary -> JSON hop")
+		}
+	}
+	if frames := a.WireFramesOut(); frames >= n/2 {
+		t.Errorf("binary side wrote %d frames for %d messages — batching off toward a JSON-reading peer?", frames, n)
+	}
+	// Reverse direction: JSON frames into the batched binary transport.
+	for i := 0; i < 4; i++ {
+		if err := b.Send(Message{Kind: MsgResponse, From: 1, To: 0, EdgeID: 1, SentTick: i, Payload: bitp{}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < 4; got++ {
+		recvWithin(t, a.Recv(0), 10*time.Second)
+	}
+	if a.Dropped() != 0 || b.Dropped() != 0 {
+		t.Errorf("drops on a healthy mixed-format pair: a=%d b=%d", a.Dropped(), b.Dropped())
+	}
+}
+
+// TestTCPBatchedRetransmitWholeBatch: an unacked super-frame retransmits as a
+// unit and one ack resolves all of its sub-messages — the per-batch
+// bookkeeping the tentpole promises.
+func TestTCPBatchedRetransmitWholeBatch(t *testing.T) {
+	a, b := tcpPair(t)
+	a.SetFlushWindow(10 * time.Millisecond)
+	a.SetRetransmit(200*time.Millisecond, 8)
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, SentTick: i, Payload: bitp{}}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for got := 0; got < n; got++ {
+		recvWithin(t, b.Recv(1), 10*time.Second)
+	}
+	// The batch ack resolves every sub-message: nothing stays pending, and
+	// the happy path never retransmits.
+	if !pollUntil(5*time.Second, func() bool { return a.pendingCount() == 0 }) {
+		t.Fatalf("pendingCount = %d after delivery + ack, want 0", a.pendingCount())
+	}
+	time.Sleep(500 * time.Millisecond)
+	if r := a.Retransmits(); r != 0 {
+		t.Errorf("Retransmits = %d on the happy path, want 0", r)
+	}
+	if b.DupsSuppressed() != 0 {
+		t.Errorf("DupsSuppressed = %d with no retransmissions", b.DupsSuppressed())
+	}
+}

@@ -76,6 +76,14 @@ const (
 // section of outgoing binary frames instead of paying a frame each.
 // SetFlushWindow adds an optional delay that widens the batches further.
 //
+// In batched mode (SetBatching, default on, binary format only) the writer
+// goes further: everything bound for the same destination daemon within one
+// drain coalesces into FrameBatch super-frames — one frame header, one pend
+// entry, one retransmission timer, and one returning ack per batch instead
+// of per message — and the receiver decodes a super-frame once and scatters
+// each sub-message straight to the owning shard's mailbox through the
+// DeliverySink seam.
+//
 // Remote delivery is reliable up to a retransmission budget: every remote
 // message carries a sequence number, the receiver acks it on the same
 // connection, and unacked messages are retransmitted with exponential
@@ -103,6 +111,7 @@ type TCPTransport struct {
 	wireFormat  atomic.Int32 // WireFormat
 	flushWindow atomic.Int64 // time.Duration
 	dedupWindow atomic.Int64 // ticks
+	batching    atomic.Bool  // FrameBatch super-frame aggregation (binary only)
 
 	peerMu sync.RWMutex
 	peers  map[graph.NodeID]string
@@ -133,8 +142,9 @@ type TCPTransport struct {
 	delays         *timerWheel  // armed latency delays for not-yet-sent messages
 	retries        *timerWheel  // armed retransmission timeouts (RTOs)
 	bytesOut       atomic.Int64 // frame bytes written to sockets
-	flushes        atomic.Int64 // buffered-writer flushes (syscall batches)
-	framesOut      atomic.Int64 // frames written (binary mode; JSON counts encoder calls)
+	flushes        atomic.Int64 // socket write batches (syscalls; see countingWriter)
+	framesOut      atomic.Int64 // physical frames written (a super-frame counts once)
+	msgsOut        atomic.Int64 // logical data messages those frames carried
 	dropsGiveUp    atomic.Int64 // retransmission budget exhausted
 	dropsClosed    atomic.Int64 // unacked or undelivered at Close
 	dropsDecode    atomic.Int64 // undecodable wire payloads or corrupt frames
@@ -169,18 +179,46 @@ type pendShard struct {
 	m  map[uint64]*pendingSend
 }
 
-// pendingSend is one unacknowledged remote message awaiting ack; retry is
-// the armed retransmission timer (stopped on ack or Close). sentAt and
-// retransmitted feed the RTT estimator under Karn's rule: only a message
-// acked on its first attempt yields a sample.
+// pendingSend is one unacknowledged reliable send awaiting ack — a single
+// remote message, or (batched mode) one whole FrameBatch super-frame whose
+// sub-messages live in batch and whose pend key is the last sub-message's
+// Seq (mirrored in w). retry is the armed retransmission timer (stopped on
+// ack or Close). sentAt and retransmitted feed the RTT estimator under
+// Karn's rule: only an entry acked on its first attempt yields a sample.
 type pendingSend struct {
 	addr          string
 	ps            *peerState // the peer's adaptive state, resolved once at admission
 	w             wireMessage
+	batch         []wireMessage // super-frame sub-messages; nil for a per-message entry
+	member        bool          // batch carries membership traffic: exempt from shedding
 	attempts      int
 	retry         *wheelTimer
 	sentAt        time.Time
 	retransmitted bool
+}
+
+// msgCount returns the logical data messages this entry carries — the unit
+// the drop and shed ledgers count in.
+func (p *pendingSend) msgCount() int64 {
+	if p.batch != nil {
+		return int64(len(p.batch))
+	}
+	return 1
+}
+
+// destinedTo reports whether every logical message of this entry targets
+// node u — the per-node flush test for PeerDown. A batch mixing destinations
+// is spared; the address-level breaker flush covers daemon-wide death.
+func (p *pendingSend) destinedTo(u int) bool {
+	if p.batch == nil {
+		return p.w.To == u
+	}
+	for i := range p.batch {
+		if p.batch[i].To != u {
+			return false
+		}
+	}
+	return true
 }
 
 // dedupKey identifies a message for receiver-side deduplication: the node
@@ -277,6 +315,7 @@ func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPT
 		closed:      make(chan struct{}),
 	}
 	t.dedupWindow.Store(DefaultDedupWindowTicks)
+	t.batching.Store(true)
 	for _, u := range local {
 		t.hosted[u] = true
 	}
@@ -316,6 +355,24 @@ func (t *TCPTransport) SetFlushWindow(d time.Duration) {
 		d = 0
 	}
 	t.flushWindow.Store(int64(d))
+}
+
+// SetBatching toggles cross-daemon super-frame aggregation (default on,
+// binary format only; JSON always sends per-message frames). When enabled,
+// every message bound for the same destination daemon within one writer
+// drain coalesces into FrameBatch super-frames sharing one frame header, one
+// pend entry, one retransmission timer, and one returning ack — the
+// per-message reliable-delivery bookkeeping collapses to per-batch. Call
+// before the first Send.
+func (t *TCPTransport) SetBatching(on bool) { t.batching.Store(on) }
+
+// Batching reports whether super-frame aggregation is enabled.
+func (t *TCPTransport) Batching() bool { return t.batching.Load() }
+
+// batched reports whether outgoing frames actually aggregate: batching is
+// enabled and the outgoing format is binary.
+func (t *TCPTransport) batched() bool {
+	return t.batching.Load() && t.WireFormat() == WireBinary
 }
 
 // SetDedupWindow bounds receiver-side dedup retention to the given number of
@@ -431,8 +488,9 @@ func (t *TCPTransport) peerFailure(addr string) {
 }
 
 // flushPend removes every pend entry matching keep==true, stopping its
-// retransmission timer, and returns how many it removed. Callers must not
-// hold any pend shard lock.
+// retransmission timer, and returns how many logical messages it removed
+// (a super-frame entry counts its sub-messages). Callers must not hold any
+// pend shard lock.
 func (t *TCPTransport) flushPend(match func(*pendingSend) bool) int64 {
 	var n int64
 	for i := range t.pend {
@@ -442,7 +500,7 @@ func (t *TCPTransport) flushPend(match func(*pendingSend) bool) int64 {
 			if match(p) {
 				p.retry.Stop()
 				delete(sh.m, seq)
-				n++
+				n += p.msgCount()
 			}
 		}
 		sh.mu.Unlock()
@@ -456,7 +514,7 @@ func (t *TCPTransport) flushPend(match func(*pendingSend) bool) int64 {
 // and when every node hosted at u's address is believed dead the address's
 // breaker trips, halting new sends until a cooldown probe or PeerUp.
 func (t *TCPTransport) PeerDown(u graph.NodeID) {
-	t.ovDeadPeer.Add(t.flushPend(func(p *pendingSend) bool { return p.w.To == int(u) }))
+	t.ovDeadPeer.Add(t.flushPend(func(p *pendingSend) bool { return p.destinedTo(int(u)) }))
 	t.peerMu.RLock()
 	addr, ok := t.peers[u]
 	hosted := 0
@@ -516,10 +574,23 @@ func (t *TCPTransport) DupsSuppressed() int64 { return t.dupsSuppressed.Load() }
 // message count to report bytes per delivered message.
 func (t *TCPTransport) WireBytesOut() int64 { return t.bytesOut.Load() }
 
-// WireFlushes returns the number of end-of-batch buffered-writer flushes:
-// (frames out / flushes) is the realized batching factor. Batches larger
-// than the write buffer add internal syscalls not counted here.
+// WireFlushes returns the number of socket write batches (one syscall each):
+// every end-of-drain flush of a connection's buffered writer, plus the
+// internal spills a batch larger than the write buffer forces. The count is
+// consistent across flush windows — the 0-window pure-coalescing path and a
+// widened window are measured identically — so WireFramesOut/WireFlushes is
+// an honest frames-per-syscall factor either way.
 func (t *TCPTransport) WireFlushes() int64 { return t.flushes.Load() }
+
+// WireFramesOut returns the physical frames written (a FrameBatch
+// super-frame counts once; JSON counts encoder calls).
+func (t *TCPTransport) WireFramesOut() int64 { return t.framesOut.Load() }
+
+// WireMsgsOut returns the logical data messages carried by the frames
+// written: WireMsgsOut/WireFramesOut is the realized aggregation factor
+// (1.0 with batching off), and WireFramesOut/WireFlushes the realized write
+// coalescing.
+func (t *TCPTransport) WireMsgsOut() int64 { return t.msgsOut.Load() }
 
 // pendingCount returns the number of unacked reliable sends (tests).
 func (t *TCPTransport) pendingCount() int {
@@ -637,10 +708,17 @@ func (t *TCPTransport) pendShard(seq uint64) *pendShard {
 // retransmission until acked (or the budget runs out). This is where the
 // breaker and the pend cap gate admission: a refused send is a terminal,
 // counted loss (same contract as an injected drop — gossip re-converges).
+// In batched mode the message only joins the destination daemon's
+// aggregation queue here; reliable-delivery registration happens per
+// super-frame at flush time (registerBatch).
 func (t *TCPTransport) transmit(addr string, w wireMessage) {
 	ps := t.peer(addr)
 	if !t.allowSend(ps) {
 		t.ovBreakerDrop.Add(1)
+		return
+	}
+	if t.batched() {
+		t.writeQueued(addr, &w)
 		return
 	}
 	p := &pendingSend{addr: addr, ps: ps, w: w, sentAt: time.Now()}
@@ -675,6 +753,77 @@ func (t *TCPTransport) transmit(addr string, w wireMessage) {
 	t.write(addr, &w)
 }
 
+// writeQueued queues w on addr's aggregation queue, dialing if needed. In
+// batched mode a message becomes reliable only once its super-frame is
+// flushed; one that never reaches a writer queue — the peer is undialable,
+// or the connection died twice in a row — is a terminal, counted loss,
+// exactly like a retransmission give-up.
+func (t *TCPTransport) writeQueued(addr string, w *wireMessage) {
+	for attempt := 0; attempt < 2; attempt++ {
+		cs, err := t.conn(addr)
+		if err != nil {
+			if errors.Is(err, ErrTransportClosed) {
+				t.dropsClosed.Add(1)
+			} else {
+				t.peerFailure(addr)
+				t.dropsGiveUp.Add(1)
+			}
+			return
+		}
+		if cs.enqueue(w) {
+			return
+		}
+	}
+	t.dropsGiveUp.Add(1)
+}
+
+// registerBatch admits one about-to-be-written super-frame to reliable
+// delivery: one pend entry and one retransmission timer for the whole batch,
+// keyed by its last sub-message's Seq — the receiver decodes the batch once
+// and acks exactly that Seq. The sub-messages are copied out of the drained
+// queue slice (which the writer recycles). ok=false means the batch was
+// refused admission — transport closed, or the pend cap with no gossip left
+// to shed — a terminal, counted loss; the caller must not write the frame.
+func (t *TCPTransport) registerBatch(addr string, ps *peerState, msgs []wireMessage) (key uint64, ok bool) {
+	batch := append([]wireMessage(nil), msgs...)
+	member := false
+	for i := range batch {
+		if MsgKind(batch[i].Kind) == MsgMember {
+			member = true
+			break
+		}
+	}
+	key = batch[len(batch)-1].Seq
+	p := &pendingSend{addr: addr, ps: ps, w: batch[len(batch)-1], batch: batch, member: member, sentAt: time.Now()}
+	sh := t.pendShard(key)
+	sh.mu.Lock()
+	select {
+	case <-t.closed:
+		sh.mu.Unlock()
+		t.dropsClosed.Add(int64(len(batch)))
+		return 0, false
+	default:
+	}
+	if sh.m == nil {
+		sh.m = make(map[uint64]*pendingSend)
+	}
+	if t.pendLimit > 0 && !member {
+		perShard := t.pendLimit / pendShards
+		if perShard < 1 {
+			perShard = 1
+		}
+		if len(sh.m) >= perShard && !t.shedOldestLocked(sh) {
+			sh.mu.Unlock()
+			t.ovShedPend.Add(int64(len(batch)))
+			return 0, false
+		}
+	}
+	sh.m[key] = p
+	t.armRetryLocked(p)
+	sh.mu.Unlock()
+	return key, true
+}
+
 // shedOldestLocked evicts the lowest-seq gossip entry of a full pend shard
 // (oldest-first shedding: the oldest in-flight payload is the most likely to
 // have been superseded by a later exchange). False when the shard holds only
@@ -682,7 +831,7 @@ func (t *TCPTransport) transmit(addr string, w wireMessage) {
 func (t *TCPTransport) shedOldestLocked(sh *pendShard) bool {
 	var oldest *pendingSend
 	for _, q := range sh.m {
-		if MsgKind(q.w.Kind) == MsgMember {
+		if q.member || MsgKind(q.w.Kind) == MsgMember {
 			continue
 		}
 		if oldest == nil || q.w.Seq < oldest.w.Seq {
@@ -694,7 +843,7 @@ func (t *TCPTransport) shedOldestLocked(sh *pendShard) bool {
 	}
 	oldest.retry.Stop()
 	delete(sh.m, oldest.w.Seq)
-	t.ovShedPend.Add(1)
+	t.ovShedPend.Add(oldest.msgCount())
 	return true
 }
 
@@ -736,7 +885,7 @@ func (t *TCPTransport) retry(seq uint64) {
 		addr := p.addr
 		delete(sh.m, seq)
 		sh.mu.Unlock()
-		t.dropsGiveUp.Add(1)
+		t.dropsGiveUp.Add(p.msgCount())
 		t.peerFailure(addr)
 		return
 	}
@@ -745,15 +894,39 @@ func (t *TCPTransport) retry(seq uint64) {
 		// spending retransmission budget on it.
 		delete(sh.m, seq)
 		sh.mu.Unlock()
-		t.ovBreakerDrop.Add(1)
+		t.ovBreakerDrop.Add(p.msgCount())
 		return
 	}
 	p.retransmitted = true
 	t.armRetryLocked(p)
 	addr, w := p.addr, p.w
+	isBatch := p.batch != nil
 	sh.mu.Unlock()
-	t.retransmits.Add(1)
+	t.retransmits.Add(p.msgCount())
+	if isBatch {
+		t.writeRetry(addr, p)
+		return
+	}
 	t.write(addr, &w)
+}
+
+// writeRetry re-queues a registered super-frame for retransmission on addr's
+// writer (qRetry, drained ahead of fresh data — the batch is older than
+// anything queued since). The batch stays pending either way: a failed dial
+// or dead connection leaves delivery to the next RTO firing.
+func (t *TCPTransport) writeRetry(addr string, p *pendingSend) {
+	for attempt := 0; attempt < 2; attempt++ {
+		cs, err := t.conn(addr)
+		if err != nil {
+			if !errors.Is(err, ErrTransportClosed) {
+				t.peerFailure(addr)
+			}
+			return
+		}
+		if cs.enqueueRetry(p) {
+			return
+		}
+	}
 }
 
 // retryNow fires seq's retransmission immediately — the broken-connection
@@ -845,13 +1018,21 @@ func (t *TCPTransport) Close() error {
 			for seq, p := range sh.m {
 				p.retry.Stop()
 				delete(sh.m, seq)
-				t.dropsClosed.Add(1)
+				t.dropsClosed.Add(p.msgCount())
 			}
 			sh.mu.Unlock()
 		}
+		batched := t.batched()
 		t.connMu.Lock()
 		for _, cs := range t.outs {
-			cs.markDead() // rescue backpressured enqueuers before the socket dies
+			// Rescue backpressured enqueuers before the socket dies. In
+			// batched mode the queued frames were never pend-registered (the
+			// sweep above missed them), so count them here; queued
+			// retransmissions were swept as pend entries already.
+			data, _ := cs.markDead()
+			if batched {
+				t.dropsClosed.Add(int64(len(data)))
+			}
 			cs.c.Close()
 		}
 		for _, cs := range t.accepts {
@@ -876,7 +1057,7 @@ func (t *TCPTransport) queueDepth() int {
 	n := 0
 	for _, cs := range conns {
 		cs.qmu.Lock()
-		n += len(cs.qData)
+		n += len(cs.qData) + len(cs.qRetry)
 		cs.qmu.Unlock()
 	}
 	return n
@@ -958,12 +1139,14 @@ type connState struct {
 	c    net.Conn
 	addr string // peer listen address for pooled outbound conns; "" for accepted
 
-	qmu       sync.Mutex
-	qData     []wireMessage
-	qAcks     []uint64
-	spillData []wireMessage // retired queue slices, reused to avoid reallocating
-	spillAcks []uint64
-	dead      bool
+	qmu        sync.Mutex
+	qData      []wireMessage
+	qAcks      []uint64
+	qRetry     []*pendingSend // registered super-frames awaiting retransmission
+	spillData  []wireMessage  // retired queue slices, reused to avoid reallocating
+	spillAcks  []uint64
+	spillRetry []*pendingSend
+	dead       bool
 
 	notify  chan struct{} // wake the writer (capacity 1)
 	deadCh  chan struct{} // closed by markDead
@@ -977,15 +1160,21 @@ type connState struct {
 	buf  []byte
 }
 
-// countingWriter counts bytes reaching the socket for WireBytesOut.
+// countingWriter counts bytes and socket write batches for WireBytesOut and
+// WireFlushes. Every Write here is one syscall batch: the end-of-drain
+// flushes and the internal spills an oversized batch forces both land on
+// this seam, so the flush count stays consistent between the 0-window
+// coalescing path and widened flush windows.
 type countingWriter struct {
-	c net.Conn
-	n *atomic.Int64
+	c       net.Conn
+	n       *atomic.Int64
+	flushes *atomic.Int64
 }
 
 func (w countingWriter) Write(p []byte) (int, error) {
 	n, err := w.c.Write(p)
 	w.n.Add(int64(n))
+	w.flushes.Add(1)
 	return n, err
 }
 
@@ -997,7 +1186,7 @@ func (t *TCPTransport) newConnState(c net.Conn, addr string) *connState {
 		notify:  make(chan struct{}, 1),
 		deadCh:  make(chan struct{}),
 		spaceCh: make(chan struct{}, 1),
-		bw:      bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut}, 32<<10),
+		bw:      bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut, flushes: &t.flushes}, 32<<10),
 	}
 	if t.WireFormat() == WireJSON {
 		cs.jenc = json.NewEncoder(cs.bw)
@@ -1048,8 +1237,7 @@ func (cs *connState) enqueue(w *wireMessage) bool {
 		// the number of waiters).
 		if !isMember {
 			cs.qmu.Unlock()
-			t.cancelPend(w.Seq, &t.ovShedQueue)
-			t.cancelPendSeqs(shed, &t.ovShedQueue)
+			t.dropQueued(append(shed, w.Seq))
 			return true
 		}
 		if !counted {
@@ -1070,12 +1258,12 @@ func (cs *connState) enqueue(w *wireMessage) bool {
 	}
 	if cs.dead {
 		cs.qmu.Unlock()
-		t.cancelPendSeqs(shed, &t.ovShedQueue)
+		t.dropQueued(shed)
 		return false
 	}
 	cs.qData = append(cs.qData, *w)
 	cs.qmu.Unlock()
-	t.cancelPendSeqs(shed, &t.ovShedQueue)
+	t.dropQueued(shed)
 	cs.wake()
 	return true
 }
@@ -1096,10 +1284,37 @@ func (t *TCPTransport) cancelPend(seq uint64, counter *atomic.Int64) {
 	}
 }
 
-func (t *TCPTransport) cancelPendSeqs(seqs []uint64, counter *atomic.Int64) {
-	for _, seq := range seqs {
-		t.cancelPend(seq, counter)
+// dropQueued counts writer-queue sheds. In batched mode the shed frames had
+// no pend entries yet (registration happens per super-frame at flush), so
+// the loss is counted directly; in per-message mode each seq's pend entry is
+// cancelled and counted if still present.
+func (t *TCPTransport) dropQueued(seqs []uint64) {
+	if len(seqs) == 0 {
+		return
 	}
+	if t.batched() {
+		t.ovShedQueue.Add(int64(len(seqs)))
+		return
+	}
+	for _, seq := range seqs {
+		t.cancelPend(seq, &t.ovShedQueue)
+	}
+}
+
+// enqueueRetry queues one already-registered super-frame for retransmission.
+// No cap applies: the population is bounded by the pend cap, and shedding
+// here would break the retransmission contract. False when the connection is
+// dead (the caller redials once; the entry stays pending either way).
+func (cs *connState) enqueueRetry(p *pendingSend) bool {
+	cs.qmu.Lock()
+	if cs.dead {
+		cs.qmu.Unlock()
+		return false
+	}
+	cs.qRetry = append(cs.qRetry, p)
+	cs.qmu.Unlock()
+	cs.wake()
+	return true
 }
 
 // enqueueAck queues one ack seq; best effort (a lost ack only costs the peer
@@ -1126,11 +1341,12 @@ func (cs *connState) wake() {
 // new queue backing so steady-state batching performs no allocations. Only
 // the writer goroutine calls it, so the retired batch is always consumed
 // before the next swap.
-func (cs *connState) take() (data []wireMessage, acks []uint64) {
+func (cs *connState) take() (data []wireMessage, acks []uint64, rets []*pendingSend) {
 	cs.qmu.Lock()
 	data, cs.qData = cs.qData, cs.spillData[:0]
 	acks, cs.qAcks = cs.qAcks, cs.spillAcks[:0]
-	cs.spillData, cs.spillAcks = data, acks
+	rets, cs.qRetry = cs.qRetry, cs.spillRetry[:0]
+	cs.spillData, cs.spillAcks, cs.spillRetry = data, acks, rets
 	cs.qmu.Unlock()
 	if len(data) > 0 {
 		// The queue emptied: wake one backpressured membership enqueuer.
@@ -1139,60 +1355,138 @@ func (cs *connState) take() (data []wireMessage, acks []uint64) {
 		default:
 		}
 	}
-	return data, acks
+	return data, acks, rets
 }
 
-// markDead stops further enqueues and returns whatever data frames were
-// still queued so the caller can push them back through the retransmit path.
-// Idempotent; the second caller gets nil.
-func (cs *connState) markDead() []wireMessage {
+// markDead stops further enqueues and returns whatever was still queued —
+// data frames (for re-queue or loss accounting) and registered
+// retransmissions (their pend entries redial via retryNow). Idempotent; the
+// second caller gets nil.
+func (cs *connState) markDead() ([]wireMessage, []*pendingSend) {
 	cs.qmu.Lock()
 	if cs.dead {
 		cs.qmu.Unlock()
-		return nil
+		return nil, nil
 	}
 	cs.dead = true
-	data := cs.qData
-	cs.qData, cs.qAcks = nil, nil
+	data, rets := cs.qData, cs.qRetry
+	cs.qData, cs.qAcks, cs.qRetry = nil, nil, nil
 	cs.qmu.Unlock()
 	close(cs.deadCh)
-	return data
+	return data, rets
 }
 
-// writeBatch encodes one drained batch into the buffered writer. In binary
-// mode the first data frame piggybacks every pending ack (or an ack-only
-// frame carries them when no data is queued); in JSON mode acks are
-// standalone frames, as the legacy protocol requires.
-func (t *TCPTransport) writeBatch(cs *connState, data []wireMessage, acks []uint64) error {
+// batchMsgBytes estimates one sub-message's encoded footprint for splitting
+// an aggregation drain into super-frames: the payload plus a generous field
+// allowance, so a full chunk of maxBatchMsgs stays well under maxWireBody.
+func batchMsgBytes(w *wireMessage) int {
+	return 32 + len(w.Payload) + len(w.PayloadType)
+}
+
+// maxBatchBytes bounds the estimated bytes one super-frame aggregates.
+const maxBatchBytes = 1 << 20
+
+// writeBatch encodes one drained batch into the buffered writer and returns
+// the pend keys of the super-frames it wrote (for the broken-connection
+// path).
+//
+// In batched binary mode (the default) retransmitted super-frames go first —
+// they are older than anything drained this pass — then the queued data
+// coalesces into FrameBatch super-frames, each registered as ONE reliable
+// send (registerBatch) before its bytes are written; pending acks hoist to
+// the first frame's header. In per-message binary mode every data frame is
+// its own frame with its own pend entry (registered at transmit time); in
+// JSON mode acks are standalone frames, as the legacy protocol requires.
+func (t *TCPTransport) writeBatch(cs *connState, data []wireMessage, acks []uint64, rets []*pendingSend) ([]uint64, error) {
 	if cs.jenc != nil {
 		for _, seq := range acks {
 			if err := cs.jenc.Encode(&wireMessage{Kind: wireAck, Seq: seq}); err != nil {
-				return err
+				return nil, err
 			}
 			t.framesOut.Add(1)
+		}
+		// Registered super-frames can only reach a JSON writer if the format
+		// was toggled mid-run; keep the retransmission contract by sending
+		// their sub-messages individually.
+		for _, p := range rets {
+			for i := range p.batch {
+				if err := cs.jenc.Encode(&p.batch[i]); err != nil {
+					return nil, err
+				}
+				t.framesOut.Add(1)
+				t.msgsOut.Add(1)
+			}
 		}
 		for i := range data {
 			if err := cs.jenc.Encode(&data[i]); err != nil {
-				return err
+				return nil, err
 			}
 			t.framesOut.Add(1)
+			t.msgsOut.Add(1)
 		}
-		return nil
+		return nil, nil
 	}
+	if !t.batched() && len(rets) == 0 {
+		buf := cs.buf[:0]
+		if len(data) == 0 {
+			buf = cs.enc.appendFrame(buf, nil, acks)
+			t.framesOut.Add(1)
+		} else {
+			buf = cs.enc.appendFrame(buf, &data[0], acks)
+			for i := 1; i < len(data); i++ {
+				buf = cs.enc.appendFrame(buf, &data[i], nil)
+			}
+			t.framesOut.Add(int64(len(data)))
+			t.msgsOut.Add(int64(len(data)))
+		}
+		cs.buf = buf
+		_, err := cs.bw.Write(buf)
+		return nil, err
+	}
+
+	var keys []uint64
 	buf := cs.buf[:0]
-	if len(data) == 0 {
+	for ri, p := range rets {
+		buf = cs.enc.appendBatchFrame(buf, p.batch, acks)
+		acks = nil
+		t.framesOut.Add(1)
+		t.msgsOut.Add(int64(len(p.batch)))
+		keys = append(keys, p.w.Seq)
+		rets[ri] = nil // the slice is recycled; don't pin acked batches
+	}
+	ps := (*peerState)(nil)
+	if len(data) > 0 {
+		ps = t.peer(cs.addr)
+	}
+	for start := 0; start < len(data); {
+		end := start + 1
+		size := batchMsgBytes(&data[start])
+		for end < len(data) && end-start < maxBatchMsgs && size < maxBatchBytes {
+			size += batchMsgBytes(&data[end])
+			end++
+		}
+		chunk := data[start:end]
+		start = end
+		key, ok := t.registerBatch(cs.addr, ps, chunk)
+		if !ok {
+			continue // refused admission: a counted terminal loss, not written
+		}
+		buf = cs.enc.appendBatchFrame(buf, chunk, acks)
+		acks = nil
+		t.framesOut.Add(1)
+		t.msgsOut.Add(int64(len(chunk)))
+		keys = append(keys, key)
+	}
+	if len(acks) > 0 {
 		buf = cs.enc.appendFrame(buf, nil, acks)
 		t.framesOut.Add(1)
-	} else {
-		buf = cs.enc.appendFrame(buf, &data[0], acks)
-		for i := 1; i < len(data); i++ {
-			buf = cs.enc.appendFrame(buf, &data[i], nil)
-		}
-		t.framesOut.Add(int64(len(data)))
 	}
 	cs.buf = buf
+	if len(buf) == 0 {
+		return keys, nil
+	}
 	_, err := cs.bw.Write(buf)
-	return err
+	return keys, err
 }
 
 // writeLoop drains the connection's frame queue: wait for work, optionally
@@ -1218,56 +1512,76 @@ func (t *TCPTransport) writeLoop(cs *connState) {
 			case <-time.After(fw):
 			}
 		}
+		var cycleKeys []uint64
 		for {
-			data, acks := cs.take()
-			if len(data) == 0 && len(acks) == 0 {
+			data, acks, rets := cs.take()
+			if len(data) == 0 && len(acks) == 0 && len(rets) == 0 {
 				break
 			}
-			if err := t.writeBatch(cs, data, acks); err != nil {
-				t.connBroken(cs, data)
+			keys, err := t.writeBatch(cs, data, acks, rets)
+			if err != nil {
+				t.connBroken(cs, data, append(cycleKeys, keys...))
 				return
 			}
+			cycleKeys = append(cycleKeys, keys...)
 		}
-		if cs.bw.Buffered() > 0 {
-			t.flushes.Add(1)
-		}
+		// Super-frames written into the buffered writer are not on the wire
+		// until this flush; on error their keys retry immediately rather than
+		// waiting out the RTO (over-retrying is safe — the receiver dedups).
 		if err := cs.bw.Flush(); err != nil {
-			t.connBroken(cs, nil)
+			t.connBroken(cs, nil, cycleKeys)
 			return
 		}
 	}
 }
 
 // connBroken handles a dead connection, from either loop: stop enqueues,
-// evict it from the pool, and hand every data frame that may not have
-// reached the wire — the failed batch plus anything still queued — to
-// retryNow, which redials immediately. Retransmission keeps the frames
-// pending, so over-retrying is safe (the receiver dedups); acks are dropped
-// (the peer retransmits and is deduplicated).
-func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
-	leftover := cs.markDead()
+// evict it from the pool, and make sure nothing vanishes silently. Reliable
+// in-flight work — per-message pend entries (unbatched mode), or registered
+// super-frames (inFlightKeys plus anything on the retransmission queue) —
+// goes through retryNow, which redials immediately; retransmission keeps it
+// pending, so over-retrying is safe (the receiver dedups). In batched mode
+// the data frames still queued were never registered: they re-queue toward a
+// fresh connection, or count as lost when the transport is draining or
+// closed. Acks are dropped (the peer retransmits and is deduplicated).
+func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage, inFlightKeys []uint64) {
+	leftover, leftRets := cs.markDead()
 	t.evict(cs)
 	if cs.addr != "" {
 		t.peerFailure(cs.addr)
 	}
 	var seqs []uint64
-	for _, batch := range [2][]wireMessage{inFlight, leftover} {
-		for i := range batch {
-			if batch[i].Seq != 0 && batch[i].Kind != wireAck {
-				seqs = append(seqs, batch[i].Seq)
+	var requeue []wireMessage
+	seqs = append(seqs, inFlightKeys...)
+	for _, p := range leftRets {
+		seqs = append(seqs, p.w.Seq)
+	}
+	if t.batched() {
+		requeue = leftover
+	} else {
+		for _, batch := range [2][]wireMessage{inFlight, leftover} {
+			for i := range batch {
+				if batch[i].Seq != 0 && batch[i].Kind != wireAck {
+					seqs = append(seqs, batch[i].Seq)
+				}
 			}
 		}
 	}
-	if len(seqs) == 0 {
+	if len(seqs) == 0 && len(requeue) == 0 {
 		return
 	}
-	if t.draining.Load() {
-		return // no redial bursts during drain; RTO timers still govern
-	}
+	stopping := t.draining.Load()
 	select {
 	case <-t.closed:
-		return // Close sweeps and counts the pending map
+		stopping = true
 	default:
+	}
+	if stopping {
+		// Registered work stays pending — RTO timers or Close's sweep govern
+		// it — but unregistered batched frames would vanish silently: count
+		// them as closed-at-drop.
+		t.dropsClosed.Add(int64(len(requeue)))
+		return
 	}
 	// Cap the immediate-retry burst: a connection that died with a deep queue
 	// would otherwise re-inject every frame at once into a freshly dialed
@@ -1279,11 +1593,15 @@ func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
 	}
 	// The redial may block in the dialer; do it off the conn's loops. The
 	// caller still holds a wg slot, so adding one here cannot race Close.
+	addr := cs.addr
 	t.wg.Add(1)
 	go func() {
 		defer t.wg.Done()
 		for _, seq := range seqs {
 			t.retryNow(seq)
+		}
+		for i := range requeue {
+			t.writeQueued(addr, &requeue[i])
 		}
 	}()
 }
@@ -1294,7 +1612,7 @@ func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage) {
 // same connection, deduplicated, and routed to the local inboxes.
 func (t *TCPTransport) readLoop(cs *connState) {
 	defer t.wg.Done()
-	defer t.connBroken(cs, nil)
+	defer t.connBroken(cs, nil, nil)
 	defer cs.c.Close()
 	br := bufio.NewReaderSize(cs.c, 32<<10)
 	first, err := br.Peek(1)
@@ -1323,20 +1641,31 @@ func (t *TCPTransport) readJSON(cs *connState, br *bufio.Reader) {
 
 func (t *TCPTransport) readBinary(cs *connState, br *bufio.Reader) {
 	var dec wireDec
-	var w wireMessage
 	for {
-		acks, hasData, err := dec.readFrame(br, &w)
+		acks, msgs, batch, err := dec.readFrameMulti(br)
 		if err != nil {
 			if errors.Is(err, errMalformedFrame) {
 				t.dropsDecode.Add(1) // corrupt frame; io errors are teardown
 			}
 			return
 		}
-		var dataW *wireMessage
-		if hasData {
-			dataW = &w
+		for _, seq := range acks {
+			t.ack(seq)
 		}
-		if !t.deliverWire(cs, dataW, acks) {
+		if batch {
+			// One ack resolves the whole super-frame: the sender keyed its
+			// pend entry by the last sub-message's Seq. Ack first — even for
+			// a duplicate batch — so retransmission stops; then scatter each
+			// sub-message to its owning shard through deliverData.
+			cs.enqueueAck(msgs[len(msgs)-1].Seq)
+			for i := range msgs {
+				if !t.deliverData(&msgs[i]) {
+					return
+				}
+			}
+			continue
+		}
+		if len(msgs) == 1 && !t.deliverSingle(cs, &msgs[0]) {
 			return
 		}
 	}
@@ -1352,14 +1681,29 @@ func (t *TCPTransport) deliverWire(cs *connState, w *wireMessage, acks []uint64)
 	if w == nil {
 		return true
 	}
-	if w.Kind == wireAck {
-		t.ack(w.Seq)
-		return true
-	}
-	if w.Seq != 0 {
+	return t.deliverSingle(cs, w)
+}
+
+// deliverSingle acks one per-message data frame back to the sender, then
+// routes it — the single-frame tail shared by the JSON and unbatched binary
+// paths.
+func (t *TCPTransport) deliverSingle(cs *connState, w *wireMessage) bool {
+	if w.Kind != wireAck && w.Seq != 0 {
 		// Ack first — even duplicates — so the sender stops retransmitting.
 		// Best effort: a lost ack only costs another (deduplicated) retry.
 		cs.enqueueAck(w.Seq)
+	}
+	return t.deliverData(w)
+}
+
+// deliverData deduplicates, decodes, and routes one logical data message —
+// the shared tail of the single-frame and batch-scatter paths. The caller
+// has already queued the ack (per message, or once per super-frame). It
+// reports false when the transport closed mid-delivery.
+func (t *TCPTransport) deliverData(w *wireMessage) bool {
+	if w.Kind == wireAck {
+		t.ack(w.Seq)
+		return true
 	}
 	if !t.hosted[graph.NodeID(w.To)] {
 		t.dropsMisroute.Add(1) // misrouted: not hosted here

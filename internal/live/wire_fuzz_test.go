@@ -163,6 +163,47 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	// Body length past the 4 MiB frame limit.
 	f.Add(binary.AppendUvarint([]byte{wireVersion | wireFlagData}, maxWireBody+1))
+	// Well-formed FrameBatch super-frame (three sub-messages + hoisted acks).
+	batchFrame := func() []byte {
+		var enc wireEnc
+		msgs := []wireMessage{
+			{Kind: 1, Seq: 5, From: 0, To: 1, EdgeID: 3, Latency: 2, SentTick: 7,
+				PayloadType: "core.rumors", Payload: []byte(`{"x":1}`)},
+			{Kind: 1, Seq: 6, From: 1, To: 2, EdgeID: 4, Latency: 1, SentTick: 7,
+				PayloadType: "core.rumors", Payload: []byte(`{"x":2}`)},
+			{Kind: 3, Seq: 7, From: 2, To: 0, EdgeID: 5, Latency: 3, SentTick: 8},
+		}
+		return enc.appendBatchFrame(nil, msgs, []uint64{2, 9})
+	}
+	f.Add(batchFrame())
+	// Truncated batch: the count promises three sub-messages, the body ends
+	// mid-way through the second.
+	{
+		b := batchFrame()
+		f.Add(b[:len(b)-len(b)/2])
+	}
+	// Oversized batch count: claims ~2^40 sub-messages in a tiny body.
+	f.Add(hdr(wireFlagBatch, binary.AppendUvarint(nil, 1<<40)))
+	// Zero-count batch: the encoder never emits one; malformed.
+	f.Add(hdr(wireFlagBatch, []byte{0}))
+	// Batch and data flags together: contradictory body shape; malformed.
+	{
+		body := append(binary.AppendUvarint(nil, 1), dataPrefix(1)...)
+		body = binary.AppendUvarint(body, 0) // ptype none
+		body = binary.AppendUvarint(body, 0) // payload length
+		f.Add(hdr(wireFlagBatch|wireFlagData, body))
+	}
+	// A single frame followed by a batch on the same stream: the batch's
+	// sub-messages must resolve the intern table and delta chains the first
+	// frame advanced.
+	{
+		var enc wireEnc
+		s := enc.appendFrame(nil, msg, nil)
+		m2, m3 := *msg, *msg
+		m2.Seq, m2.SentTick = 6, 8
+		m3.Seq, m3.SentTick = 7, 8
+		f.Add(enc.appendBatchFrame(s, []wireMessage{m2, m3}, []uint64{5}))
+	}
 	// Intern-table exhaustion: one stream defining maxInternedTypes+1 fresh
 	// types; the decoder must reject the frame that would overflow the table.
 	{
@@ -180,12 +221,11 @@ func FuzzWireDecode(f *testing.F) {
 		br := bufio.NewReader(bytes.NewReader(stream))
 		var dec wireDec
 		for {
-			var w wireMessage
-			acks, hasData, err := dec.readFrame(br, &w)
+			acks, msgs, batch, err := dec.readFrameMulti(br)
 			if err != nil {
 				// Rejection must be total: no partial results escape.
-				if hasData || acks != nil {
-					t.Fatalf("error %v returned partial results (hasData=%v, %d acks)", err, hasData, len(acks))
+				if len(msgs) > 0 || acks != nil {
+					t.Fatalf("error %v returned partial results (%d msgs, %d acks)", err, len(msgs), len(acks))
 				}
 				return
 			}
@@ -197,30 +237,41 @@ func FuzzWireDecode(f *testing.F) {
 			if len(dec.names) > maxInternedTypes {
 				t.Fatalf("intern table grew to %d entries past the cap", len(dec.names))
 			}
-			if !hasData && len(acks) == 0 {
+			if batch && len(msgs) == 0 {
+				t.Fatal("decoder accepted an empty batch frame")
+			}
+			if len(msgs) == 0 && len(acks) == 0 {
 				continue // empty frame: a legal no-op
 			}
 
 			// Anything the decoder accepts must survive a re-encode /
-			// re-decode round trip on a fresh connection pair. Copy out of
-			// the decoder-owned buffers first — the next readFrame reuses them.
+			// re-decode round trip on a fresh connection pair — single frames
+			// through appendFrame, super-frames through appendBatchFrame. Copy
+			// out of the decoder-owned buffers first — the next readFrameMulti
+			// reuses them.
 			ackCopy := append([]uint64(nil), acks...)
-			var wp *wireMessage
-			if hasData {
-				cp := w
-				cp.Payload = append([]byte(nil), w.Payload...)
-				wp = &cp
+			msgCopy := make([]wireMessage, len(msgs))
+			for i, m := range msgs {
+				msgCopy[i] = m
+				msgCopy[i].Payload = append([]byte(nil), m.Payload...)
 			}
 			var enc2 wireEnc
-			re := enc2.appendFrame(nil, wp, ackCopy)
+			var re []byte
+			switch {
+			case batch:
+				re = enc2.appendBatchFrame(nil, msgCopy, ackCopy)
+			case len(msgCopy) == 1:
+				re = enc2.appendFrame(nil, &msgCopy[0], ackCopy)
+			default:
+				re = enc2.appendFrame(nil, nil, ackCopy)
+			}
 			var dec2 wireDec
-			var got wireMessage
-			acks2, hasData2, err := dec2.readFrame(bufio.NewReader(bytes.NewReader(re)), &got)
+			acks2, msgs2, batch2, err := dec2.readFrameMulti(bufio.NewReader(bytes.NewReader(re)))
 			if err != nil {
 				t.Fatalf("re-encode of accepted frame does not decode: %v", err)
 			}
-			if hasData2 != hasData {
-				t.Fatalf("re-encode changed hasData: %v -> %v", hasData, hasData2)
+			if batch2 != batch || len(msgs2) != len(msgCopy) {
+				t.Fatalf("re-encode changed shape: batch %v→%v, msgs %d→%d", batch, batch2, len(msgCopy), len(msgs2))
 			}
 			if len(acks2) != len(ackCopy) {
 				t.Fatalf("re-encode changed ack batch: %v -> %v", ackCopy, acks2)
@@ -230,12 +281,13 @@ func FuzzWireDecode(f *testing.F) {
 					t.Fatalf("re-encode changed ack batch: %v -> %v", ackCopy, acks2)
 				}
 			}
-			if hasData {
-				if got.Kind != wp.Kind || got.Seq != wp.Seq || got.From != wp.From ||
-					got.To != wp.To || got.EdgeID != wp.EdgeID || got.Latency != wp.Latency ||
-					got.SentTick != wp.SentTick || got.PayloadType != wp.PayloadType ||
-					!bytes.Equal(got.Payload, wp.Payload) {
-					t.Fatalf("re-encode round trip mutated the message:\n got %+v\nwant %+v", got, *wp)
+			for i := range msgs2 {
+				got, want := msgs2[i], msgCopy[i]
+				if got.Kind != want.Kind || got.Seq != want.Seq || got.From != want.From ||
+					got.To != want.To || got.EdgeID != want.EdgeID || got.Latency != want.Latency ||
+					got.SentTick != want.SentTick || got.PayloadType != want.PayloadType ||
+					!bytes.Equal(got.Payload, want.Payload) {
+					t.Fatalf("re-encode round trip mutated sub-message %d:\n got %+v\nwant %+v", i, got, want)
 				}
 			}
 		}

@@ -16,6 +16,15 @@
 //
 //	benchreport -input new.txt -compare BENCH_pr6.json \
 //	    -metrics p50-detect-ticks/op,p99-detect-ticks/op
+//
+// -speedup is the inverse gate for higher-is-better numbers: it compares one
+// benchmark across two committed reports (no benchmarks are run) and exits
+// nonzero unless new/base clears the floor. -compare cannot express this —
+// there a rising metric reads as a regression — so throughput floors such as
+// "unix sockets must beat last PR's TCP by 1.3x" use:
+//
+//	benchreport -speedup BENCH_pr9.json:BenchmarkLiveTCPBatched,BENCH_pr10.json:BenchmarkLiveUDS \
+//	    -xmetric msgs/sec -min-speedup 1.3
 package main
 
 import (
@@ -80,9 +89,33 @@ func run(args []string, out io.Writer) error {
 		threshold = fs.Float64("threshold", 0.30, "max tolerated fractional ns/op regression in -compare mode")
 		metrics   = fs.String("metrics", "", "comma-separated custom metric units (e.g. p99-detect-ticks/op) to regression-gate alongside ns/op in -compare mode")
 		noWrite   = fs.Bool("nowrite", false, "skip writing BENCH_<label>.json (compare only)")
+		speedup   = fs.String("speedup", "", "cross-file floor gate: base.json:BenchmarkName,new.json:BenchmarkName compares one higher-is-better value across two committed reports; no benchmarks are run")
+		xmetric   = fs.String("xmetric", "", "custom metric unit compared in -speedup mode (e.g. msgs/sec); empty derives ops/sec from ns/op")
+		minRatio  = fs.Float64("min-speedup", 1.0, "minimum tolerated new/base ratio in -speedup mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *speedup != "" {
+		parts := strings.Split(*speedup, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-speedup wants base.json:BenchmarkName,new.json:BenchmarkName, got %q", *speedup)
+		}
+		reps := make([]*Report, 2)
+		names := make([]string, 2)
+		for i, part := range parts {
+			path, name, ok := strings.Cut(part, ":")
+			if !ok || path == "" || name == "" {
+				return fmt.Errorf("-speedup entry %q is not file.json:BenchmarkName", part)
+			}
+			rep, err := readReport(path)
+			if err != nil {
+				return err
+			}
+			reps[i], names[i] = rep, name
+		}
+		return Speedup(out, reps[0], names[0], reps[1], names[1], *xmetric, *minRatio)
 	}
 
 	var raw io.Reader
@@ -289,6 +322,54 @@ func Compare(out io.Writer, base, cur *Report, threshold float64, gatedMetrics .
 	}
 	fmt.Fprintln(out, "no regressions above threshold")
 	return nil
+}
+
+// Speedup is the higher-is-better cross-file gate: it reads one value from
+// each of two reports — typically committed BENCH files from different
+// revisions, so the check is deterministic in CI — and fails unless new/base
+// reaches the floor. metric names a custom unit (e.g. msgs/sec); an empty
+// metric derives ops/sec from ns/op.
+func Speedup(out io.Writer, base *Report, baseName string, cur *Report, curName, metric string, floor float64) error {
+	baseVal, err := benchValue(base, baseName, metric)
+	if err != nil {
+		return err
+	}
+	curVal, err := benchValue(cur, curName, metric)
+	if err != nil {
+		return err
+	}
+	unit := metric
+	if unit == "" {
+		unit = "ops/sec"
+	}
+	ratio := curVal / baseVal
+	fmt.Fprintf(out, "%-45s %18s %14.0f\n", base.Label+":"+baseName, unit, baseVal)
+	fmt.Fprintf(out, "%-45s %18s %14.0f\n", cur.Label+":"+curName, unit, curVal)
+	fmt.Fprintf(out, "speedup = %.2fx (floor %.2fx)\n", ratio, floor)
+	if ratio < floor {
+		return fmt.Errorf("%s:%s is only %.2fx %s:%s on %s, need >= %.2fx",
+			cur.Label, curName, ratio, base.Label, baseName, unit, floor)
+	}
+	fmt.Fprintln(out, "speedup floor met")
+	return nil
+}
+
+// benchValue extracts the gated higher-is-better value from the named
+// benchmark of a report.
+func benchValue(rep *Report, name, metric string) (float64, error) {
+	for _, b := range rep.Benchmarks {
+		if b.Name != name {
+			continue
+		}
+		if metric == "" {
+			return 1e9 / b.NsPerOp, nil
+		}
+		if v := b.Metrics[metric]; v > 0 {
+			return v, nil
+		}
+		return 0, fmt.Errorf("%s: benchmark %s has no %s metric", rep.Label, name, metric)
+	}
+	return 0, fmt.Errorf("%s: no benchmark named %s", rep.Label, name)
 }
 
 func writeReport(path string, rep *Report) error {

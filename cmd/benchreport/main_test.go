@@ -123,6 +123,73 @@ func TestCompareGatesMemberMetrics(t *testing.T) {
 	}
 }
 
+// TestSpeedupGate covers the cross-file floor: higher-is-better metrics
+// (msgs/sec) pass when the ratio clears the floor, fail below it, derive
+// ops/sec from ns/op when no metric is named, and reject missing names.
+func TestSpeedupGate(t *testing.T) {
+	base := &Report{Schema: schemaVersion, Label: "pr9", Benchmarks: []Benchmark{
+		{Name: "BenchmarkLiveTCPBatched", Package: "p", NsPerOp: 2000,
+			Metrics: map[string]float64{"msgs/sec": 875244}},
+	}}
+	cur := &Report{Schema: schemaVersion, Label: "pr10", Benchmarks: []Benchmark{
+		{Name: "BenchmarkLiveUDS", Package: "p", NsPerOp: 1000,
+			Metrics: map[string]float64{"msgs/sec": 3224959}},
+	}}
+	var sb strings.Builder
+	err := Speedup(&sb, base, "BenchmarkLiveTCPBatched", cur, "BenchmarkLiveUDS", "msgs/sec", 1.3)
+	if err != nil {
+		t.Fatalf("3.68x over a 1.3x floor must pass, got %v", err)
+	}
+	if !strings.Contains(sb.String(), "3.68x") || !strings.Contains(sb.String(), "floor met") {
+		t.Errorf("report missing the ratio:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	err = Speedup(&sb, base, "BenchmarkLiveTCPBatched", cur, "BenchmarkLiveUDS", "msgs/sec", 5.0)
+	if err == nil || !strings.Contains(err.Error(), "need >= 5.00x") {
+		t.Fatalf("3.68x under a 5x floor must fail, got %v", err)
+	}
+
+	// Empty metric falls back to ops/sec from ns/op: 2000ns -> 1000ns = 2x.
+	sb.Reset()
+	if err := Speedup(&sb, base, "BenchmarkLiveTCPBatched", cur, "BenchmarkLiveUDS", "", 1.9); err != nil {
+		t.Fatalf("ns/op-derived 2x over a 1.9x floor must pass, got %v", err)
+	}
+
+	if _, err := benchValue(base, "BenchmarkMissing", "msgs/sec"); err == nil {
+		t.Error("unknown benchmark name must error")
+	}
+	if _, err := benchValue(base, "BenchmarkLiveTCPBatched", "absent/sec"); err == nil {
+		t.Error("absent metric must error")
+	}
+}
+
+// TestSpeedupCommittedFiles runs the full -speedup CLI path against the
+// repository's committed BENCH files — the exact invocations CI makes — so a
+// regression in either the committed numbers or the flag plumbing fails here
+// first.
+func TestSpeedupCommittedFiles(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spec  string
+		floor string
+	}{
+		{"uds-1.3x-over-pr9-tcp", "BenchmarkLiveTCPBatched,../../BENCH_pr10.json:BenchmarkLiveUDS", "1.3"},
+		{"ring-3x-over-pr9-tcp", "BenchmarkLiveTCPBatched,../../BENCH_pr10.json:BenchmarkLiveShmRing", "3"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			args := []string{
+				"-speedup", "../../BENCH_pr9.json:" + tc.spec,
+				"-xmetric", "msgs/sec", "-min-speedup", tc.floor,
+			}
+			if err := run(args, &sb); err != nil {
+				t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+			}
+		})
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	rep, err := Parse(strings.NewReader("PASS\nok x 1s\n"), "l")
 	if err != nil {

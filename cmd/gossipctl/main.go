@@ -17,13 +17,25 @@
 // aggregated view convergence. -timeout bounds the whole run: on expiry the
 // fleet is killed and the run fails.
 //
+// Listen ports are reserved race-free: gossipctl binds each daemon's TCP
+// listener itself and passes the bound socket to the child as an inherited
+// descriptor (gossipd -listen-fd), so nothing can steal a port between
+// reservation and listen. -local-fabric picks the intra-host transport
+// between the co-located daemons: "tcp" (default), "unix" (each daemon
+// listens on a run-scoped unix socket, learns every peer's socket via
+// -peer-sockets, and the run fails unless every frame rode the sockets), or
+// "auto" (same wiring, but only requires that the fast path was taken at
+// least once per daemon — the daemons themselves verify a peer's address is
+// local before upgrading it). Both socket modes assert on the daemons' final
+// "wire:" ledger lines (WireLocalFrames).
+//
 // The ≥1M-node configuration from the ROADMAP (8 daemons × 125k nodes, see
 // PERFORMANCE.md) is exercised by TestGossipctlMillionNodes, gated behind
 // GOSSIPCTL_1M=1 because it takes minutes of wall clock on one core.
 package main
 
 import (
-	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -45,15 +57,18 @@ func main() {
 
 // daemonReport is what the output scanner extracts from one daemon's stdout.
 type daemonReport struct {
-	started    bool // saw the gossipd banner line
-	completed  bool // completed=true
-	informed   int  // informed=<x>/<y>
-	hosted     int
-	drainClean bool // drain: clean=true
-	messages   int64
-	memberOK   bool // membership: ... suspect=0 dead=0 with alive>0
-	sawMember  bool
-	raw        strings.Builder
+	started     bool // saw the gossipd banner line
+	completed   bool // completed=true
+	informed    int  // informed=<x>/<y>
+	hosted      int
+	drainClean  bool // drain: clean=true
+	messages    int64
+	memberOK    bool // membership: ... suspect=0 dead=0 with alive>0
+	sawMember   bool
+	sawWire     bool  // saw the wire: ledger line
+	frames      int64 // wire: frames=<n>
+	localFrames int64 // wire: local-frames=<n>
+	raw         strings.Builder
 }
 
 func run(args []string, out io.Writer) error {
@@ -90,6 +105,7 @@ func run(args []string, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 10*time.Minute, "kill the fleet and fail after this long")
 		verbose  = fs.Bool("v", false, "stream per-daemon output, prefixed d<i>:")
 		pprof0   = fs.Int("pprof-base", 0, "serve daemon i's pprof on 127.0.0.1:(base+i) (0 = off)")
+		fabric   = fs.String("local-fabric", "tcp", "intra-host transport between the co-located daemons: tcp, unix (every frame must ride the sockets), or auto (daemons upgrade local peers to sockets; the run must use them at least once)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,21 +116,52 @@ func run(args []string, out io.Writer) error {
 	if *n < *daemons {
 		return fmt.Errorf("-n %d < -daemons %d: every daemon needs at least one node", *n, *daemons)
 	}
+	switch *fabric {
+	case "tcp", "unix", "auto":
+	default:
+		return fmt.Errorf("-local-fabric: %q (want tcp, unix or auto)", *fabric)
+	}
 
 	// Contiguous partition: daemon i hosts [i·n/K, (i+1)·n/K).
 	ranges := make([][2]int, *daemons)
 	for i := 0; i < *daemons; i++ {
 		ranges[i] = [2]int{i * *n / *daemons, (i+1)**n / *daemons - 1}
 	}
-	addrs, err := reserveAddrs(*daemons)
+	// Reserve one listener per daemon and HOLD it: the bound socket is passed
+	// to the daemon as an inherited descriptor (-listen-fd), so no other
+	// process can steal the port between reservation and the daemon's listen
+	// — the bind-then-close reservation this replaces had exactly that race.
+	lns, addrs, err := reserveListeners(*daemons)
 	if err != nil {
 		return err
 	}
+	defer closeAll(lns)
 	var peerParts []string
 	for i, r := range ranges {
 		peerParts = append(peerParts, fmt.Sprintf("%d-%d=%s", r[0], r[1], addrs[i]))
 	}
 	peers := strings.Join(peerParts, ",")
+
+	// On the unix and auto fabrics every daemon listens on a socket in a
+	// run-scoped directory and learns every peer's socket, so sends between
+	// the co-located daemons skip TCP (the daemons verify the peer address is
+	// local before upgrading — that is the "auto" in -local-fabric auto).
+	var socks []string
+	var sockMap string
+	if *fabric != "tcp" {
+		dir, terr := os.MkdirTemp("", "gossipctl-")
+		if terr != nil {
+			return terr
+		}
+		defer os.RemoveAll(dir)
+		var sockParts []string
+		for i := range ranges {
+			sock := fmt.Sprintf("%s/d%d.sock", dir, i)
+			socks = append(socks, sock)
+			sockParts = append(sockParts, addrs[i]+"="+sock)
+		}
+		sockMap = strings.Join(sockParts, ",")
+	}
 
 	common := []string{
 		"-graph", *graph, "-n", strconv.Itoa(*n),
@@ -154,45 +201,53 @@ func run(args []string, out io.Writer) error {
 		common = append(common, "-join", "0")
 	}
 
-	fmt.Fprintf(out, "gossipctl: daemons=%d nodes=%d graph=%s proto=%s peers=%d-ranges\n",
-		*daemons, *n, *graph, *proto, len(ranges))
+	fmt.Fprintf(out, "gossipctl: daemons=%d nodes=%d graph=%s proto=%s peers=%d-ranges local-fabric=%s\n",
+		*daemons, *n, *graph, *proto, len(ranges), *fabric)
 
 	start := time.Now()
 	reports := make([]daemonReport, *daemons)
 	cmds := make([]*exec.Cmd, *daemons)
-	var wg sync.WaitGroup
+	scanners := make([]*lineWriter, *daemons)
 	var outMu sync.Mutex
 	for i := range cmds {
-		args := append([]string{"-listen", addrs[i], "-nodes", fmt.Sprintf("%d-%d", ranges[i][0], ranges[i][1])}, common...)
+		// The daemon inherits its pre-bound listener as fd 3 (ExtraFiles[0]).
+		args := append([]string{"-listen-fd", "3", "-nodes", fmt.Sprintf("%d-%d", ranges[i][0], ranges[i][1])}, common...)
+		if socks != nil {
+			args = append(args, "-listen-unix", socks[i], "-peer-sockets", sockMap)
+		}
 		if *pprof0 > 0 {
 			args = append(args, "-pprof", fmt.Sprintf("127.0.0.1:%d", *pprof0+i))
 		}
-		cmd := exec.Command(*gossipd, args...)
-		stdout, err := cmd.StdoutPipe()
+		lf, err := lns[i].(*net.TCPListener).File()
 		if err != nil {
-			return err
+			killAll(cmds[:i])
+			return fmt.Errorf("daemon %d listener fd: %w", i, err)
 		}
-		cmd.Stderr = cmd.Stdout // interleave; gossipd errors land in the scan too
+		cmd := exec.Command(*gossipd, args...)
+		cmd.ExtraFiles = []*os.File{lf}
+		// Scan the daemon's output through an io.Writer rather than
+		// StdoutPipe + goroutine: Wait closes a StdoutPipe as soon as the
+		// child exits, which silently drops any still-buffered tail lines
+		// (exactly the completed=/drain:/wire: lines the checks need) when
+		// the scanner lags under load. With a Writer, Wait itself blocks
+		// until every byte has been delivered.
+		lw := &lineWriter{rep: &reports[i], daemon: i}
+		if *verbose {
+			lw.echo, lw.echoMu = out, &outMu
+		}
+		scanners[i] = lw
+		cmd.Stdout = lw
+		cmd.Stderr = lw // same Writer value: exec interleaves both streams
 		if err := cmd.Start(); err != nil {
+			lf.Close()
 			killAll(cmds[:i])
 			return fmt.Errorf("start daemon %d: %w", i, err)
 		}
+		// The child holds its own descriptor now; release both parent copies.
+		lf.Close()
+		lns[i].Close()
+		lns[i] = nil
 		cmds[i] = cmd
-		wg.Add(1)
-		go func(i int, r io.Reader) {
-			defer wg.Done()
-			sc := bufio.NewScanner(r)
-			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-			for sc.Scan() {
-				line := sc.Text()
-				scanLine(&reports[i], line)
-				if *verbose {
-					outMu.Lock()
-					fmt.Fprintf(out, "d%d: %s\n", i, line)
-					outMu.Unlock()
-				}
-			}
-		}(i, stdout)
 	}
 
 	// Supervise: every daemon runs to completion on its own (the protocol
@@ -211,10 +266,11 @@ func run(args []string, out io.Writer) error {
 	case <-time.After(*timeout):
 		killAll(cmds)
 		<-done
-		wg.Wait()
 		return fmt.Errorf("fleet did not finish within %v (see -v output)", *timeout)
 	}
-	wg.Wait()
+	for _, lw := range scanners {
+		lw.flush()
+	}
 
 	var totalMsgs int64
 	var failures []string
@@ -232,14 +288,65 @@ func run(args []string, out io.Writer) error {
 			failures = append(failures, fmt.Sprintf("daemon %d drain not clean:\n%s", i, r.raw.String()))
 		case *join && !(r.sawMember && r.memberOK):
 			failures = append(failures, fmt.Sprintf("daemon %d membership not converged:\n%s", i, r.raw.String()))
+		case *fabric != "tcp" && !(r.sawWire && r.localFrames > 0):
+			failures = append(failures, fmt.Sprintf("daemon %d sent no frames over the local fabric (local-frames=%d):\n%s", i, r.localFrames, r.raw.String()))
+		case *fabric == "unix" && r.localFrames != r.frames:
+			failures = append(failures, fmt.Sprintf("daemon %d leaked frames onto TCP: local-frames=%d frames=%d", i, r.localFrames, r.frames))
 		}
 	}
-	fmt.Fprintf(out, "gossipctl: completed=%v drains-clean=%v messages=%d wall=%v\n",
-		len(failures) == 0, len(failures) == 0, totalMsgs, time.Since(start).Round(time.Millisecond))
+	var localFrames, totalFrames int64
+	for i := range reports {
+		localFrames += reports[i].localFrames
+		totalFrames += reports[i].frames
+	}
+	fmt.Fprintf(out, "gossipctl: completed=%v drains-clean=%v messages=%d local-frames=%d/%d wall=%v\n",
+		len(failures) == 0, len(failures) == 0, totalMsgs, localFrames, totalFrames,
+		time.Since(start).Round(time.Millisecond))
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d daemons failed:\n%s", len(failures), *daemons, strings.Join(failures, "\n"))
 	}
 	return nil
+}
+
+// lineWriter receives one daemon's interleaved stdout+stderr from exec.Cmd's
+// internal copier (a single goroutine per daemon, so Write needs no lock) and
+// feeds each complete line to scanLine. flush delivers a trailing partial
+// line after Wait has returned.
+type lineWriter struct {
+	rep    *daemonReport
+	daemon int
+	echo   io.Writer   // non-nil in -v mode
+	echoMu *sync.Mutex // guards echo, shared across daemons
+	part   []byte      // carry-over of an incomplete final line
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.part = append(w.part, p...)
+	for {
+		nl := bytes.IndexByte(w.part, '\n')
+		if nl < 0 {
+			return len(p), nil
+		}
+		w.line(string(w.part[:nl]))
+		w.part = w.part[nl+1:]
+	}
+}
+
+func (w *lineWriter) flush() {
+	if len(w.part) > 0 {
+		w.line(string(w.part))
+		w.part = nil
+	}
+}
+
+func (w *lineWriter) line(line string) {
+	line = strings.TrimSuffix(line, "\r")
+	scanLine(w.rep, line)
+	if w.echo != nil {
+		w.echoMu.Lock()
+		fmt.Fprintf(w.echo, "d%d: %s\n", w.daemon, line)
+		w.echoMu.Unlock()
+	}
 }
 
 // scanLine folds one gossipd stdout line into the daemon's report.
@@ -263,6 +370,16 @@ func scanLine(r *daemonReport, line string) {
 		}
 	case strings.HasPrefix(line, "drain:"):
 		r.drainClean = strings.Contains(line, "clean=true")
+	case strings.HasPrefix(line, "wire:"):
+		r.sawWire = true
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "frames="); ok {
+				r.frames, _ = strconv.ParseInt(v, 10, 64)
+			}
+			if v, ok := strings.CutPrefix(f, "local-frames="); ok {
+				r.localFrames, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
 	case strings.HasPrefix(line, "membership:"):
 		r.sawMember = true
 		alive := 0
@@ -278,20 +395,32 @@ func scanLine(r *daemonReport, line string) {
 	}
 }
 
-// reserveAddrs picks k distinct loopback listen addresses by binding and
-// immediately releasing ephemeral ports. The usual (benign) race: nothing
-// else on the host grabs them between release and the daemons' listen.
-func reserveAddrs(k int) ([]string, error) {
+// reserveListeners binds k loopback ephemeral-port listeners and returns
+// them still open, with their addresses. The listeners are handed to the
+// daemons as inherited descriptors — holding the bound socket end to end is
+// what closes the reserve/rebind window a bind-then-close reservation
+// leaves open.
+func reserveListeners(k int) ([]net.Listener, []string, error) {
+	lns := make([]net.Listener, k)
 	addrs := make([]string, k)
-	for i := range addrs {
+	for i := range lns {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, err
+			closeAll(lns[:i])
+			return nil, nil, err
 		}
+		lns[i] = ln
 		addrs[i] = ln.Addr().String()
-		ln.Close()
 	}
-	return addrs, nil
+	return lns, addrs, nil
+}
+
+func closeAll(lns []net.Listener) {
+	for _, ln := range lns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
 }
 
 func killAll(cmds []*exec.Cmd) {

@@ -63,6 +63,39 @@ func TestGossipctlSmallCluster(t *testing.T) {
 	}
 }
 
+// TestGossipctlLocalFabrics runs the small cluster once per socket fabric
+// mode: -local-fabric unix requires every frame to ride the unix sockets,
+// auto requires the fast path was taken at least once per daemon. Both
+// asserts live in run() itself (scanning the daemons' wire: ledgers); here
+// we additionally pin that the summary reports a nonzero local-frame count.
+func TestGossipctlLocalFabrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster run is not -short friendly")
+	}
+	bin := buildGossipd(t)
+	for _, fabric := range []string{"unix", "auto"} {
+		t.Run(fabric, func(t *testing.T) {
+			var sb strings.Builder
+			args := []string{
+				"-gossipd", bin, "-daemons", "3",
+				"-graph", "ringchords", "-n", "300", "-chords", "4", "-latmax", "8",
+				"-proto", "flood", "-seed", "7", "-local-fabric", fabric,
+				"-tick", "2ms", "-linger", "1s", "-timeout", "2m",
+			}
+			if err := run(args, &sb); err != nil {
+				t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+			}
+			out := sb.String()
+			if !strings.Contains(out, "completed=true") {
+				t.Errorf("summary missing completion markers:\n%s", out)
+			}
+			if strings.Contains(out, "local-frames=0/") {
+				t.Errorf("no frames took the local fabric:\n%s", out)
+			}
+		})
+	}
+}
+
 // TestGossipctlMembership runs the convergence variant: SWIM on, every
 // daemon's aggregated view must exist with zero false deaths.
 func TestGossipctlMembership(t *testing.T) {
@@ -134,6 +167,7 @@ func TestGossipctlFlagErrors(t *testing.T) {
 	}{
 		{[]string{"-daemons", "0"}, "-daemons"},
 		{[]string{"-daemons", "8", "-n", "4"}, "every daemon needs"},
+		{[]string{"-local-fabric", "shm"}, "-local-fabric"},
 	} {
 		var sb strings.Builder
 		err := run(tt.args, &sb)
@@ -152,12 +186,16 @@ func TestScanLine(t *testing.T) {
 		"completed=true interrupted=false informed=100/100 ticks=42 messages=1234 bytes=99 wall=1s dropped=0",
 		"membership: packets=10 bytes=100 view-entries alive=64 suspect=0 dead=0",
 		"drain: clean=true queued=0 pending=0 abandoned-timers=0 wall=1ms",
+		"wire: frames=5000 bytes=60000 local-frames=5000 local-bytes=60000",
 	} {
 		scanLine(&r, line)
 	}
 	if !r.started || !r.completed || r.informed != 100 || r.hosted != 100 ||
 		r.messages != 1234 || !r.drainClean || !r.sawMember || !r.memberOK {
 		t.Errorf("scan mismatch: %+v", r)
+	}
+	if !r.sawWire || r.frames != 5000 || r.localFrames != 5000 {
+		t.Errorf("wire ledger scan mismatch: %+v", r)
 	}
 	var bad daemonReport
 	scanLine(&bad, "completed=false interrupted=true informed=3/100 ticks=9 messages=1 bytes=2 wall=1s dropped=5")

@@ -3,8 +3,11 @@ package main
 import (
 	"fmt"
 	"net"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -332,6 +335,119 @@ func TestParsePeers(t *testing.T) {
 	}
 	if len(peers) != 3 || peers[0] != "a:1" || peers[1] != "a:1" || peers[3] != "b:2" {
 		t.Errorf("parsePeers = %v", peers)
+	}
+}
+
+func TestParsePeerSockets(t *testing.T) {
+	socks, err := parsePeerSockets("127.0.0.1:7000=/tmp/d0.sock,127.0.0.1:7001=/tmp/d1.sock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(socks) != 2 || socks["127.0.0.1:7000"] != "/tmp/d0.sock" ||
+		socks["127.0.0.1:7001"] != "/tmp/d1.sock" {
+		t.Errorf("parsePeerSockets = %v", socks)
+	}
+	for _, bad := range []string{"no-equals", "=path", "addr="} {
+		if _, err := parsePeerSockets(bad); err == nil {
+			t.Errorf("parsePeerSockets(%q) accepted a malformed entry", bad)
+		}
+	}
+}
+
+// TestListenFDInheritance exercises the supervisor handoff: the "parent"
+// binds the port, hands the descriptor over, and the daemon serves on it
+// without ever re-binding — the reserved address cannot be stolen in
+// between. In-process we dup the descriptor and give run() sole ownership,
+// exactly the lifetime a child process would see on fd 3.
+func TestListenFDInheritance(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	f, err := ln.(*net.TCPListener).File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	fd, err := syscall.Dup(int(f.Fd()))
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	args := []string{
+		"-graph", "clique", "-n", "8",
+		"-listen-fd", strconv.Itoa(fd),
+		"-tick", "500us", "-linger", "0s", "-seed", "3",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, sb.String())
+	}
+	out := sb.String()
+	for _, w := range []string{"listen=" + addr, "completed=true", "informed=8/8"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+// TestTwoDaemonUnixFabric pairs -listen-unix with -peer-sockets on both
+// sides of a dumbbell: every cross-daemon frame must ride the unix socket
+// (local-frames == frames in the wire ledger) and the drain must stay clean.
+func TestTwoDaemonUnixFabric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-daemon cluster run is not -short friendly")
+	}
+	addrs := reservePorts(t, 2)
+	dir := t.TempDir()
+	socks := []string{filepath.Join(dir, "d0.sock"), filepath.Join(dir, "d1.sock")}
+	sockMap := fmt.Sprintf("%s=%s,%s=%s", addrs[0], socks[0], addrs[1], socks[1])
+	peers := fmt.Sprintf("0-3=%s,4-7=%s", addrs[0], addrs[1])
+	common := []string{
+		"-graph", "dumbbell", "-s", "4", "-latency", "2",
+		"-proto", "pushpull", "-seed", "7",
+		"-tick", "1ms", "-linger", "2s",
+		"-peers", peers, "-peer-sockets", sockMap,
+	}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, 2)
+	errs := make([]error, 2)
+	for i, spec := range []struct {
+		listen, unix, nodes string
+	}{
+		{addrs[0], socks[0], "0-3"},
+		{addrs[1], socks[1], "4-7"},
+	} {
+		wg.Add(1)
+		go func(i int, listen, unix, nodes string) {
+			defer wg.Done()
+			args := append([]string{"-listen", listen, "-listen-unix", unix, "-nodes", nodes}, common...)
+			errs[i] = run(args, &outs[i])
+		}(i, spec.listen, spec.unix, spec.nodes)
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("daemon %d: %v\n%s", i, errs[i], outs[i].String())
+		}
+		out := outs[i].String()
+		for _, w := range []string{"completed=true", "informed=4/4", "drain: clean=true"} {
+			if !strings.Contains(out, w) {
+				t.Errorf("daemon %d output missing %q:\n%s", i, w, out)
+			}
+		}
+		var frames, wireBytes, localFrames, localBytes int64
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "wire: ") {
+				fmt.Sscanf(line, "wire: frames=%d bytes=%d local-frames=%d local-bytes=%d",
+					&frames, &wireBytes, &localFrames, &localBytes)
+			}
+		}
+		if frames == 0 || localFrames != frames {
+			t.Errorf("daemon %d leaked frames onto TCP: local-frames=%d/%d\n%s",
+				i, localFrames, frames, out)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@
 package gossip
 
 import (
+	"net"
 	"time"
 
 	"gossip/internal/core"
@@ -582,6 +583,21 @@ func ParseLiveWireFormat(s string) (LiveWireFormat, error) {
 // addresses with SetPeers before running. See cmd/gossipd for the CLI.
 func NewLiveTCPTransport(listenAddr string, local []NodeID) (*LiveTCPTransport, error) {
 	return live.NewTCPTransport(listenAddr, local, 0)
+}
+
+// NewLiveTCPTransportFromListener is NewLiveTCPTransport over an
+// already-bound listener, so a supervisor can reserve ports race-free and
+// hand each daemon its socket (see cmd/gossipctl's fd-passing launch).
+func NewLiveTCPTransportFromListener(ln net.Listener, local []NodeID) (*LiveTCPTransport, error) {
+	return live.NewTCPTransportFromListener(ln, local, 0)
+}
+
+// NewLiveUnixTransport returns a stream transport listening on a unix domain
+// socket at path — the same wire format and batching as TCP without the TCP
+// stack. Peers dial it when their transports advertise the path via
+// SetPeerSockets.
+func NewLiveUnixTransport(path string, local []NodeID) (*LiveTCPTransport, error) {
+	return live.NewUnixTransport(path, local, 0)
 }
 
 // Conductance reports the weighted conductance analysis of a graph.

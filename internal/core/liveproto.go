@@ -18,23 +18,34 @@ import (
 // between processes. The handlers themselves are untouched — the same state
 // machines run under both engines.
 
+// Preallocated one-byte bit-payload encodings: encoders return them by
+// reference, so the hot path allocates nothing. The transport treats
+// payload bytes as read-only. ASCII digits keep the bytes valid JSON for
+// the legacy line protocol (see live.DecodeBit).
+var (
+	bitFalse = []byte{'0'}
+	bitTrue  = []byte{'1'}
+)
+
 func init() {
-	// bitPayload crosses the wire as a bare JSON bool.
+	// bitPayload crosses the wire as a single byte. It is by far the
+	// hottest payload (every push-pull exchange carries two), so it skips
+	// the JSON machinery entirely; the decoder still accepts the JSON bools
+	// older senders emit.
 	live.RegisterPayload("core.bit",
 		func(p sim.Payload) ([]byte, bool) {
 			b, ok := p.(bitPayload)
 			if !ok {
 				return nil, false
 			}
-			data, err := json.Marshal(b.informed)
-			if err != nil {
-				return nil, false
+			if b.informed {
+				return bitTrue, true
 			}
-			return data, true
+			return bitFalse, true
 		},
 		func(data []byte) (sim.Payload, error) {
-			var informed bool
-			if err := json.Unmarshal(data, &informed); err != nil {
+			informed, err := live.DecodeBit(data)
+			if err != nil {
 				return nil, fmt.Errorf("core: bit payload: %w", err)
 			}
 			return bitPayload{informed: informed}, nil

@@ -14,22 +14,17 @@ import (
 // receiver dedup never suppresses a benchmark message.
 var benchTick int
 
-// benchLiveTCP measures pipelined one-way delivery between two transports on
-// loopback: b.N push-pull-sized messages are sent with zero latency delay
-// while a drain goroutine consumes them, so the measured cost is the wire
-// path — encode, batched write, read, ack, decode — not the protocol round
-// trip. Reported metrics: msgs/sec and total wire bytes per delivered
-// message (data frames from the sender plus ack traffic from the receiver).
-func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration, batched bool) {
-	src, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{0}, 4096)
-	if err != nil {
-		b.Fatal(err)
-	}
+// benchLiveStream measures pipelined one-way delivery between two transports
+// on the given fabric: b.N push-pull-sized messages are sent with zero
+// latency delay while a drain goroutine consumes them, so the measured cost
+// is the wire path — encode, batched write, read, ack, decode — not the
+// protocol round trip. Reported metrics: msgs/sec and total wire bytes per
+// delivered message (data frames from the sender plus ack traffic from the
+// receiver).
+func benchLiveStream(b *testing.B, fabric string, format WireFormat, window time.Duration, batched bool) {
+	src, _ := newFabricTransport(b, fabric, []graph.NodeID{0}, 4096)
 	defer src.Close()
-	dst, err := NewTCPTransport("127.0.0.1:0", []graph.NodeID{1}, 4096)
-	if err != nil {
-		b.Fatal(err)
-	}
+	dst, dstAddr := newFabricTransport(b, fabric, []graph.NodeID{1}, 4096)
 	defer dst.Close()
 	src.SetWireFormat(format)
 	dst.SetWireFormat(format)
@@ -43,7 +38,7 @@ func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration, batched
 	// benchmark: BenchmarkLiveTCPOverloadShed).
 	src.SetRetransmit(10*time.Second, 4)
 	src.SetOverloadLimits(-1, -1)
-	src.SetPeers(map[graph.NodeID]string{1: dst.Addr().String()})
+	src.SetPeers(map[graph.NodeID]string{1: dstAddr})
 
 	msg := Message{Kind: MsgRequest, From: 0, To: 1, EdgeID: 1, Latency: 1, Payload: bitp{informed: true}}
 
@@ -92,30 +87,41 @@ func benchLiveTCP(b *testing.B, format WireFormat, window time.Duration, batched
 // BenchmarkLiveTCPBinary is the historical per-message configuration: binary
 // frames, flush-on-drain write coalescing, one frame and one pend entry per
 // message (batching off so the series stays comparable across PRs).
-func BenchmarkLiveTCPBinary(b *testing.B) { benchLiveTCP(b, WireBinary, 0, false) }
+func BenchmarkLiveTCPBinary(b *testing.B) { benchLiveStream(b, "tcp", WireBinary, 0, false) }
 
 // BenchmarkLiveTCPBatched is the default configuration since cross-daemon
 // super-frames landed: everything bound for the same daemon that accumulates
 // during the previous socket write coalesces into one FrameBatch frame with
 // one pend entry, one retransmission timer and one ack for the whole batch.
-func BenchmarkLiveTCPBatched(b *testing.B) { benchLiveTCP(b, WireBinary, 0, true) }
+func BenchmarkLiveTCPBatched(b *testing.B) { benchLiveStream(b, "tcp", WireBinary, 0, true) }
 
 // BenchmarkLiveTCPBatchedWindowed widens the aggregation window to 200µs:
 // bigger super-frames still, at the cost of added delivery latency.
 func BenchmarkLiveTCPBatchedWindowed(b *testing.B) {
-	benchLiveTCP(b, WireBinary, 200*time.Microsecond, true)
+	benchLiveStream(b, "tcp", WireBinary, 200*time.Microsecond, true)
 }
 
 // BenchmarkLiveTCPJSON is the legacy JSON line protocol on the same batched
 // writer — the baseline the ≥3× throughput / ≥5× frame-size targets are
 // measured against.
-func BenchmarkLiveTCPJSON(b *testing.B) { benchLiveTCP(b, WireJSON, 0, false) }
+func BenchmarkLiveTCPJSON(b *testing.B) { benchLiveStream(b, "tcp", WireJSON, 0, false) }
 
 // BenchmarkLiveTCPBinaryWindowed adds a small flush window, trading up to
 // 200µs of latency for wider batches (fewer, larger syscalls).
 func BenchmarkLiveTCPBinaryWindowed(b *testing.B) {
-	benchLiveTCP(b, WireBinary, 200*time.Microsecond, false)
+	benchLiveStream(b, "tcp", WireBinary, 200*time.Microsecond, false)
 }
+
+// BenchmarkLiveUDS is BenchmarkLiveTCPBatched with the loopback TCP link
+// replaced by a unix-domain socket: the identical wire bytes skip the TCP
+// stack (checksums, Nagle/cork logic, loopback queueing), which is the
+// entire difference in the numbers.
+func BenchmarkLiveUDS(b *testing.B) { benchLiveStream(b, "unix", WireBinary, 0, true) }
+
+// BenchmarkLiveShmRing is the same workload over the in-process shared-ring
+// fabric: frames move producer-to-consumer through lock-free SPSC byte
+// rings, with no syscall on the hot path.
+func BenchmarkLiveShmRing(b *testing.B) { benchLiveStream(b, "ring", WireBinary, 0, true) }
 
 // BenchmarkLiveTCPOverloadShed measures the bounded-queue path under
 // deliberate overload: a tiny writer-queue cap against an unthrottled

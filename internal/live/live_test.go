@@ -1,7 +1,6 @@
 package live
 
 import (
-	"encoding/json"
 	"errors"
 	"testing"
 	"time"
@@ -19,6 +18,13 @@ type bitp struct{ informed bool }
 
 func (bitp) SizeBytes() int { return 1 }
 
+// Preallocated one-byte encodings, mirroring core's bit payload codec so the
+// benchmarks measure the same wire cost as the real protocols.
+var (
+	testBitFalse = []byte{'0'}
+	testBitTrue  = []byte{'1'}
+)
+
 func init() {
 	RegisterPayload("live_test.bit",
 		func(p sim.Payload) ([]byte, bool) {
@@ -26,12 +32,14 @@ func init() {
 			if !ok {
 				return nil, false
 			}
-			data, _ := json.Marshal(b.informed)
-			return data, true
+			if b.informed {
+				return testBitTrue, true
+			}
+			return testBitFalse, true
 		},
 		func(data []byte) (sim.Payload, error) {
-			var informed bool
-			if err := json.Unmarshal(data, &informed); err != nil {
+			informed, err := DecodeBit(data)
+			if err != nil {
 				return nil, err
 			}
 			return bitp{informed: informed}, nil

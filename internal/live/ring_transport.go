@@ -1,0 +1,300 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gossip/internal/graph"
+)
+
+// The in-process shared-ring fabric: a "connection" between two co-hosted
+// runtimes is a pair of lock-free SPSC byte rings, one per direction. Frames
+// are spliced producer-to-consumer with two atomic loads, two stores, and a
+// memcpy — no syscalls, no kernel socket buffers — while the stream core on
+// top runs the exact same codec, batching, and reliability machinery as TCP.
+// Listeners register under "ring://NAME" addresses in a process-wide
+// registry, so the fabric composes with SetPeers like any other.
+
+// ringBufBytes is each direction's ring capacity, matched to unixSockBuf so
+// the two local fabrics give the aggregation pipeline the same headroom: a
+// ring that fits only one super-frame burst stalls the producer and shrinks
+// batches. Must be a power of two.
+const ringBufBytes = 4 << 20
+
+// byteRing is a single-producer single-consumer byte queue. head and tail
+// are free-running (never wrapped) byte counts: head is advanced only by the
+// consumer, tail only by the producer, so each side owns one index and reads
+// the other with an atomic load.
+//
+// Blocking is flag-gated and token-based: a side about to block publishes
+// its intent (rWait/wWait), re-checks the indexes, and then parks on its
+// capacity-1 token channel; the other side sends a token only when the flag
+// is up (or on close). The flag publication and the index re-check are both
+// sequentially-consistent atomics, so the classic sleeping-barber race —
+// producer writes between the consumer's empty check and its park — always
+// leaves either the flag visible to the producer (token sent) or the new
+// tail visible to the consumer (no park). In steady streaming neither side
+// blocks and the hot path performs no channel operations at all.
+type byteRing struct {
+	buf  []byte
+	mask uint64
+	head atomic.Uint64 // consumer-owned: next byte to read
+	tail atomic.Uint64 // producer-owned: next byte to write
+
+	rWait atomic.Bool   // consumer is parked (or about to park) on rdy
+	wWait atomic.Bool   // producer is parked (or about to park) on spc
+	rdy   chan struct{} // producer -> consumer: bytes (or EOF) available
+	spc   chan struct{} // consumer -> producer: space (or abandonment) available
+
+	wEOF  atomic.Bool // producer closed: reads drain the residue, then io.EOF
+	rGone atomic.Bool // consumer closed: writes fail immediately
+}
+
+func newByteRing() *byteRing {
+	return &byteRing{
+		buf:  make([]byte, ringBufBytes),
+		mask: ringBufBytes - 1,
+		rdy:  make(chan struct{}, 1),
+		spc:  make(chan struct{}, 1),
+	}
+}
+
+// signal drops a wakeup token into ch if one isn't already there.
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// write appends all of p, blocking while the ring is full. Partial copies
+// happen internally as space frees, but the contract is all-or-error like
+// net.Conn: n < len(p) only alongside a non-nil error.
+func (r *byteRing) write(p []byte) (int, error) {
+	written := 0
+	for written < len(p) {
+		if r.rGone.Load() {
+			return written, net.ErrClosed
+		}
+		tail := r.tail.Load()
+		free := uint64(len(r.buf)) - (tail - r.head.Load())
+		if free == 0 {
+			r.wWait.Store(true)
+			// Re-check after publishing intent: a consumer that freed space
+			// before seeing the flag is caught here; one that frees it after
+			// will see the flag and send the token.
+			if uint64(len(r.buf))-(tail-r.head.Load()) == 0 && !r.rGone.Load() {
+				<-r.spc
+			}
+			r.wWait.Store(false)
+			continue
+		}
+		n := uint64(len(p) - written)
+		if n > free {
+			n = free
+		}
+		// At most two copies: up to the end of the buffer, then the wrap.
+		off := tail & r.mask
+		c := copy(r.buf[off:], p[written:written+int(n)])
+		if uint64(c) < n {
+			copy(r.buf, p[written+c:written+int(n)])
+		}
+		r.tail.Store(tail + n)
+		written += int(n)
+		if r.rWait.Load() {
+			signal(r.rdy)
+		}
+	}
+	return written, nil
+}
+
+// read copies up to len(p) buffered bytes, blocking while the ring is empty.
+// After the producer closes, the residue drains normally and then reads
+// return io.EOF.
+func (r *byteRing) read(p []byte) (int, error) {
+	for {
+		head := r.head.Load()
+		avail := r.tail.Load() - head
+		if avail == 0 {
+			if r.wEOF.Load() && r.tail.Load() == head {
+				return 0, io.EOF
+			}
+			if r.rGone.Load() {
+				return 0, net.ErrClosed
+			}
+			r.rWait.Store(true)
+			// Re-check after publishing intent (see write).
+			if r.tail.Load() == head && !r.wEOF.Load() && !r.rGone.Load() {
+				<-r.rdy
+			}
+			r.rWait.Store(false)
+			continue
+		}
+		n := uint64(len(p))
+		if n > avail {
+			n = avail
+		}
+		off := head & r.mask
+		c := copy(p, r.buf[off:min(uint64(len(r.buf)), off+n)])
+		if uint64(c) < n {
+			copy(p[c:], r.buf[:n-uint64(c)])
+		}
+		r.head.Store(head + n)
+		if r.wWait.Load() {
+			signal(r.spc)
+		}
+		return int(n), nil
+	}
+}
+
+// closeWrite is the producer's half-close: buffered bytes stay readable,
+// after which the consumer sees io.EOF.
+func (r *byteRing) closeWrite() {
+	r.wEOF.Store(true)
+	signal(r.rdy)
+}
+
+// closeRead is the consumer's abandonment: the producer's next write fails
+// instead of blocking on a reader that will never come.
+func (r *byteRing) closeRead() {
+	r.rGone.Store(true)
+	signal(r.spc)
+	signal(r.rdy)
+}
+
+// ringAddr is the net.Addr of a ring endpoint.
+type ringAddr string
+
+func (a ringAddr) Network() string { return "ring" }
+func (a ringAddr) String() string  { return ringScheme + string(a) }
+
+// ringConn is one end of a ring pair: it produces into wr and consumes from
+// rd (the peer holds the same rings with the roles swapped). It implements
+// net.Conn minus deadlines, which the stream core never sets.
+type ringConn struct {
+	local, remote ringAddr
+	rd, wr        *byteRing
+	closeOnce     sync.Once
+}
+
+func (c *ringConn) Read(p []byte) (int, error)  { return c.rd.read(p) }
+func (c *ringConn) Write(p []byte) (int, error) { return c.wr.write(p) }
+func (c *ringConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wr.closeWrite()
+		c.rd.closeRead()
+	})
+	return nil
+}
+func (c *ringConn) LocalAddr() net.Addr              { return c.local }
+func (c *ringConn) RemoteAddr() net.Addr             { return c.remote }
+func (c *ringConn) SetDeadline(time.Time) error      { return nil }
+func (c *ringConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *ringConn) SetWriteDeadline(time.Time) error { return nil }
+
+// ringListener accepts ring connections dialed at its registered name.
+type ringListener struct {
+	name    ringAddr
+	conns   chan net.Conn
+	done    chan struct{}
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func (l *ringListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *ringListener) Close() error {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+		unregisterRing(string(l.name), l)
+	}
+	return nil
+}
+
+func (l *ringListener) Addr() net.Addr { return l.name }
+
+// ringRegistry maps ring names to live listeners, process-wide, so that
+// dialRing("NAME") finds the runtime listening as "ring://NAME" the same way
+// the kernel resolves a socket path.
+var ringRegistry struct {
+	mu sync.Mutex
+	m  map[string]*ringListener
+}
+
+func registerRing(name string) (*ringListener, error) {
+	ringRegistry.mu.Lock()
+	defer ringRegistry.mu.Unlock()
+	if ringRegistry.m == nil {
+		ringRegistry.m = make(map[string]*ringListener)
+	}
+	if _, ok := ringRegistry.m[name]; ok {
+		return nil, fmt.Errorf("live: ring %q already registered", name)
+	}
+	l := &ringListener{
+		name:  ringAddr(name),
+		conns: make(chan net.Conn, 16),
+		done:  make(chan struct{}),
+	}
+	ringRegistry.m[name] = l
+	return l, nil
+}
+
+func unregisterRing(name string, l *ringListener) {
+	ringRegistry.mu.Lock()
+	defer ringRegistry.mu.Unlock()
+	if ringRegistry.m[name] == l {
+		delete(ringRegistry.m, name)
+	}
+}
+
+// dialRing connects to the listener registered under name, returning the
+// dialer's end of a fresh ring pair. An unregistered name is an error the
+// caller's retry loop treats like connection-refused.
+func dialRing(name string) (net.Conn, error) {
+	ringRegistry.mu.Lock()
+	l := ringRegistry.m[name]
+	ringRegistry.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("live: ring %q: no listener", name)
+	}
+	a2b, b2a := newByteRing(), newByteRing()
+	dialer := &ringConn{local: "dial->" + l.name, remote: l.name, rd: b2a, wr: a2b}
+	acceptor := &ringConn{local: l.name, remote: "dial->" + l.name, rd: a2b, wr: b2a}
+	select {
+	case l.conns <- acceptor:
+		return dialer, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// NewRingTransport registers a ring listener as "ring://NAME" and returns a
+// transport hosting the given node IDs. Peers in the same process reach it
+// with that address in SetPeers; the name is freed when the transport
+// closes. buffer is as for NewTCPTransport.
+func NewRingTransport(name string, local []graph.NodeID, buffer int) (*StreamTransport, error) {
+	l, err := registerRing(name)
+	if err != nil {
+		return nil, err
+	}
+	t := newStreamTransport(local, buffer)
+	if err := t.addListener(l, true); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return t, nil
+}

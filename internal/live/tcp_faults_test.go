@@ -180,75 +180,11 @@ func TestFaultTCPAckClearsPending(t *testing.T) {
 // runScriptedTCPFaults feeds a deterministic schedule through per-side
 // FaultTransports over a two-transport TCP cluster speaking wire format wf,
 // waits for the reliable-delivery layer to drain, and returns the arrival
-// multiset plus the summed injected-fault counters.
+// multiset plus the summed injected-fault counters. It is the TCP face of
+// the fabric-generic runScriptedFaults (fabric_test.go).
 func runScriptedTCPFaults(t *testing.T, g *graph.Graph, feed []Message, cfg FaultConfig, wf WireFormat, batched bool) (map[arrivalKey]int, FaultCounts) {
 	t.Helper()
-	half := g.N() / 2
-	side := func(u graph.NodeID) int {
-		if int(u) < half {
-			return 0
-		}
-		return 1
-	}
-	var hosted [2][]graph.NodeID
-	for u := 0; u < g.N(); u++ {
-		hosted[side(graph.NodeID(u))] = append(hosted[side(graph.NodeID(u))], graph.NodeID(u))
-	}
-	var tcps [2]*TCPTransport
-	var fts [2]*FaultTransport
-	addrs := make(map[graph.NodeID]string, g.N())
-	for i := range tcps {
-		tr, err := NewTCPTransport("127.0.0.1:0", hosted[i], 4096)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tr.SetWireFormat(wf)
-		tr.SetBatching(batched)
-		tr.SetRetransmit(time.Second, 8)
-		tcps[i] = tr
-		for _, u := range hosted[i] {
-			addrs[u] = tr.Addr().String()
-		}
-	}
-	for i := range tcps {
-		tcps[i].SetPeers(addrs)
-		fts[i] = NewFaultTransport(tcps[i], cfg)
-		defer fts[i].Close()
-	}
-	for _, m := range feed {
-		if err := fts[side(m.From)].Send(m, 0); err != nil {
-			t.Fatalf("Send: %v", err)
-		}
-	}
-	// Wait for jittered deliveries to be scheduled and the reliable layer to
-	// drain every surviving send.
-	time.Sleep(50*time.Millisecond + time.Duration(2*(cfg.JitterTicks+1))*cfg.Tick)
-	deadline := time.Now().Add(10 * time.Second)
-	for (tcps[0].pendingCount() != 0 || tcps[1].pendingCount() != 0) && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	got := make(map[arrivalKey]int)
-	for u := 0; u < g.N(); u++ {
-		ch := fts[side(graph.NodeID(u))].Recv(graph.NodeID(u))
-		for {
-			select {
-			case m := <-ch:
-				got[arrivalKey{edge: m.EdgeID, from: m.From, sentTick: m.SentTick}]++
-				continue
-			default:
-			}
-			break
-		}
-	}
-	var sum FaultCounts
-	for i := range fts {
-		rep := fts[i].Faults()
-		sum.InjectedDrops += rep.InjectedDrops
-		sum.InjectedDups += rep.InjectedDups
-		sum.Jittered += rep.Jittered
-		sum.PartitionDrops += rep.PartitionDrops
-	}
-	return got, sum
+	return runScriptedFaults(t, "tcp", g, feed, cfg, wf, batched)
 }
 
 // TestFaultTCPDeterministicAcrossWireFormats is the chaos determinism check

@@ -1,1841 +1,46 @@
 package live
 
 import (
-	"bufio"
-	"context"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"gossip/internal/graph"
 )
 
-// wireMessage is the frame shape shared by both wire formats: the JSON line
-// protocol marshals it directly, the binary codec (wire.go) encodes the same
-// fields as varints. Payloads travel as (registered type name, raw bytes)
-// pairs — see codec.go. Seq is the sender-assigned reliable-delivery
-// sequence number; an ack echoes it back.
-type wireMessage struct {
-	Kind        uint8           `json:"k"`
-	Seq         uint64          `json:"q,omitempty"`
-	From        int             `json:"f"`
-	To          int             `json:"t"`
-	EdgeID      int             `json:"e"`
-	Latency     int             `json:"l"`
-	SentTick    int             `json:"s"`
-	PayloadType string          `json:"pt,omitempty"`
-	Payload     json.RawMessage `json:"p,omitempty"`
-}
+// TCPTransport is the TCP-listening face of the generic stream core. The
+// name survives from when TCP was the only fabric; every method — and the
+// ability to dial unix:// and ring:// peers, or auto-upgrade co-located
+// peers onto an advertised unix socket — lives on StreamTransport, so the
+// alias keeps the established API (and its tests) unchanged.
+type TCPTransport = StreamTransport
 
-// wireAck is the Kind of a standalone JSON acknowledgement frame (only Kind
-// and Seq are meaningful); it never collides with MsgRequest/MsgResponse.
-// The binary format carries acks in each frame's ack section instead.
-const wireAck uint8 = 0xFF
-
-// Reliable-delivery defaults: until a peer has yielded an RTT sample the
-// first retransmission fires after DefaultRetransmitRTO; once acks flow, the
-// RTO adapts per peer (Jacobson-style srtt + 4·rttvar, clamped to
-// [DefaultRTOMin, DefaultRTOMax] — see overload.go). Each retransmission
-// doubles the wait, and after DefaultMaxRetransmits unacknowledged
-// retransmissions the message is abandoned and counted as dropped.
-const (
-	DefaultRetransmitRTO  = 250 * time.Millisecond
-	DefaultMaxRetransmits = 4
-)
-
-// DefaultDedupWindowTicks is the receiver dedup retention window: an entry
-// is evicted once the newest SentTick seen by its shard has advanced past it
-// by one to two windows. At the default 1ms tick this retains entries for
-// ~8–16s, comfortably beyond the longest retransmission lifetime
-// (250ms·(1+2+4+8) ≈ 3.8s), so bounded memory never re-admits a live
-// retransmission.
-const DefaultDedupWindowTicks = 8192
-
-// pendShards and dedupShards split the reliable-delivery and dedup state so
-// concurrent connections and node goroutines don't serialize on one lock.
-const (
-	pendShards  = 16
-	dedupShards = 16
-)
-
-// TCPTransport moves messages between processes as framed messages over TCP
-// — length-prefixed binary frames by default, JSON lines behind
-// SetWireFormat(WireJSON). Each process hosts a subset of the graph's nodes
-// behind one listener; SetPeers maps every remote node to the listen address
-// of the process hosting it. Messages between two locally hosted nodes
-// short-circuit the socket and are delivered in memory. Receivers auto-detect
-// the peer's format per connection, so mixed-format clusters interoperate.
-//
-// Writes are batched: every connection has a writer goroutine draining a
-// frame queue through a buffered writer, so the many messages gossip
-// generates in one tick coalesce into one syscall, and acks ride the ack
-// section of outgoing binary frames instead of paying a frame each.
-// SetFlushWindow adds an optional delay that widens the batches further.
-//
-// In batched mode (SetBatching, default on, binary format only) the writer
-// goes further: everything bound for the same destination daemon within one
-// drain coalesces into FrameBatch super-frames — one frame header, one pend
-// entry, one retransmission timer, and one returning ack per batch instead
-// of per message — and the receiver decodes a super-frame once and scatters
-// each sub-message straight to the owning shard's mailbox through the
-// DeliverySink seam.
-//
-// Remote delivery is reliable up to a retransmission budget: every remote
-// message carries a sequence number, the receiver acks it on the same
-// connection, and unacked messages are retransmitted with exponential
-// backoff. A write failure evicts the broken connection and immediately
-// re-queues the affected messages through the retransmit path, so the first
-// retry redials at once instead of waiting out the RTO. A message still
-// unacked after the budget is abandoned and counted as dropped. Receivers
-// deduplicate on (EdgeID, From, SentTick, Kind) within a sliding tick window
-// (SetDedupWindow), so retransmissions and network duplicates are idempotent
-// and the dedup set stays bounded over arbitrarily long runs.
-//
-// Outbound connections are dialed lazily (with retries, so a cluster's
-// processes may start in any order) and pooled per destination address.
-type TCPTransport struct {
-	ln     net.Listener
-	hosted map[graph.NodeID]bool // read-only after construction
-
-	buffer  int
-	inboxMu sync.Mutex
-	inboxes map[graph.NodeID]chan Message // lazily created on first Recv/legacy delivery
-	sink    atomic.Pointer[DeliverySink]
-
-	// Atomic because connection goroutines read them while the owner may
-	// still be configuring (an eager peer can dial in before SetWireFormat).
-	wireFormat  atomic.Int32 // WireFormat
-	flushWindow atomic.Int64 // time.Duration
-	dedupWindow atomic.Int64 // ticks
-	batching    atomic.Bool  // FrameBatch super-frame aggregation (binary only)
-
-	peerMu sync.RWMutex
-	peers  map[graph.NodeID]string
-
-	connMu  sync.Mutex
-	outs    map[string]*connState
-	accepts []*connState
-
-	dialTimeout time.Duration
-	rto         time.Duration
-	maxRetrans  int
-	rtoMin      time.Duration // adaptive-RTO floor (raised by SetRetransmit)
-	rtoMax      time.Duration // adaptive-RTO and backoff ceiling
-
-	// Overload-protection knobs (SetOverloadLimits / SetBreaker); <= 0
-	// disables the corresponding mechanism.
-	queueLimit  int // frames per connection writer queue
-	pendLimit   int // unacked reliable sends across the transport
-	breakerN    int // consecutive failures before a peer's breaker opens
-	breakerWait time.Duration
-
-	peerSt sync.Map // addr string -> *peerState, per peer listen address
-
-	seq   atomic.Uint64
-	pend  [pendShards]pendShard
-	dedup [dedupShards]dedupShard
-
-	delays         *timerWheel  // armed latency delays for not-yet-sent messages
-	retries        *timerWheel  // armed retransmission timeouts (RTOs)
-	bytesOut       atomic.Int64 // frame bytes written to sockets
-	flushes        atomic.Int64 // socket write batches (syscalls; see countingWriter)
-	framesOut      atomic.Int64 // physical frames written (a super-frame counts once)
-	msgsOut        atomic.Int64 // logical data messages those frames carried
-	dropsGiveUp    atomic.Int64 // retransmission budget exhausted
-	dropsClosed    atomic.Int64 // unacked or undelivered at Close
-	dropsDecode    atomic.Int64 // undecodable wire payloads or corrupt frames
-	dropsMisroute  atomic.Int64 // wire messages for nodes not hosted here
-	retransmits    atomic.Int64
-	dupsSuppressed atomic.Int64
-
-	// Overload ledger (see OverloadCounts for the meaning of each).
-	ovShedQueue   atomic.Int64
-	ovShedPend    atomic.Int64
-	ovMemberWait  atomic.Int64
-	ovRetryTrim   atomic.Int64
-	ovDeadPeer    atomic.Int64
-	ovBreakerOpen atomic.Int64
-	ovBreakerDrop atomic.Int64
-
-	draining  atomic.Bool // Drain started: no new sends, dials, or redial bursts
-	closed    chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
-}
-
-var _ Transport = (*TCPTransport)(nil)
-var _ SinkTransport = (*TCPTransport)(nil)
-var _ FaultReporter = (*TCPTransport)(nil)
-var _ Drainer = (*TCPTransport)(nil)
-var _ PeerStatusSink = (*TCPTransport)(nil)
-
-// pendShard is one slice of the unacked-message map, guarded by its own lock.
-type pendShard struct {
-	mu sync.Mutex
-	m  map[uint64]*pendingSend
-}
-
-// pendingSend is one unacknowledged reliable send awaiting ack — a single
-// remote message, or (batched mode) one whole FrameBatch super-frame whose
-// sub-messages live in batch and whose pend key is the last sub-message's
-// Seq (mirrored in w). retry is the armed retransmission timer (stopped on
-// ack or Close). sentAt and retransmitted feed the RTT estimator under
-// Karn's rule: only an entry acked on its first attempt yields a sample.
-type pendingSend struct {
-	addr          string
-	ps            *peerState // the peer's adaptive state, resolved once at admission
-	w             wireMessage
-	batch         []wireMessage // super-frame sub-messages; nil for a per-message entry
-	member        bool          // batch carries membership traffic: exempt from shedding
-	attempts      int
-	retry         *wheelTimer
-	sentAt        time.Time
-	retransmitted bool
-}
-
-// msgCount returns the logical data messages this entry carries — the unit
-// the drop and shed ledgers count in.
-func (p *pendingSend) msgCount() int64 {
-	if p.batch != nil {
-		return int64(len(p.batch))
-	}
-	return 1
-}
-
-// destinedTo reports whether every logical message of this entry targets
-// node u — the per-node flush test for PeerDown. A batch mixing destinations
-// is spared; the address-level breaker flush covers daemon-wide death.
-func (p *pendingSend) destinedTo(u int) bool {
-	if p.batch == nil {
-		return p.w.To == u
-	}
-	for i := range p.batch {
-		if p.batch[i].To != u {
-			return false
-		}
-	}
-	return true
-}
-
-// dedupKey identifies a message for receiver-side deduplication: the node
-// pair and tick of the exchange half. From disambiguates the two endpoints
-// initiating on the same edge in the same tick.
-type dedupKey struct {
-	edge     int
-	from     graph.NodeID
-	sentTick int
-	kind     MsgKind
-}
-
-// shard spreads keys over the dedup shards with a cheap integer mix.
-func (k dedupKey) shard() uint64 {
-	h := uint64(k.edge)*0x9E3779B97F4A7C15 + uint64(k.from)*0xBF58476D1CE4E5B9 +
-		uint64(uint32(k.sentTick))*0x94D049BB133111EB + uint64(k.kind)
-	return (h >> 32) & (dedupShards - 1)
-}
-
-// dedupShard holds a generation pair of dedup sets. New entries land in cur;
-// when the newest SentTick observed advances past the shard's horizon, prev
-// is discarded and cur rotates into its place, reclaiming entries one to two
-// windows old. Lookups consult both generations.
-type dedupShard struct {
-	mu      sync.Mutex
-	cur     map[dedupKey]struct{}
-	prev    map[dedupKey]struct{}
-	maxTick int
-	horizon int
-}
-
-// seen records k and reports whether it was already present (a duplicate).
-func (s *dedupShard) seen(k dedupKey, window int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.cur[k]; dup {
-		return true
-	}
-	if _, dup := s.prev[k]; dup {
-		return true
-	}
-	if s.cur == nil {
-		s.cur = make(map[dedupKey]struct{})
-		s.horizon = k.sentTick + window
-	}
-	if k.sentTick > s.maxTick {
-		s.maxTick = k.sentTick
-		if s.maxTick >= s.horizon {
-			s.prev = s.cur
-			s.cur = make(map[dedupKey]struct{})
-			s.horizon = s.maxTick + window
-		}
-	}
-	s.cur[k] = struct{}{}
-	return false
-}
-
-// size reports the shard's live entry count (tests verify eviction with it).
-func (s *dedupShard) size() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.cur) + len(s.prev)
-}
-
-// NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") and hosts the
-// given local nodes. Call Addr to learn the bound address and SetPeers to
-// install the node→address map before the first remote Send.
+// NewTCPTransport listens on listenAddr (e.g. "127.0.0.1:0") and returns a
+// transport hosting the given node IDs. buffer sizes each node's inbox
+// channel (<=0 means DefaultInboxBuffer). The transport accepts connections
+// immediately; peers are added with SetPeers before the first Send.
 func NewTCPTransport(listenAddr string, local []graph.NodeID, buffer int) (*TCPTransport, error) {
-	if buffer <= 0 {
-		buffer = DefaultInboxBuffer
-	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", listenAddr, err)
 	}
-	t := &TCPTransport{
-		ln:          ln,
-		hosted:      make(map[graph.NodeID]bool, len(local)),
-		buffer:      buffer,
-		inboxes:     make(map[graph.NodeID]chan Message),
-		peers:       make(map[graph.NodeID]string),
-		delays:      newTimerWheel(0),
-		retries:     newTimerWheel(0),
-		outs:        make(map[string]*connState),
-		dialTimeout: 10 * time.Second,
-		rto:         DefaultRetransmitRTO,
-		maxRetrans:  DefaultMaxRetransmits,
-		rtoMin:      DefaultRTOMin,
-		rtoMax:      DefaultRTOMax,
-		queueLimit:  DefaultQueueLimit,
-		pendLimit:   DefaultPendingLimit,
-		breakerN:    DefaultBreakerThreshold,
-		breakerWait: DefaultBreakerCooldown,
-		closed:      make(chan struct{}),
+	t := newStreamTransport(local, buffer)
+	if err := t.addListener(ln, false); err != nil {
+		ln.Close()
+		return nil, err
 	}
-	t.dedupWindow.Store(DefaultDedupWindowTicks)
-	t.batching.Store(true)
-	for _, u := range local {
-		t.hosted[u] = true
-	}
-	t.wg.Add(1)
-	go t.acceptLoop()
 	return t, nil
 }
 
-// Addr returns the transport's bound listen address.
-func (t *TCPTransport) Addr() net.Addr { return t.ln.Addr() }
-
-// SetPeers installs (or extends) the node→address map used to route remote
-// sends. Locally hosted nodes need no entry.
-func (t *TCPTransport) SetPeers(addrs map[graph.NodeID]string) {
-	t.peerMu.Lock()
-	defer t.peerMu.Unlock()
-	for u, a := range addrs {
-		t.peers[u] = a
-	}
-}
-
-// SetWireFormat selects the outgoing frame encoding (default WireBinary).
-// Call it before the first Send; inbound frames are auto-detected per
-// connection regardless, so peers may differ.
-func (t *TCPTransport) SetWireFormat(f WireFormat) { t.wireFormat.Store(int32(f)) }
-
-// WireFormat returns the transport's outgoing frame encoding.
-func (t *TCPTransport) WireFormat() WireFormat { return WireFormat(t.wireFormat.Load()) }
-
-// SetFlushWindow makes every connection's writer wait this long after the
-// first queued frame before flushing, widening write batches at the cost of
-// up to that much added delivery latency (0, the default, flushes as soon as
-// the queue drains — pure coalescing with no added latency). Call before the
-// first Send.
-func (t *TCPTransport) SetFlushWindow(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	t.flushWindow.Store(int64(d))
-}
-
-// SetBatching toggles cross-daemon super-frame aggregation (default on,
-// binary format only; JSON always sends per-message frames). When enabled,
-// every message bound for the same destination daemon within one writer
-// drain coalesces into FrameBatch super-frames sharing one frame header, one
-// pend entry, one retransmission timer, and one returning ack — the
-// per-message reliable-delivery bookkeeping collapses to per-batch. Call
-// before the first Send.
-func (t *TCPTransport) SetBatching(on bool) { t.batching.Store(on) }
-
-// Batching reports whether super-frame aggregation is enabled.
-func (t *TCPTransport) Batching() bool { return t.batching.Load() }
-
-// batched reports whether outgoing frames actually aggregate: batching is
-// enabled and the outgoing format is binary.
-func (t *TCPTransport) batched() bool {
-	return t.batching.Load() && t.WireFormat() == WireBinary
-}
-
-// SetDedupWindow bounds receiver-side dedup retention to the given number of
-// ticks (default DefaultDedupWindowTicks): entries are reclaimed once the
-// newest SentTick their shard has seen passes them by one to two windows.
-// The window must comfortably exceed the retransmission lifetime
-// (RTO·2^maxRetransmits) in ticks, or a late retransmission could be
-// delivered twice. Call before the first Send.
-func (t *TCPTransport) SetDedupWindow(ticks int) {
-	if ticks > 0 {
-		t.dedupWindow.Store(int64(ticks))
-	}
-}
-
-// SetDialTimeout bounds how long a remote write retries dialing an
-// unreachable peer before failing the attempt (default 10s — generous so a
-// cluster's processes may start in any order).
-func (t *TCPTransport) SetDialTimeout(d time.Duration) { t.dialTimeout = d }
-
-// SetRetransmit tunes reliable delivery: rto is the wait before the first
-// retransmission (doubling per attempt), maxRetransmits the budget before a
-// message is abandoned and counted as dropped. Zero values keep defaults;
-// maxRetransmits < 0 disables retransmission entirely.
-//
-// An explicit rto also becomes the adaptive RTO's floor: the per-peer RTT
-// estimator may only raise the timeout above it, never undercut it, so a
-// caller that asked for a quiet wire (a long rto) or a deterministic test
-// cadence (a short one) keeps what it asked for.
-func (t *TCPTransport) SetRetransmit(rto time.Duration, maxRetransmits int) {
-	if rto > 0 {
-		t.rto = rto
-		t.rtoMin = rto
-		if t.rtoMax < 16*rto {
-			t.rtoMax = 16 * rto
-		}
-	}
-	if maxRetransmits != 0 {
-		t.maxRetrans = maxRetransmits
-	}
-}
-
-// SetOverloadLimits tunes the transport's bounded queues: queueFrames caps
-// each connection's writer queue, pending caps the transport-wide unacked
-// reliable-send set. Zero keeps the current value, negative disables the cap.
-// Call before the first Send.
-func (t *TCPTransport) SetOverloadLimits(queueFrames, pending int) {
-	if queueFrames != 0 {
-		t.queueLimit = queueFrames
-	}
-	if pending != 0 {
-		t.pendLimit = pending
-	}
-}
-
-// SetBreaker tunes the per-peer circuit breakers: threshold is the number of
-// consecutive delivery failures that opens a peer's breaker, cooldown how
-// long an open breaker waits before half-opening for a single probe. Zero
-// keeps the current value, threshold < 0 disables breakers (including the
-// membership-driven trip). Call before the first Send.
-func (t *TCPTransport) SetBreaker(threshold int, cooldown time.Duration) {
-	if threshold != 0 {
-		t.breakerN = threshold
-	}
-	if cooldown > 0 {
-		t.breakerWait = cooldown
-	}
-}
-
-// Overload returns the transport's overload-protection ledger: what the
-// bounded queues shed, what membership backpressure delayed, and what the
-// peer breakers refused.
-func (t *TCPTransport) Overload() OverloadCounts {
-	return OverloadCounts{
-		ShedQueue:           t.ovShedQueue.Load(),
-		ShedPend:            t.ovShedPend.Load(),
-		MemberBackpressured: t.ovMemberWait.Load(),
-		RetryBurstTrimmed:   t.ovRetryTrim.Load(),
-		DroppedDeadPeer:     t.ovDeadPeer.Load(),
-		BreakerOpens:        t.ovBreakerOpen.Load(),
-		BreakerDrops:        t.ovBreakerDrop.Load(),
-	}
-}
-
-// peer returns (creating on first use) the adaptive state for a peer address.
-func (t *TCPTransport) peer(addr string) *peerState {
-	if v, ok := t.peerSt.Load(addr); ok {
-		return v.(*peerState)
-	}
-	v, _ := t.peerSt.LoadOrStore(addr, &peerState{})
-	return v.(*peerState)
-}
-
-// allowSend consults ps's circuit breaker; true when breakers are disabled.
-// The closed steady state is decided lock-free (see peerState.fastClosed).
-func (t *TCPTransport) allowSend(ps *peerState) bool {
-	if t.breakerN <= 0 || ps.fastClosed() {
-		return true
-	}
-	return ps.allow(t.breakerN, time.Now())
-}
-
-// peerFailure records one delivery failure against addr; if that trips the
-// breaker, the peer's pend entries are flushed so retransmission spend stops
-// immediately.
-func (t *TCPTransport) peerFailure(addr string) {
-	if t.breakerN <= 0 {
-		return
-	}
-	if t.peer(addr).failure(t.breakerN, t.breakerWait, time.Now()) {
-		t.ovBreakerOpen.Add(1)
-		t.ovBreakerDrop.Add(t.flushPend(func(p *pendingSend) bool { return p.addr == addr }))
-	}
-}
-
-// flushPend removes every pend entry matching keep==true, stopping its
-// retransmission timer, and returns how many logical messages it removed
-// (a super-frame entry counts its sub-messages). Callers must not hold any
-// pend shard lock.
-func (t *TCPTransport) flushPend(match func(*pendingSend) bool) int64 {
-	var n int64
-	for i := range t.pend {
-		sh := &t.pend[i]
-		sh.mu.Lock()
-		for seq, p := range sh.m {
-			if match(p) {
-				p.retry.Stop()
-				delete(sh.m, seq)
-				n += p.msgCount()
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return n
-}
-
-// PeerDown implements PeerStatusSink: the membership layer declared node u
-// dead. In-flight seqs destined to u are flushed and counted (whether or not
-// breakers are enabled — a dead destination earns no retransmission budget),
-// and when every node hosted at u's address is believed dead the address's
-// breaker trips, halting new sends until a cooldown probe or PeerUp.
-func (t *TCPTransport) PeerDown(u graph.NodeID) {
-	t.ovDeadPeer.Add(t.flushPend(func(p *pendingSend) bool { return p.destinedTo(int(u)) }))
-	t.peerMu.RLock()
-	addr, ok := t.peers[u]
-	hosted := 0
-	if ok {
-		for _, a := range t.peers {
-			if a == addr {
-				hosted++
-			}
-		}
-	}
-	t.peerMu.RUnlock()
-	if !ok {
-		return
-	}
-	ps := t.peer(addr)
-	if ps.markDead(u, hosted) && t.breakerN > 0 {
-		if ps.trip(t.breakerWait, time.Now()) {
-			t.ovBreakerOpen.Add(1)
-			t.ovBreakerDrop.Add(t.flushPend(func(p *pendingSend) bool { return p.addr == addr }))
-		}
-	}
-}
-
-// PeerUp implements PeerStatusSink: node u refuted its suspicion or rejoined.
-// Its address's breaker closes so traffic resumes immediately.
-func (t *TCPTransport) PeerUp(u graph.NodeID) {
-	t.peerMu.RLock()
-	addr, ok := t.peers[u]
-	t.peerMu.RUnlock()
-	if !ok {
-		return
-	}
-	ps := t.peer(addr)
-	ps.markAlive(u)
-	ps.reset()
-}
-
-// Dropped returns the number of messages lost for any terminal reason since
-// the transport started: retransmission give-ups, messages unacked or
-// undelivered at Close, undecodable payloads, misroutes, and everything the
-// overload protection shed or refused. Suppressed duplicates are not drops
-// (their content arrived).
-func (t *TCPTransport) Dropped() int64 {
-	return t.dropsGiveUp.Load() + t.dropsClosed.Load() + t.dropsDecode.Load() +
-		t.dropsMisroute.Load() + t.Overload().Shed()
-}
-
-// Retransmits returns the number of reliable-delivery retransmissions.
-func (t *TCPTransport) Retransmits() int64 { return t.retransmits.Load() }
-
-// DupsSuppressed returns the number of duplicate arrivals the receiver-side
-// dedup swallowed.
-func (t *TCPTransport) DupsSuppressed() int64 { return t.dupsSuppressed.Load() }
-
-// WireBytesOut returns the total frame bytes this transport wrote to its
-// sockets (data frames and acks, both formats). Benchmarks divide it by the
-// message count to report bytes per delivered message.
-func (t *TCPTransport) WireBytesOut() int64 { return t.bytesOut.Load() }
-
-// WireFlushes returns the number of socket write batches (one syscall each):
-// every end-of-drain flush of a connection's buffered writer, plus the
-// internal spills a batch larger than the write buffer forces. The count is
-// consistent across flush windows — the 0-window pure-coalescing path and a
-// widened window are measured identically — so WireFramesOut/WireFlushes is
-// an honest frames-per-syscall factor either way.
-func (t *TCPTransport) WireFlushes() int64 { return t.flushes.Load() }
-
-// WireFramesOut returns the physical frames written (a FrameBatch
-// super-frame counts once; JSON counts encoder calls).
-func (t *TCPTransport) WireFramesOut() int64 { return t.framesOut.Load() }
-
-// WireMsgsOut returns the logical data messages carried by the frames
-// written: WireMsgsOut/WireFramesOut is the realized aggregation factor
-// (1.0 with batching off), and WireFramesOut/WireFlushes the realized write
-// coalescing.
-func (t *TCPTransport) WireMsgsOut() int64 { return t.msgsOut.Load() }
-
-// pendingCount returns the number of unacked reliable sends (tests).
-func (t *TCPTransport) pendingCount() int {
-	n := 0
-	for i := range t.pend {
-		t.pend[i].mu.Lock()
-		n += len(t.pend[i].m)
-		t.pend[i].mu.Unlock()
-	}
-	return n
-}
-
-// dedupSize returns the number of live dedup entries (tests verify the
-// tick-windowed eviction with it).
-func (t *TCPTransport) dedupSize() int {
-	n := 0
-	for i := range t.dedup {
-		n += t.dedup[i].size()
-	}
-	return n
-}
-
-// Faults implements FaultReporter with the transport's real-network ledger.
-func (t *TCPTransport) Faults() FaultReport {
-	return FaultReport{
-		FaultCounts: FaultCounts{
-			TransportDrops: t.Dropped(),
-			Retransmits:    t.retransmits.Load(),
-			DupsSuppressed: t.dupsSuppressed.Load(),
-		},
-		Overload: t.Overload(),
-	}
-}
-
-// Send implements Transport. Local destinations are delivered in memory;
-// remote destinations are encoded eagerly (so codec errors surface here)
-// and handed to reliable delivery after the latency delay.
-func (t *TCPTransport) Send(msg Message, delay time.Duration) error {
-	select {
-	case <-t.closed:
-		return ErrTransportClosed
-	default:
-	}
-	if t.draining.Load() {
-		return ErrTransportClosed
-	}
-	if t.hosted[msg.To] {
-		if s := t.sink.Load(); s != nil && (*s)(msg, delay) {
-			return nil
-		}
-		if t.delays.schedule(delay, func() { t.deliverLocal(msg) }) == nil {
-			t.dropsClosed.Add(1)
-			return ErrTransportClosed
-		}
-		return nil
-	}
-	t.peerMu.RLock()
-	addr, ok := t.peers[msg.To]
-	t.peerMu.RUnlock()
-	if !ok {
-		return fmt.Errorf("live: no peer address for node %d", msg.To)
-	}
-	pt, data, err := encodePayload(msg.Payload)
-	if err != nil {
-		return err
-	}
-	w := wireMessage{
-		Kind:        uint8(msg.Kind),
-		Seq:         t.seq.Add(1),
-		From:        int(msg.From),
-		To:          int(msg.To),
-		EdgeID:      msg.EdgeID,
-		Latency:     msg.Latency,
-		SentTick:    msg.SentTick,
-		PayloadType: pt,
-		Payload:     data,
-	}
-	if delay <= 0 {
-		// Zero-latency fast path: when the connection is already pooled,
-		// enqueueing is non-blocking, so the timer goroutine (the dominant
-		// per-message cost at high rates) is skipped entirely. The first
-		// message to a peer — or a redial after a break — still takes the
-		// timer path so the dial never blocks the caller.
-		t.connMu.Lock()
-		_, pooled := t.outs[addr]
-		t.connMu.Unlock()
-		if pooled {
-			t.transmit(addr, w)
-			return nil
-		}
-	}
-	if t.delays.schedule(delay, func() { t.transmit(addr, w) }) == nil {
-		t.dropsClosed.Add(1)
-		return ErrTransportClosed
-	}
-	return nil
-}
-
-// deliverLocal pushes msg onto its destination's inbox channel — the legacy
-// delivery path for raw-transport users; the sharded runtime's sink bypasses
-// it entirely.
-func (t *TCPTransport) deliverLocal(msg Message) {
-	select {
-	case t.inbox(msg.To) <- msg:
-	case <-t.closed:
-	}
-}
-
-// pendShard returns the shard owning seq.
-func (t *TCPTransport) pendShard(seq uint64) *pendShard {
-	return &t.pend[seq&(pendShards-1)]
-}
-
-// transmit performs the first wire attempt of w and registers it for
-// retransmission until acked (or the budget runs out). This is where the
-// breaker and the pend cap gate admission: a refused send is a terminal,
-// counted loss (same contract as an injected drop — gossip re-converges).
-// In batched mode the message only joins the destination daemon's
-// aggregation queue here; reliable-delivery registration happens per
-// super-frame at flush time (registerBatch).
-func (t *TCPTransport) transmit(addr string, w wireMessage) {
-	ps := t.peer(addr)
-	if !t.allowSend(ps) {
-		t.ovBreakerDrop.Add(1)
-		return
-	}
-	if t.batched() {
-		t.writeQueued(addr, &w)
-		return
-	}
-	p := &pendingSend{addr: addr, ps: ps, w: w, sentAt: time.Now()}
-	sh := t.pendShard(w.Seq)
-	sh.mu.Lock()
-	select {
-	case <-t.closed:
-		sh.mu.Unlock()
-		t.dropsClosed.Add(1)
-		return
-	default:
-	}
-	if sh.m == nil {
-		sh.m = make(map[uint64]*pendingSend)
-	}
-	if t.pendLimit > 0 && MsgKind(w.Kind) != MsgMember {
-		perShard := t.pendLimit / pendShards
-		if perShard < 1 {
-			perShard = 1
-		}
-		if len(sh.m) >= perShard && !t.shedOldestLocked(sh) {
-			// The shard is full of membership entries (exempt from
-			// shedding): shed the gossip newcomer instead.
-			sh.mu.Unlock()
-			t.ovShedPend.Add(1)
-			return
-		}
-	}
-	sh.m[w.Seq] = p
-	t.armRetryLocked(p)
-	sh.mu.Unlock()
-	t.write(addr, &w)
-}
-
-// writeQueued queues w on addr's aggregation queue, dialing if needed. In
-// batched mode a message becomes reliable only once its super-frame is
-// flushed; one that never reaches a writer queue — the peer is undialable,
-// or the connection died twice in a row — is a terminal, counted loss,
-// exactly like a retransmission give-up.
-func (t *TCPTransport) writeQueued(addr string, w *wireMessage) {
-	for attempt := 0; attempt < 2; attempt++ {
-		cs, err := t.conn(addr)
-		if err != nil {
-			if errors.Is(err, ErrTransportClosed) {
-				t.dropsClosed.Add(1)
-			} else {
-				t.peerFailure(addr)
-				t.dropsGiveUp.Add(1)
-			}
-			return
-		}
-		if cs.enqueue(w) {
-			return
-		}
-	}
-	t.dropsGiveUp.Add(1)
-}
-
-// registerBatch admits one about-to-be-written super-frame to reliable
-// delivery: one pend entry and one retransmission timer for the whole batch,
-// keyed by its last sub-message's Seq — the receiver decodes the batch once
-// and acks exactly that Seq. The sub-messages are copied out of the drained
-// queue slice (which the writer recycles). ok=false means the batch was
-// refused admission — transport closed, or the pend cap with no gossip left
-// to shed — a terminal, counted loss; the caller must not write the frame.
-func (t *TCPTransport) registerBatch(addr string, ps *peerState, msgs []wireMessage) (key uint64, ok bool) {
-	batch := append([]wireMessage(nil), msgs...)
-	member := false
-	for i := range batch {
-		if MsgKind(batch[i].Kind) == MsgMember {
-			member = true
-			break
-		}
-	}
-	key = batch[len(batch)-1].Seq
-	p := &pendingSend{addr: addr, ps: ps, w: batch[len(batch)-1], batch: batch, member: member, sentAt: time.Now()}
-	sh := t.pendShard(key)
-	sh.mu.Lock()
-	select {
-	case <-t.closed:
-		sh.mu.Unlock()
-		t.dropsClosed.Add(int64(len(batch)))
-		return 0, false
-	default:
-	}
-	if sh.m == nil {
-		sh.m = make(map[uint64]*pendingSend)
-	}
-	if t.pendLimit > 0 && !member {
-		perShard := t.pendLimit / pendShards
-		if perShard < 1 {
-			perShard = 1
-		}
-		if len(sh.m) >= perShard && !t.shedOldestLocked(sh) {
-			sh.mu.Unlock()
-			t.ovShedPend.Add(int64(len(batch)))
-			return 0, false
-		}
-	}
-	sh.m[key] = p
-	t.armRetryLocked(p)
-	sh.mu.Unlock()
-	return key, true
-}
-
-// shedOldestLocked evicts the lowest-seq gossip entry of a full pend shard
-// (oldest-first shedding: the oldest in-flight payload is the most likely to
-// have been superseded by a later exchange). False when the shard holds only
-// membership entries. The caller holds sh.mu.
-func (t *TCPTransport) shedOldestLocked(sh *pendShard) bool {
-	var oldest *pendingSend
-	for _, q := range sh.m {
-		if q.member || MsgKind(q.w.Kind) == MsgMember {
-			continue
-		}
-		if oldest == nil || q.w.Seq < oldest.w.Seq {
-			oldest = q
-		}
-	}
-	if oldest == nil {
-		return false
-	}
-	oldest.retry.Stop()
-	delete(sh.m, oldest.w.Seq)
-	t.ovShedPend.Add(oldest.msgCount())
-	return true
-}
-
-// armRetryLocked schedules the next retransmission for p; p's pend shard
-// must be locked by the caller. The base timeout adapts to the peer's
-// measured round trip (see peerState.rto) and doubles per attempt up to
-// rtoMax.
-func (t *TCPTransport) armRetryLocked(p *pendingSend) {
-	backoff := p.ps.rto(t.rto, t.rtoMin, t.rtoMax)
-	for i := 0; i < p.attempts && backoff < t.rtoMax; i++ {
-		backoff <<= 1
-	}
-	if backoff > t.rtoMax {
-		backoff = t.rtoMax
-	}
-	seq := p.w.Seq
-	p.retry = t.retries.schedule(backoff, func() { t.retry(seq) })
-}
-
-// retry retransmits one unacked message, or abandons it once the budget is
-// spent. A no-op if the ack arrived (or the transport closed) in the
-// meantime.
-func (t *TCPTransport) retry(seq uint64) {
-	sh := t.pendShard(seq)
-	sh.mu.Lock()
-	p, ok := sh.m[seq]
-	if !ok {
-		sh.mu.Unlock()
-		return
-	}
-	select {
-	case <-t.closed:
-		sh.mu.Unlock()
-		return // Close sweeps and counts the pending map
-	default:
-	}
-	p.attempts++
-	if t.maxRetrans < 0 || p.attempts > t.maxRetrans {
-		addr := p.addr
-		delete(sh.m, seq)
-		sh.mu.Unlock()
-		t.dropsGiveUp.Add(p.msgCount())
-		t.peerFailure(addr)
-		return
-	}
-	if t.breakerN > 0 && !p.ps.fastClosed() && !p.ps.allowRetry(t.breakerN, time.Now()) {
-		// The peer's breaker opened since this message was sent: stop
-		// spending retransmission budget on it.
-		delete(sh.m, seq)
-		sh.mu.Unlock()
-		t.ovBreakerDrop.Add(p.msgCount())
-		return
-	}
-	p.retransmitted = true
-	t.armRetryLocked(p)
-	addr, w := p.addr, p.w
-	isBatch := p.batch != nil
-	sh.mu.Unlock()
-	t.retransmits.Add(p.msgCount())
-	if isBatch {
-		t.writeRetry(addr, p)
-		return
-	}
-	t.write(addr, &w)
-}
-
-// writeRetry re-queues a registered super-frame for retransmission on addr's
-// writer (qRetry, drained ahead of fresh data — the batch is older than
-// anything queued since). The batch stays pending either way: a failed dial
-// or dead connection leaves delivery to the next RTO firing.
-func (t *TCPTransport) writeRetry(addr string, p *pendingSend) {
-	for attempt := 0; attempt < 2; attempt++ {
-		cs, err := t.conn(addr)
-		if err != nil {
-			if !errors.Is(err, ErrTransportClosed) {
-				t.peerFailure(addr)
-			}
-			return
-		}
-		if cs.enqueueRetry(p) {
-			return
-		}
-	}
-}
-
-// retryNow fires seq's retransmission immediately — the broken-connection
-// path: a failed write evicts the connection and calls this, so the first
-// retry redials at once instead of waiting out the RTO backoff.
-func (t *TCPTransport) retryNow(seq uint64) {
-	sh := t.pendShard(seq)
-	sh.mu.Lock()
-	p, ok := sh.m[seq]
-	if ok && p.retry != nil {
-		p.retry.Stop()
-	}
-	sh.mu.Unlock()
-	if ok {
-		t.retry(seq)
-	}
-}
-
-// ack resolves one pending message: its retransmission timer is stopped, the
-// entry dropped, and the peer's adaptive state credited — an RTT sample when
-// the message was never retransmitted (Karn's rule), a breaker success
-// either way.
-func (t *TCPTransport) ack(seq uint64) {
-	sh := t.pendShard(seq)
-	sh.mu.Lock()
-	p, ok := sh.m[seq]
-	if ok {
-		p.retry.Stop()
-		delete(sh.m, seq)
-	}
-	sh.mu.Unlock()
-	if !ok {
-		return
-	}
-	if !p.retransmitted {
-		p.ps.observeRTT(time.Since(p.sentAt))
-	}
-	p.ps.success()
-}
-
-// Recv implements Transport. Inbox channels exist only for nodes actually
-// received on — the sharded runtime never calls Recv, so hosting 100k nodes
-// costs a set entry each, not a buffered channel.
-func (t *TCPTransport) Recv(u graph.NodeID) <-chan Message {
-	if !t.hosted[u] {
-		return nil
-	}
-	return t.inbox(u)
-}
-
-// inbox returns u's inbox channel, creating it on first use. Callers must
-// have checked t.hosted[u].
-func (t *TCPTransport) inbox(u graph.NodeID) chan Message {
-	t.inboxMu.Lock()
-	ch := t.inboxes[u]
-	if ch == nil {
-		ch = make(chan Message, t.buffer)
-		t.inboxes[u] = ch
-	}
-	t.inboxMu.Unlock()
-	return ch
-}
-
-// Hosts implements SinkTransport without materializing an inbox.
-func (t *TCPTransport) Hosts(u graph.NodeID) bool { return t.hosted[u] }
-
-// SetSink implements SinkTransport: locally destined sends and wire arrivals
-// for hosted nodes are handed to sink instead of inbox channels.
-func (t *TCPTransport) SetSink(sink DeliverySink) bool {
-	if sink == nil {
-		t.sink.Store(nil)
-	} else {
-		t.sink.Store(&sink)
-	}
-	return true
-}
-
-// Close implements Transport: it stops the listener, all connections and
-// delivery timers, and counts undelivered or unacked messages as dropped.
-func (t *TCPTransport) Close() error {
-	t.closeOnce.Do(func() {
-		close(t.closed)
-		t.ln.Close()
-		t.dropsClosed.Add(t.delays.close())
-		t.retries.close() // RTOs aren't deliveries; the pend sweep below counts them
-		for i := range t.pend {
-			sh := &t.pend[i]
-			sh.mu.Lock()
-			for seq, p := range sh.m {
-				p.retry.Stop()
-				delete(sh.m, seq)
-				t.dropsClosed.Add(p.msgCount())
-			}
-			sh.mu.Unlock()
-		}
-		batched := t.batched()
-		t.connMu.Lock()
-		for _, cs := range t.outs {
-			// Rescue backpressured enqueuers before the socket dies. In
-			// batched mode the queued frames were never pend-registered (the
-			// sweep above missed them), so count them here; queued
-			// retransmissions were swept as pend entries already.
-			data, _ := cs.markDead()
-			if batched {
-				t.dropsClosed.Add(int64(len(data)))
-			}
-			cs.c.Close()
-		}
-		for _, cs := range t.accepts {
-			cs.markDead()
-			cs.c.Close()
-		}
-		t.connMu.Unlock()
-	})
-	t.wg.Wait()
-	return nil
-}
-
-// queueDepth returns the total data frames sitting in writer queues.
-func (t *TCPTransport) queueDepth() int {
-	t.connMu.Lock()
-	conns := make([]*connState, 0, len(t.outs)+len(t.accepts))
-	for _, cs := range t.outs {
-		conns = append(conns, cs)
-	}
-	conns = append(conns, t.accepts...)
-	t.connMu.Unlock()
-	n := 0
-	for _, cs := range conns {
-		cs.qmu.Lock()
-		n += len(cs.qData) + len(cs.qRetry)
-		cs.qmu.Unlock()
-	}
-	return n
-}
-
-// Drain implements Drainer: stop admitting sends and stop the latency timers
-// (a draining process is leaving — a not-yet-sent message is a counted loss),
-// then wait for the writer queues to flush and every reliable send to resolve
-// (ack, give-up, or breaker flush) before closing. On deadline expiry the
-// transport closes anyway and the report says what was abandoned.
-func (t *TCPTransport) Drain(ctx context.Context) (DrainReport, error) {
-	start := time.Now()
-	select {
-	case <-t.closed:
-		return DrainReport{}, ErrTransportClosed
-	default:
-	}
-	t.draining.Store(true)
-	rep := DrainReport{AbandonedTimers: t.delays.close()}
-	t.dropsClosed.Add(rep.AbandonedTimers)
-	poll := time.NewTimer(2 * time.Millisecond)
-	defer poll.Stop()
-	for {
-		if t.queueDepth() == 0 && t.pendingCount() == 0 {
-			rep.Clean = true
-			err := t.Close()
-			rep.Wall = time.Since(start)
-			return rep, err
-		}
-		select {
-		case <-ctx.Done():
-			rep.QueuedAtClose = t.queueDepth()
-			rep.PendingAtClose = t.pendingCount()
-			t.Close()
-			rep.Wall = time.Since(start)
-			return rep, ctx.Err()
-		case <-t.closed:
-			rep.Wall = time.Since(start)
-			return rep, ErrTransportClosed
-		case <-poll.C:
-			poll.Reset(2 * time.Millisecond)
-		}
-	}
-}
-
-func (t *TCPTransport) acceptLoop() {
-	defer t.wg.Done()
-	for {
-		c, err := t.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		cs := t.newConnState(c, "")
-		t.connMu.Lock()
-		select {
-		case <-t.closed:
-			// Accepted in the middle of Close after it swept the conn
-			// lists; drop the connection instead of leaking it.
-			t.connMu.Unlock()
-			c.Close()
-			continue
-		default:
-		}
-		t.accepts = append(t.accepts, cs)
-		t.wg.Add(2)
-		t.connMu.Unlock()
-		go t.readLoop(cs)
-		go t.writeLoop(cs)
-	}
-}
-
-// connState is one connection (pooled outbound or accepted inbound). Frames
-// are not written by senders directly: they are queued under qmu and drained
-// by the connection's writer goroutine (writeLoop), which batches everything
-// available — data frames and pending acks — through one buffered writer, so
-// a burst of same-tick messages costs one syscall instead of one each.
-type connState struct {
-	t    *TCPTransport
-	c    net.Conn
-	addr string // peer listen address for pooled outbound conns; "" for accepted
-
-	qmu        sync.Mutex
-	qData      []wireMessage
-	qAcks      []uint64
-	qRetry     []*pendingSend // registered super-frames awaiting retransmission
-	spillData  []wireMessage  // retired queue slices, reused to avoid reallocating
-	spillAcks  []uint64
-	spillRetry []*pendingSend
-	dead       bool
-
-	notify  chan struct{} // wake the writer (capacity 1)
-	deadCh  chan struct{} // closed by markDead
-	spaceCh chan struct{} // writer signals queue space to backpressured enqueuers
-
-	// Writer-goroutine-owned state: the buffered writer, the binary
-	// encoder's intern table and scratch, and the frame build buffer.
-	bw   *bufio.Writer
-	enc  wireEnc
-	jenc *json.Encoder
-	buf  []byte
-}
-
-// countingWriter counts bytes and socket write batches for WireBytesOut and
-// WireFlushes. Every Write here is one syscall batch: the end-of-drain
-// flushes and the internal spills an oversized batch forces both land on
-// this seam, so the flush count stays consistent between the 0-window
-// coalescing path and widened flush windows.
-type countingWriter struct {
-	c       net.Conn
-	n       *atomic.Int64
-	flushes *atomic.Int64
-}
-
-func (w countingWriter) Write(p []byte) (int, error) {
-	n, err := w.c.Write(p)
-	w.n.Add(int64(n))
-	w.flushes.Add(1)
-	return n, err
-}
-
-func (t *TCPTransport) newConnState(c net.Conn, addr string) *connState {
-	cs := &connState{
-		t:       t,
-		c:       c,
-		addr:    addr,
-		notify:  make(chan struct{}, 1),
-		deadCh:  make(chan struct{}),
-		spaceCh: make(chan struct{}, 1),
-		bw:      bufio.NewWriterSize(countingWriter{c: c, n: &t.bytesOut, flushes: &t.flushes}, 32<<10),
-	}
-	if t.WireFormat() == WireJSON {
-		cs.jenc = json.NewEncoder(cs.bw)
-	}
-	return cs
-}
-
-// memberWaitMax bounds how long a backpressured membership enqueue blocks
-// before leaving delivery to its RTO timer — the escape hatch that keeps a
-// stalled connection from wedging a node goroutine (and with it the whole
-// runtime's shutdown) forever.
-const memberWaitMax = 2 * time.Second
-
-// enqueue queues one data frame for the writer, enforcing the transport's
-// writer-queue cap. Past the cap, gossip frames shed the oldest queued gossip
-// frame (its pend entry is cancelled — a terminal, counted loss; push-pull
-// re-converges) and membership frames apply hard backpressure: they shed
-// gossip to make room for themselves, and block when the queue is entirely
-// membership traffic. Returns false only when the connection is dead (the
-// caller redials); a shed newcomer returns true — it was handled, terminally.
-func (cs *connState) enqueue(w *wireMessage) bool {
-	t := cs.t
-	limit := t.queueLimit
-	isMember := MsgKind(w.Kind) == MsgMember
-	var shed []uint64
-	counted := false // MemberBackpressured once per blocking episode
-	deadline := time.Time{}
-	cs.qmu.Lock()
-	for !cs.dead && limit > 0 && len(cs.qData) >= limit {
-		// Find the oldest queued gossip frame; membership frames are never
-		// shed from the queue.
-		idx := -1
-		for i := range cs.qData {
-			if MsgKind(cs.qData[i].Kind) != MsgMember {
-				idx = i
-				break
-			}
-		}
-		if idx >= 0 {
-			shed = append(shed, cs.qData[idx].Seq)
-			cs.qData = append(cs.qData[:idx], cs.qData[idx+1:]...)
-			continue
-		}
-		// Queue entirely membership frames. A gossip newcomer is shed; a
-		// membership newcomer waits for the writer. The wait is bounded so a
-		// wedged connection cannot stall the caller forever: past the
-		// deadline the frame is queued anyway (the cap overshoots by at most
-		// the number of waiters).
-		if !isMember {
-			cs.qmu.Unlock()
-			t.dropQueued(append(shed, w.Seq))
-			return true
-		}
-		if !counted {
-			counted = true
-			deadline = time.Now().Add(memberWaitMax)
-			t.ovMemberWait.Add(1)
-		} else if time.Now().After(deadline) {
-			break
-		}
-		cs.qmu.Unlock()
-		select {
-		case <-cs.spaceCh:
-		case <-cs.deadCh:
-		case <-t.closed:
-		case <-time.After(10 * time.Millisecond):
-		}
-		cs.qmu.Lock()
-	}
-	if cs.dead {
-		cs.qmu.Unlock()
-		t.dropQueued(shed)
-		return false
-	}
-	cs.qData = append(cs.qData, *w)
-	cs.qmu.Unlock()
-	t.dropQueued(shed)
-	cs.wake()
-	return true
-}
-
-// cancelPend removes seq's pend entry if still present, stopping its timer
-// and counting the terminal loss against counter.
-func (t *TCPTransport) cancelPend(seq uint64, counter *atomic.Int64) {
-	sh := t.pendShard(seq)
-	sh.mu.Lock()
-	p, ok := sh.m[seq]
-	if ok {
-		p.retry.Stop()
-		delete(sh.m, seq)
-	}
-	sh.mu.Unlock()
-	if ok {
-		counter.Add(1)
-	}
-}
-
-// dropQueued counts writer-queue sheds. In batched mode the shed frames had
-// no pend entries yet (registration happens per super-frame at flush), so
-// the loss is counted directly; in per-message mode each seq's pend entry is
-// cancelled and counted if still present.
-func (t *TCPTransport) dropQueued(seqs []uint64) {
-	if len(seqs) == 0 {
-		return
-	}
-	if t.batched() {
-		t.ovShedQueue.Add(int64(len(seqs)))
-		return
-	}
-	for _, seq := range seqs {
-		t.cancelPend(seq, &t.ovShedQueue)
-	}
-}
-
-// enqueueRetry queues one already-registered super-frame for retransmission.
-// No cap applies: the population is bounded by the pend cap, and shedding
-// here would break the retransmission contract. False when the connection is
-// dead (the caller redials once; the entry stays pending either way).
-func (cs *connState) enqueueRetry(p *pendingSend) bool {
-	cs.qmu.Lock()
-	if cs.dead {
-		cs.qmu.Unlock()
-		return false
-	}
-	cs.qRetry = append(cs.qRetry, p)
-	cs.qmu.Unlock()
-	cs.wake()
-	return true
-}
-
-// enqueueAck queues one ack seq; best effort (a lost ack only costs the peer
-// a deduplicated retransmission).
-func (cs *connState) enqueueAck(seq uint64) {
-	cs.qmu.Lock()
-	if cs.dead {
-		cs.qmu.Unlock()
-		return
-	}
-	cs.qAcks = append(cs.qAcks, seq)
-	cs.qmu.Unlock()
-	cs.wake()
-}
-
-func (cs *connState) wake() {
-	select {
-	case cs.notify <- struct{}{}:
-	default:
-	}
-}
-
-// take swaps the queues out, recycling the previously taken slices as the
-// new queue backing so steady-state batching performs no allocations. Only
-// the writer goroutine calls it, so the retired batch is always consumed
-// before the next swap.
-func (cs *connState) take() (data []wireMessage, acks []uint64, rets []*pendingSend) {
-	cs.qmu.Lock()
-	data, cs.qData = cs.qData, cs.spillData[:0]
-	acks, cs.qAcks = cs.qAcks, cs.spillAcks[:0]
-	rets, cs.qRetry = cs.qRetry, cs.spillRetry[:0]
-	cs.spillData, cs.spillAcks, cs.spillRetry = data, acks, rets
-	cs.qmu.Unlock()
-	if len(data) > 0 {
-		// The queue emptied: wake one backpressured membership enqueuer.
-		select {
-		case cs.spaceCh <- struct{}{}:
-		default:
-		}
-	}
-	return data, acks, rets
-}
-
-// markDead stops further enqueues and returns whatever was still queued —
-// data frames (for re-queue or loss accounting) and registered
-// retransmissions (their pend entries redial via retryNow). Idempotent; the
-// second caller gets nil.
-func (cs *connState) markDead() ([]wireMessage, []*pendingSend) {
-	cs.qmu.Lock()
-	if cs.dead {
-		cs.qmu.Unlock()
-		return nil, nil
-	}
-	cs.dead = true
-	data, rets := cs.qData, cs.qRetry
-	cs.qData, cs.qAcks, cs.qRetry = nil, nil, nil
-	cs.qmu.Unlock()
-	close(cs.deadCh)
-	return data, rets
-}
-
-// batchMsgBytes estimates one sub-message's encoded footprint for splitting
-// an aggregation drain into super-frames: the payload plus a generous field
-// allowance, so a full chunk of maxBatchMsgs stays well under maxWireBody.
-func batchMsgBytes(w *wireMessage) int {
-	return 32 + len(w.Payload) + len(w.PayloadType)
-}
-
-// maxBatchBytes bounds the estimated bytes one super-frame aggregates.
-const maxBatchBytes = 1 << 20
-
-// writeBatch encodes one drained batch into the buffered writer and returns
-// the pend keys of the super-frames it wrote (for the broken-connection
-// path).
-//
-// In batched binary mode (the default) retransmitted super-frames go first —
-// they are older than anything drained this pass — then the queued data
-// coalesces into FrameBatch super-frames, each registered as ONE reliable
-// send (registerBatch) before its bytes are written; pending acks hoist to
-// the first frame's header. In per-message binary mode every data frame is
-// its own frame with its own pend entry (registered at transmit time); in
-// JSON mode acks are standalone frames, as the legacy protocol requires.
-func (t *TCPTransport) writeBatch(cs *connState, data []wireMessage, acks []uint64, rets []*pendingSend) ([]uint64, error) {
-	if cs.jenc != nil {
-		for _, seq := range acks {
-			if err := cs.jenc.Encode(&wireMessage{Kind: wireAck, Seq: seq}); err != nil {
-				return nil, err
-			}
-			t.framesOut.Add(1)
-		}
-		// Registered super-frames can only reach a JSON writer if the format
-		// was toggled mid-run; keep the retransmission contract by sending
-		// their sub-messages individually.
-		for _, p := range rets {
-			for i := range p.batch {
-				if err := cs.jenc.Encode(&p.batch[i]); err != nil {
-					return nil, err
-				}
-				t.framesOut.Add(1)
-				t.msgsOut.Add(1)
-			}
-		}
-		for i := range data {
-			if err := cs.jenc.Encode(&data[i]); err != nil {
-				return nil, err
-			}
-			t.framesOut.Add(1)
-			t.msgsOut.Add(1)
-		}
-		return nil, nil
-	}
-	if !t.batched() && len(rets) == 0 {
-		buf := cs.buf[:0]
-		if len(data) == 0 {
-			buf = cs.enc.appendFrame(buf, nil, acks)
-			t.framesOut.Add(1)
-		} else {
-			buf = cs.enc.appendFrame(buf, &data[0], acks)
-			for i := 1; i < len(data); i++ {
-				buf = cs.enc.appendFrame(buf, &data[i], nil)
-			}
-			t.framesOut.Add(int64(len(data)))
-			t.msgsOut.Add(int64(len(data)))
-		}
-		cs.buf = buf
-		_, err := cs.bw.Write(buf)
+// NewTCPTransportFromListener is NewTCPTransport over an already-bound
+// listener, for supervisors that reserve ports by binding and then hand the
+// live socket to the daemon (gossipctl passes it as an inherited fd). Taking
+// the listener instead of an address closes the reserve/rebind window in
+// which another process could steal the port. The transport owns ln and
+// closes it on Close.
+func NewTCPTransportFromListener(ln net.Listener, local []graph.NodeID, buffer int) (*TCPTransport, error) {
+	t := newStreamTransport(local, buffer)
+	if err := t.addListener(ln, false); err != nil {
 		return nil, err
 	}
-
-	var keys []uint64
-	buf := cs.buf[:0]
-	for ri, p := range rets {
-		buf = cs.enc.appendBatchFrame(buf, p.batch, acks)
-		acks = nil
-		t.framesOut.Add(1)
-		t.msgsOut.Add(int64(len(p.batch)))
-		keys = append(keys, p.w.Seq)
-		rets[ri] = nil // the slice is recycled; don't pin acked batches
-	}
-	ps := (*peerState)(nil)
-	if len(data) > 0 {
-		ps = t.peer(cs.addr)
-	}
-	for start := 0; start < len(data); {
-		end := start + 1
-		size := batchMsgBytes(&data[start])
-		for end < len(data) && end-start < maxBatchMsgs && size < maxBatchBytes {
-			size += batchMsgBytes(&data[end])
-			end++
-		}
-		chunk := data[start:end]
-		start = end
-		key, ok := t.registerBatch(cs.addr, ps, chunk)
-		if !ok {
-			continue // refused admission: a counted terminal loss, not written
-		}
-		buf = cs.enc.appendBatchFrame(buf, chunk, acks)
-		acks = nil
-		t.framesOut.Add(1)
-		t.msgsOut.Add(int64(len(chunk)))
-		keys = append(keys, key)
-	}
-	if len(acks) > 0 {
-		buf = cs.enc.appendFrame(buf, nil, acks)
-		t.framesOut.Add(1)
-	}
-	cs.buf = buf
-	if len(buf) == 0 {
-		return keys, nil
-	}
-	_, err := cs.bw.Write(buf)
-	return keys, err
-}
-
-// writeLoop drains the connection's frame queue: wait for work, optionally
-// let a flush window accumulate a wider batch, write everything queued, then
-// flush once. On a write error the connection is evicted and every possibly
-// unsent data frame is pushed straight back through the retransmit path.
-func (t *TCPTransport) writeLoop(cs *connState) {
-	defer t.wg.Done()
-	for {
-		select {
-		case <-t.closed:
-			return
-		case <-cs.deadCh:
-			return
-		case <-cs.notify:
-		}
-		if fw := time.Duration(t.flushWindow.Load()); fw > 0 {
-			select {
-			case <-t.closed:
-				return
-			case <-cs.deadCh:
-				return
-			case <-time.After(fw):
-			}
-		}
-		var cycleKeys []uint64
-		for {
-			data, acks, rets := cs.take()
-			if len(data) == 0 && len(acks) == 0 && len(rets) == 0 {
-				break
-			}
-			keys, err := t.writeBatch(cs, data, acks, rets)
-			if err != nil {
-				t.connBroken(cs, data, append(cycleKeys, keys...))
-				return
-			}
-			cycleKeys = append(cycleKeys, keys...)
-		}
-		// Super-frames written into the buffered writer are not on the wire
-		// until this flush; on error their keys retry immediately rather than
-		// waiting out the RTO (over-retrying is safe — the receiver dedups).
-		if err := cs.bw.Flush(); err != nil {
-			t.connBroken(cs, nil, cycleKeys)
-			return
-		}
-	}
-}
-
-// connBroken handles a dead connection, from either loop: stop enqueues,
-// evict it from the pool, and make sure nothing vanishes silently. Reliable
-// in-flight work — per-message pend entries (unbatched mode), or registered
-// super-frames (inFlightKeys plus anything on the retransmission queue) —
-// goes through retryNow, which redials immediately; retransmission keeps it
-// pending, so over-retrying is safe (the receiver dedups). In batched mode
-// the data frames still queued were never registered: they re-queue toward a
-// fresh connection, or count as lost when the transport is draining or
-// closed. Acks are dropped (the peer retransmits and is deduplicated).
-func (t *TCPTransport) connBroken(cs *connState, inFlight []wireMessage, inFlightKeys []uint64) {
-	leftover, leftRets := cs.markDead()
-	t.evict(cs)
-	if cs.addr != "" {
-		t.peerFailure(cs.addr)
-	}
-	var seqs []uint64
-	var requeue []wireMessage
-	seqs = append(seqs, inFlightKeys...)
-	for _, p := range leftRets {
-		seqs = append(seqs, p.w.Seq)
-	}
-	if t.batched() {
-		requeue = leftover
-	} else {
-		for _, batch := range [2][]wireMessage{inFlight, leftover} {
-			for i := range batch {
-				if batch[i].Seq != 0 && batch[i].Kind != wireAck {
-					seqs = append(seqs, batch[i].Seq)
-				}
-			}
-		}
-	}
-	if len(seqs) == 0 && len(requeue) == 0 {
-		return
-	}
-	stopping := t.draining.Load()
-	select {
-	case <-t.closed:
-		stopping = true
-	default:
-	}
-	if stopping {
-		// Registered work stays pending — RTO timers or Close's sweep govern
-		// it — but unregistered batched frames would vanish silently: count
-		// them as closed-at-drop.
-		t.dropsClosed.Add(int64(len(requeue)))
-		return
-	}
-	// Cap the immediate-retry burst: a connection that died with a deep queue
-	// would otherwise re-inject every frame at once into a freshly dialed
-	// (cold, possibly struggling) peer. Frames past the cap stay pending and
-	// keep their ordinary RTO timers — trimmed, not lost.
-	if t.queueLimit > 0 && len(seqs) > t.queueLimit {
-		t.ovRetryTrim.Add(int64(len(seqs) - t.queueLimit))
-		seqs = seqs[:t.queueLimit]
-	}
-	// The redial may block in the dialer; do it off the conn's loops. The
-	// caller still holds a wg slot, so adding one here cannot race Close.
-	addr := cs.addr
-	t.wg.Add(1)
-	go func() {
-		defer t.wg.Done()
-		for _, seq := range seqs {
-			t.retryNow(seq)
-		}
-		for i := range requeue {
-			t.writeQueued(addr, &requeue[i])
-		}
-	}()
-}
-
-// readLoop sniffs the peer's wire format from the first byte — '{' opens a
-// JSON line stream, a version byte opens binary frames — then decodes
-// frames: acks resolve pending sends, data messages are acked back on the
-// same connection, deduplicated, and routed to the local inboxes.
-func (t *TCPTransport) readLoop(cs *connState) {
-	defer t.wg.Done()
-	defer t.connBroken(cs, nil, nil)
-	defer cs.c.Close()
-	br := bufio.NewReaderSize(cs.c, 32<<10)
-	first, err := br.Peek(1)
-	if err != nil {
-		return
-	}
-	if first[0] == '{' {
-		t.readJSON(cs, br)
-		return
-	}
-	t.readBinary(cs, br)
-}
-
-func (t *TCPTransport) readJSON(cs *connState, br *bufio.Reader) {
-	dec := json.NewDecoder(br)
-	for {
-		var w wireMessage
-		if err := dec.Decode(&w); err != nil {
-			return // EOF or closed
-		}
-		if !t.deliverWire(cs, &w, nil) {
-			return
-		}
-	}
-}
-
-func (t *TCPTransport) readBinary(cs *connState, br *bufio.Reader) {
-	var dec wireDec
-	for {
-		acks, msgs, batch, err := dec.readFrameMulti(br)
-		if err != nil {
-			if errors.Is(err, errMalformedFrame) {
-				t.dropsDecode.Add(1) // corrupt frame; io errors are teardown
-			}
-			return
-		}
-		for _, seq := range acks {
-			t.ack(seq)
-		}
-		if batch {
-			// One ack resolves the whole super-frame: the sender keyed its
-			// pend entry by the last sub-message's Seq. Ack first — even for
-			// a duplicate batch — so retransmission stops; then scatter each
-			// sub-message to its owning shard through deliverData.
-			cs.enqueueAck(msgs[len(msgs)-1].Seq)
-			for i := range msgs {
-				if !t.deliverData(&msgs[i]) {
-					return
-				}
-			}
-			continue
-		}
-		if len(msgs) == 1 && !t.deliverSingle(cs, &msgs[0]) {
-			return
-		}
-	}
-}
-
-// deliverWire processes one decoded frame: resolve acks, ack data back,
-// deduplicate, decode the payload, and route to the local inbox. It reports
-// false when the transport closed mid-delivery.
-func (t *TCPTransport) deliverWire(cs *connState, w *wireMessage, acks []uint64) bool {
-	for _, seq := range acks {
-		t.ack(seq)
-	}
-	if w == nil {
-		return true
-	}
-	return t.deliverSingle(cs, w)
-}
-
-// deliverSingle acks one per-message data frame back to the sender, then
-// routes it — the single-frame tail shared by the JSON and unbatched binary
-// paths.
-func (t *TCPTransport) deliverSingle(cs *connState, w *wireMessage) bool {
-	if w.Kind != wireAck && w.Seq != 0 {
-		// Ack first — even duplicates — so the sender stops retransmitting.
-		// Best effort: a lost ack only costs another (deduplicated) retry.
-		cs.enqueueAck(w.Seq)
-	}
-	return t.deliverData(w)
-}
-
-// deliverData deduplicates, decodes, and routes one logical data message —
-// the shared tail of the single-frame and batch-scatter paths. The caller
-// has already queued the ack (per message, or once per super-frame). It
-// reports false when the transport closed mid-delivery.
-func (t *TCPTransport) deliverData(w *wireMessage) bool {
-	if w.Kind == wireAck {
-		t.ack(w.Seq)
-		return true
-	}
-	if !t.hosted[graph.NodeID(w.To)] {
-		t.dropsMisroute.Add(1) // misrouted: not hosted here
-		return true
-	}
-	key := dedupKey{edge: w.EdgeID, from: graph.NodeID(w.From), sentTick: w.SentTick, kind: MsgKind(w.Kind)}
-	if t.dedup[key.shard()].seen(key, int(t.dedupWindow.Load())) {
-		t.dupsSuppressed.Add(1)
-		return true
-	}
-	payload, err := decodePayload(w.PayloadType, w.Payload)
-	if err != nil {
-		t.dropsDecode.Add(1)
-		return true
-	}
-	msg := Message{
-		Kind:     MsgKind(w.Kind),
-		From:     graph.NodeID(w.From),
-		To:       graph.NodeID(w.To),
-		EdgeID:   w.EdgeID,
-		Latency:  w.Latency,
-		SentTick: w.SentTick,
-		Payload:  payload,
-	}
-	// The wire already spent the edge's latency on the sender side, so the
-	// sink delivery is immediate.
-	if s := t.sink.Load(); s != nil && (*s)(msg, 0) {
-		return true
-	}
-	select {
-	case t.inbox(msg.To) <- msg:
-		return true
-	case <-t.closed:
-		return false
-	}
-}
-
-// write queues one frame toward addr, dialing if needed. If the pooled
-// connection died between lookup and enqueue, one fresh dial is attempted
-// before giving up to the retransmission timers; nothing is silently lost
-// here — the message stays pending either way.
-func (t *TCPTransport) write(addr string, w *wireMessage) {
-	for attempt := 0; attempt < 2; attempt++ {
-		cs, err := t.conn(addr)
-		if err != nil {
-			if !errors.Is(err, ErrTransportClosed) {
-				t.peerFailure(addr) // unreachable: one failure toward the breaker
-			}
-			return // retransmission will redial
-		}
-		if cs.enqueue(w) {
-			return
-		}
-	}
-}
-
-// conn returns the pooled connection to addr, dialing with retries until
-// dialTimeout so peers may come up after us.
-func (t *TCPTransport) conn(addr string) (*connState, error) {
-	t.connMu.Lock()
-	if cs, ok := t.outs[addr]; ok {
-		t.connMu.Unlock()
-		return cs, nil
-	}
-	t.connMu.Unlock()
-
-	if t.draining.Load() {
-		// A draining transport flushes what it has; it does not open new
-		// connections (a broken conn's frames are already counted pending —
-		// they are abandoned with the rest when the deadline expires).
-		return nil, ErrTransportClosed
-	}
-	deadline := time.Now().Add(t.dialTimeout)
-	var c net.Conn
-	var err error
-	for {
-		c, err = net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("live: dial %s: %w", addr, err)
-		}
-		select {
-		case <-t.closed:
-			return nil, ErrTransportClosed
-		case <-time.After(50 * time.Millisecond):
-		}
-	}
-
-	cs := t.newConnState(c, addr)
-	t.connMu.Lock()
-	if prior, ok := t.outs[addr]; ok {
-		// Lost a dial race; keep the first connection.
-		t.connMu.Unlock()
-		c.Close()
-		return prior, nil
-	}
-	select {
-	case <-t.closed:
-		t.connMu.Unlock()
-		c.Close()
-		return nil, ErrTransportClosed
-	default:
-	}
-	t.outs[addr] = cs
-	// Outbound connections carry the peer's acks back to us. The wg.Add sits
-	// inside the lock: Close checks closed, sweeps conns, and only then
-	// waits, all behind the same mutex, so it cannot miss this registration.
-	t.wg.Add(2)
-	t.connMu.Unlock()
-	go t.readLoop(cs)
-	go t.writeLoop(cs)
-	return cs, nil
-}
-
-// evict removes a broken connection from the pool (or the accepted list) so
-// the next write redials.
-func (t *TCPTransport) evict(cs *connState) {
-	t.connMu.Lock()
-	if cs.addr != "" {
-		if t.outs[cs.addr] == cs {
-			delete(t.outs, cs.addr)
-		}
-	} else {
-		for i, other := range t.accepts {
-			if other == cs {
-				t.accepts = append(t.accepts[:i], t.accepts[i+1:]...)
-				break
-			}
-		}
-	}
-	t.connMu.Unlock()
-	cs.c.Close()
+	return t, nil
 }
